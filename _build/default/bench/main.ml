@@ -1,0 +1,602 @@
+(* The benchmark harness: regenerates every measurement in the paper's
+   evaluation (Section 5).
+
+   - Bechamel microbenchmarks measure the real OCaml code on this machine
+     (the paper's inline numbers: checksum and copy rates, scheduler and
+     timer costs, counter overhead), one Test.make per measurement,
+     grouped per table/figure.
+   - The Table 1 and Table 2 sections run the paper's transfer benchmark
+     on the simulated 10 Mb/s Ethernet under the DECstation cost models
+     and print rows in the paper's format, with the paper's numbers
+     alongside.
+   - The GC section reproduces the "runs of over 5 MB" observation.
+   - The ablation section quantifies the design choices DESIGN.md calls
+     out: quasi-synchronous engine vs monolithic baseline (wall-clock CPU
+     of the real implementations), checksum configurations, and delayed
+     acknowledgements. *)
+
+open Bechamel
+open Toolkit
+open Fox_basis
+module Scheduler = Fox_sched.Scheduler
+module Experiments = Fox_stack.Experiments
+module Network = Fox_stack.Network
+module Stack = Fox_stack.Stack
+module Cost_model = Fox_stack.Cost_model
+module Ipv4_addr = Fox_ip.Ipv4_addr
+
+let line = String.make 78 '-'
+
+let section name = Printf.printf "\n%s\n== %s\n%s\n" line name line
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let kb_buffer = Bytes.init 2048 (fun i -> Char.chr (i * 37 land 0xff))
+
+let checksum_tests =
+  Test.make_grouped ~name:"inline1-checksum"
+    [
+      Test.make ~name:"optimized-1KB-aligned"
+        (Staged.stage (fun () -> Checksum.checksum ~alg:`Optimized kb_buffer 0 1024));
+      Test.make ~name:"optimized-1KB-offset2"
+        (Staged.stage (fun () -> Checksum.checksum ~alg:`Optimized kb_buffer 2 1024));
+      Test.make ~name:"basic-1KB"
+        (Staged.stage (fun () -> Checksum.checksum ~alg:`Basic kb_buffer 0 1024));
+      Test.make ~name:"reference-1KB"
+        (Staged.stage (fun () -> Checksum.reference kb_buffer 0 1024));
+    ]
+
+let copy_dst = Bytes.create 2048
+
+let copy_tests =
+  Test.make_grouped ~name:"inline2-copy"
+    (List.map
+       (fun (name, impl) ->
+         Test.make ~name:(name ^ "-1KB")
+           (Staged.stage (fun () -> Copy.copy impl kb_buffer 0 copy_dst 0 1024)))
+       Copy.all)
+
+(* The paper's 30 us "create a thread, terminate the current thread, and
+   switch to the new thread", amortised over 1000 operations in one
+   scheduler run; and the 1.2 us empty call for scale. *)
+let sched_tests =
+  Test.make_grouped ~name:"inline3-scheduler"
+    [
+      Test.make ~name:"1000x-fork+switch+exit"
+        (Staged.stage (fun () ->
+             Scheduler.run (fun () ->
+                 for _ = 1 to 1000 do
+                   Scheduler.fork (fun () -> ());
+                   Scheduler.yield ()
+                 done)));
+      Test.make ~name:"1000x-timer-start+clear"
+        (Staged.stage (fun () ->
+             Scheduler.run (fun () ->
+                 for _ = 1 to 1000 do
+                   Fox_sched.Timer.clear (Fox_sched.Timer.start ignore 50)
+                 done)));
+      (let f = Sys.opaque_identity (fun () -> ()) in
+       Test.make ~name:"empty-call" (Staged.stage (fun () -> f ())));
+    ]
+
+let counter_set = Counters.create ()
+
+let counter_tests =
+  Test.make_grouped ~name:"inline4-counters"
+    [
+      Test.make ~name:"add"
+        (Staged.stage (fun () -> Counters.add counter_set "bench" 10));
+    ]
+
+let codec_packet = Packet.of_string ~headroom:64 (String.make 512 'p')
+
+let codec_tests =
+  let tcp_hdr =
+    {
+      (Fox_tcp.Tcp_header.basic ~src_port:1 ~dst_port:2) with
+      Fox_tcp.Tcp_header.seq = Fox_tcp.Seq.of_int 12345;
+      ack_flag = true;
+      window = 4096;
+    }
+  in
+  let pseudo =
+    Checksum.pseudo_ipv4 ~src:0x0A000001 ~dst:0x0A000002 ~proto:6 ~len:532
+  in
+  Test.make_grouped ~name:"codecs"
+    [
+      Test.make ~name:"tcp-header-encode+decode-512B"
+        (Staged.stage (fun () ->
+             Fox_tcp.Tcp_header.encode ~pseudo:(Some pseudo) tcp_hdr codec_packet;
+             match
+               Fox_tcp.Tcp_header.decode ~pseudo:(Some pseudo) codec_packet
+             with
+             | Ok _ -> ()
+             | Error _ -> assert false));
+      Test.make ~name:"crc32-1KB"
+        (Staged.stage (fun () -> ignore (Crc32.digest kb_buffer 0 1024)));
+    ]
+
+let container_tests =
+  Test.make_grouped ~name:"containers"
+    [
+      Test.make ~name:"fifo-add+next"
+        (Staged.stage (fun () ->
+             match Fifo.next (Fifo.add 1 Fifo.empty) with
+             | Some _ -> ()
+             | None -> assert false));
+      Test.make ~name:"heap-add+pop-x16"
+        (Staged.stage (fun () ->
+             let h = Heap.create ~cmp:Int.compare in
+             for i = 15 downto 0 do
+               Heap.add h i
+             done;
+             for _ = 0 to 15 do
+               ignore (Heap.pop_min h)
+             done));
+      Test.make ~name:"packet-push+pull-header"
+        (Staged.stage (fun () ->
+             Packet.push_header codec_packet 20;
+             Packet.pull_header codec_packet 20));
+    ]
+
+(* run one bechamel group and return (name, nanoseconds-per-run) rows *)
+let run_group test =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some (ns :: _) -> (name, ns) :: acc
+      | _ -> acc)
+    results []
+  |> List.sort compare
+
+let print_group ?(per = 1.0) ?(unit_name = "ns/op") test =
+  List.iter
+    (fun (name, ns) ->
+      Printf.printf "  %-45s %12.2f %s\n" name (ns /. per) unit_name)
+    (run_group test)
+
+let microbenchmarks () =
+  section "Microbenchmarks (real wall-clock of the OCaml code, Bechamel)";
+  Printf.printf
+    "Paper reference points (DECstation 5000/125): optimised checksum 343\n\
+     us/KB vs x-kernel 375 us/KB; safe copy 300 us/KB vs bcopy 61 us/KB;\n\
+     thread create+switch+exit 30 us vs empty call 1.2 us; counter pair 15 us.\n\n";
+  Printf.printf "[inline-1] Internet checksum, 1 KB:\n";
+  print_group ~per:1000.0 ~unit_name:"us/KB" checksum_tests;
+  Printf.printf "\n[inline-2] copy, 1 KB:\n";
+  print_group ~per:1000.0 ~unit_name:"us/KB" copy_tests;
+  Printf.printf
+    "\n[inline-3] scheduler and timers (divide x1000 rows by 1000 for per-op):\n";
+  print_group sched_tests;
+  Printf.printf "\n[inline-4] profiling counters:\n";
+  print_group counter_tests;
+  Printf.printf "\nheader codecs and containers (substrate costs):\n";
+  print_group codec_tests;
+  print_group container_tests
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1: Speed Comparison of TCP Implementations";
+  Printf.printf
+    "1 MB one-way transfer, 4096-byte window, simulated isolated 10 Mb/s\n\
+     Ethernet, DECstation cost models (see lib/fox_stack/cost_model.ml).\n\n";
+  let fox_tp, fox_rtt, base_tp, base_rtt = Experiments.table1 () in
+  let open Experiments in
+  Printf.printf "%-22s %10s %10s %8s %22s\n" "" "Fox Net" "x-kernel" "ratio"
+    "(paper: fox/xk/ratio)";
+  Printf.printf "%-22s %10.2f %10.2f %8.2f %22s\n" "Throughput (Mb/s)"
+    fox_tp.throughput_mbps base_tp.throughput_mbps
+    (fox_tp.throughput_mbps /. base_tp.throughput_mbps)
+    "(0.6 / 2.5 / 0.24)";
+  Printf.printf "%-22s %10.1f %10.1f %8.1f %22s\n" "Round-Trip (ms)"
+    (float_of_int fox_rtt.mean_rtt_us /. 1000.)
+    (float_of_int base_rtt.mean_rtt_us /. 1000.)
+    (float_of_int fox_rtt.mean_rtt_us /. float_of_int base_rtt.mean_rtt_us)
+    "(36 / 4.9 / 9.4)";
+  Printf.printf
+    "\nfox: %d sender segments, %d retransmissions, %.2f s elapsed (virtual)\n"
+    fox_tp.sender_segments fox_tp.retransmissions
+    (float_of_int fox_tp.elapsed_us /. 1e6);
+  Printf.printf "x-kernel-like: %d sender segments, %d retransmissions, %.2f s\n"
+    base_tp.sender_segments base_tp.retransmissions
+    (float_of_int base_tp.elapsed_us /. 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table2 =
+  [
+    ("TCP", (29.0, 27.5));
+    ("IP", (7.8, 9.7));
+    ("eth, Mach interf.", (11.2, 11.9));
+    ("copy", (10.5, 6.3));
+    ("checksum", (5.1, 5.6));
+    ("Mach send", (7.5, 6.0));
+    ("packet wait", (15.8, 9.3));
+    ("g. c.", (3.4, 5.0));
+    ("misc.", (4.7, 7.3));
+    ("counters (est.)", (5.2, 5.4));
+  ]
+
+let table2 () =
+  section "Table 2: Execution Profile (Percent of Total Time)";
+  let result, sender, receiver = Experiments.table2 () in
+  Printf.printf
+    "1 MB fox transfer under the cost model (%.2f s virtual); percentages\n\
+     of each host's accounted busy time, as in the paper.\n\n"
+    (float_of_int result.Experiments.elapsed_us /. 1e6);
+  Printf.printf "%-22s %8s %9s %9s %9s\n" "component" "Sender" "Receiver"
+    "(paper S" "paper R)";
+  let find profile name =
+    match List.find_opt (fun (n, _, _) -> n = name) profile with
+    | Some (_, pct, _) -> pct
+    | None -> 0.0
+  in
+  List.iter
+    (fun (name, (ps, pr)) ->
+      Printf.printf "%-22s %8.1f %9.1f %9.1f %9.1f\n" name (find sender name)
+        (find receiver name) ps pr)
+    paper_table2;
+  let total p = List.fold_left (fun acc (_, pct, _) -> acc +. pct) 0.0 p in
+  Printf.printf "%-22s %8.1f %9.1f %9.1f %9.1f\n" "total" (total sender)
+    (total receiver) 100.2 94.0
+
+(* ------------------------------------------------------------------ *)
+(* GC behaviour (inline-5)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let gc_experiment () =
+  section "GC behaviour: short vs long runs (paper: >5 MB runs no slower)";
+  let run bytes =
+    let _, sender, receiver =
+      Network.pair ~engine:Network.Fox ~cost:Cost_model.fox ()
+    in
+    Experiments.Fox_run.transfer ~sender ~receiver ~bytes ()
+  in
+  let small = run 1_000_000 in
+  let large = run 8_000_000 in
+  let open Experiments in
+  Printf.printf "%-12s %12s %12s %10s %10s\n" "transfer" "Mb/s (virt)"
+    "elapsed s" "minor gcs" "major gcs";
+  let row name (r : transfer_result) =
+    Printf.printf "%-12s %12.2f %12.2f %10d %10d\n" name r.throughput_mbps
+      (float_of_int r.elapsed_us /. 1e6)
+      r.minor_collections r.major_collections
+  in
+  row "1 MB" small;
+  row "8 MB" large;
+  Printf.printf
+    "\nlong/short throughput ratio: %.3f (paper observes >= 1.0: startup\n\
+     amortisation more than compensates for major collections)\n"
+    (large.throughput_mbps /. small.throughput_mbps)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Every TCP variant produced by the functors matches this slice of the
+   protocol signature (record declarations match structurally), so one
+   adapter functor serves the whole ablation matrix. *)
+module type TCPISH = sig
+  type t
+
+  type connection
+
+  type listener
+
+  type address = { peer : Ipv4_addr.t; port : int; local_port : int option }
+
+  type pattern = { local_port : int }
+
+  type data_handler = Packet.t -> unit
+
+  type status_handler = Fox_proto.Status.t -> unit
+
+  type handler = connection -> data_handler * status_handler
+
+  val start_passive : t -> pattern -> handler -> listener
+
+  val connect : t -> address -> handler -> connection
+
+  val allocate_send : connection -> int -> Packet.t
+
+  val send : connection -> Packet.t -> unit
+
+  val max_packet_size : connection -> int
+end
+
+type 'c ops = {
+  listen : port:int -> ('c -> Packet.t -> unit) -> unit;
+  connect : peer:Ipv4_addr.t -> port:int -> handler:(Packet.t -> unit) -> 'c;
+  allocate : 'c -> int -> Packet.t;
+  send : 'c -> Packet.t -> unit;
+  mss : 'c -> int;
+}
+
+module Ops (T : TCPISH) = struct
+  let ops (t : T.t) : T.connection ops =
+    {
+      listen =
+        (fun ~port handler ->
+          ignore
+            (T.start_passive t { T.local_port = port } (fun conn ->
+                 (handler conn, ignore))));
+      connect =
+        (fun ~peer ~port ~handler ->
+          T.connect t { T.peer; port; local_port = None } (fun _ ->
+              (handler, ignore)));
+      allocate = T.allocate_send;
+      send = T.send;
+      mss = T.max_packet_size;
+    }
+end
+
+module Fox_ops = Ops (Stack.Tcp)
+module Baseline_ops = Ops (Stack.Baseline_tcp)
+module No_delack_ops = Ops (Stack.Tcp_no_delayed_ack)
+module Basic_ck_ops = Ops (Stack.Tcp_basic_checksum)
+module No_ck_ops = Ops (Stack.Tcp_no_checksums)
+module Prio_ops = Ops (Stack.Tcp_prioritized)
+module W1024_ops = Ops (Stack.Tcp_w1024)
+module W2048_ops = Ops (Stack.Tcp_w2048)
+module W8192_ops = Ops (Stack.Tcp_w8192)
+module W16384_ops = Ops (Stack.Tcp_w16384)
+
+let generic_transfer sender_ops receiver_ops ~sender_addr ~bytes =
+  let port = 5001 in
+  sender_ops.listen ~port (fun conn request ->
+      if Packet.length request >= 8 then begin
+        let wanted = Packet.get_u32 request 4 in
+        Scheduler.fork (fun () ->
+            let mss = sender_ops.mss conn in
+            let sent = ref 0 in
+            while !sent < wanted do
+              let n = min mss (wanted - !sent) in
+              let p = sender_ops.allocate conn n in
+              sender_ops.send conn p;
+              sent := !sent + n
+            done)
+      end);
+  let received = ref 0 and t0 = ref 0 and t1 = ref 0 in
+  let wall0 = Sys.time () in
+  let _ =
+    Scheduler.run (fun () ->
+        let conn =
+          receiver_ops.connect ~peer:sender_addr ~port ~handler:(fun packet ->
+              received := !received + Packet.length packet;
+              if !received >= bytes then t1 := Scheduler.now ())
+        in
+        t0 := Scheduler.now ();
+        let request = receiver_ops.allocate conn 8 in
+        Packet.set_u32 request 0 0xF0C5F0C5;
+        Packet.set_u32 request 4 bytes;
+        receiver_ops.send conn request)
+  in
+  let wall = Sys.time () -. wall0 in
+  assert (!received >= bytes);
+  (!t1 - !t0, wall)
+
+let ablation_control_structure () =
+  section "Ablation A: control structure (quasi-synchronous vs direct calls)";
+  Printf.printf
+    "Real CPU seconds this machine spends simulating a 4 MB transfer on a\n\
+     gigabit wire (no cost model): measures the engines' own bookkeeping.\n\n";
+  let bytes = 4_000_000 in
+  let fox =
+    let _, a, b = Network.pair ~engine:Network.Fox ~netem:Fox_dev.Netem.gigabit () in
+    let virt, wall =
+      generic_transfer
+        (Fox_ops.ops (Network.fox_tcp a))
+        (Fox_ops.ops (Network.fox_tcp b))
+        ~sender_addr:a.Network.addr ~bytes
+    in
+    Printf.printf "  %-28s %8.3f s CPU   (virtual: %8.1f ms)\n"
+      "structured (to_do queue)" wall
+      (float_of_int virt /. 1000.);
+    wall
+  in
+  let base =
+    let _, a, b =
+      Network.pair ~engine:Network.Baseline ~netem:Fox_dev.Netem.gigabit ()
+    in
+    let virt, wall =
+      generic_transfer
+        (Baseline_ops.ops (Network.baseline_tcp a))
+        (Baseline_ops.ops (Network.baseline_tcp b))
+        ~sender_addr:a.Network.addr ~bytes
+    in
+    Printf.printf "  %-28s %8.3f s CPU   (virtual: %8.1f ms)\n"
+      "monolithic (direct calls)" wall
+      (float_of_int virt /. 1000.);
+    wall
+  in
+  Printf.printf
+    "\n  structured/monolithic CPU ratio: %.2f (the engine-side price of the\n\
+     paper's deterministic quasi-synchronous design, on this machine)\n"
+    (fox /. base)
+
+let ablation_checksums () =
+  section "Ablation B: checksum configuration (real CPU cost of the stack)";
+  Printf.printf
+    "2 MB transfer on a gigabit wire; the checksum is the main data-touching\n\
+     operation left once copies are minimised (cf. Figure 10).\n\n";
+  let bytes = 2_000_000 in
+  let fox_default () =
+    let _, a, b = Network.pair ~engine:Network.Fox ~netem:Fox_dev.Netem.gigabit () in
+    snd
+      (generic_transfer
+         (Fox_ops.ops (Network.fox_tcp a))
+         (Fox_ops.ops (Network.fox_tcp b))
+         ~sender_addr:a.Network.addr ~bytes)
+  in
+  let with_variant create ops =
+    let _, a, b = Network.pair ~engine:Network.Bare ~netem:Fox_dev.Netem.gigabit () in
+    let ta = create a.Network.metered_ip and tb = create b.Network.metered_ip in
+    snd (generic_transfer (ops ta) (ops tb) ~sender_addr:a.Network.addr ~bytes)
+  in
+  Printf.printf "  %-38s %8.3f s CPU\n" "optimized checksum (Figure 10)"
+    (fox_default ());
+  Printf.printf "  %-38s %8.3f s CPU\n" "basic checksum (x-kernel loop)"
+    (with_variant Stack.Tcp_basic_checksum.create Basic_ck_ops.ops);
+  Printf.printf "  %-38s %8.3f s CPU\n" "checksums off (Special_Tcp, trust CRC)"
+    (with_variant Stack.Tcp_no_checksums.create No_ck_ops.ops)
+
+let ablation_delayed_ack () =
+  section "Ablation C: delayed acknowledgements";
+  Printf.printf
+    "1 MB transfer on the 10 Mb/s wire (no cost model): delayed ACKs halve\n\
+     the reverse traffic at the price of occasional 200 ms holdoffs.\n\n";
+  let bytes = 1_000_000 in
+  (let _, a, b = Network.pair ~engine:Network.Fox () in
+   let elapsed, _ =
+     generic_transfer
+       (Fox_ops.ops (Network.fox_tcp a))
+       (Fox_ops.ops (Network.fox_tcp b))
+       ~sender_addr:a.Network.addr ~bytes
+   in
+   Printf.printf "  %-26s elapsed %8.1f ms   receiver segments %6d\n"
+     "delayed ACK (200 ms)"
+     (float_of_int elapsed /. 1000.)
+     (Stack.Tcp.stats (Network.fox_tcp b)).Fox_tcp.Tcp.segs_out);
+  let _, a, b = Network.pair ~engine:Network.Bare () in
+  let ta = Stack.Tcp_no_delayed_ack.create a.Network.metered_ip in
+  let tb = Stack.Tcp_no_delayed_ack.create b.Network.metered_ip in
+  let elapsed, _ =
+    generic_transfer (No_delack_ops.ops ta) (No_delack_ops.ops tb)
+      ~sender_addr:a.Network.addr ~bytes
+  in
+  Printf.printf "  %-26s elapsed %8.1f ms   receiver segments %6d\n"
+    "immediate ACK"
+    (float_of_int elapsed /. 1000.)
+    (Stack.Tcp_no_delayed_ack.stats tb).Fox_tcp.Tcp.segs_out
+
+(* The window is a functor parameter (Figure 4), so the sweep is five
+   separate functor applications of the same TCP — a figure the paper
+   implies with its "window size used by many implementations" remark. *)
+let window_sweep () =
+  section "Extension: throughput vs. window size (DECstation cost model)";
+  Printf.printf
+    "500 KB fox transfer; the window bounds data in flight, so throughput\n\
+     climbs until processing, not the window, is the bottleneck.\n\n";
+  let bytes = 500_000 in
+  let run_one window create ops =
+    let _, a, b =
+      Network.pair ~engine:Network.Bare ~cost:Cost_model.fox ()
+    in
+    let ta = create a.Network.metered_ip and tb = create b.Network.metered_ip in
+    let elapsed, _ =
+      generic_transfer (ops ta) (ops tb) ~sender_addr:a.Network.addr ~bytes
+    in
+    let mbps = float_of_int (bytes * 8) /. float_of_int elapsed in
+    Printf.printf "  window %6d B   %8.3f Mb/s   %s\n" window mbps
+      (String.make (int_of_float (mbps *. 40.)) '#')
+  in
+  run_one 1024 Stack.Tcp_w1024.create W1024_ops.ops;
+  run_one 2048 Stack.Tcp_w2048.create W2048_ops.ops;
+  (let _, a, b = Network.pair ~engine:Network.Fox ~cost:Cost_model.fox () in
+   let elapsed, _ =
+     generic_transfer
+       (Fox_ops.ops (Network.fox_tcp a))
+       (Fox_ops.ops (Network.fox_tcp b))
+       ~sender_addr:a.Network.addr ~bytes
+   in
+   let mbps = float_of_int (bytes * 8) /. float_of_int elapsed in
+   Printf.printf "  window %6d B   %8.3f Mb/s   %s   (paper's setting)\n" 4096
+     mbps
+     (String.make (int_of_float (mbps *. 40.)) '#'));
+  run_one 8192 Stack.Tcp_w8192.create W8192_ops.ops;
+  run_one 16384 Stack.Tcp_w16384.create W16384_ops.ops
+
+(* Like generic_transfer, but the receiving application is slow: each
+   delivery charges [app_us] of CPU inside the User_data upcall — i.e.
+   inside the drain loop.  With the FIFO queue the outgoing ACK (queued
+   after the User_data action) waits behind that processing; the priority
+   queue sends it first, so the sender's window opens sooner. *)
+let transfer_with_slow_app sender_ops receiver_ops ~sender_addr
+    ~(receiver : Network.host) ~app_us ~bytes =
+  let port = 5002 in
+  sender_ops.listen ~port (fun conn request ->
+      if Packet.length request >= 8 then begin
+        let wanted = Packet.get_u32 request 4 in
+        Scheduler.fork (fun () ->
+            let mss = sender_ops.mss conn in
+            let sent = ref 0 in
+            while !sent < wanted do
+              let n = min mss (wanted - !sent) in
+              sender_ops.send conn (sender_ops.allocate conn n);
+              sent := !sent + n
+            done)
+      end);
+  let received = ref 0 and t0 = ref 0 and t1 = ref 0 in
+  let _ =
+    Scheduler.run (fun () ->
+        let conn =
+          receiver_ops.connect ~peer:sender_addr ~port ~handler:(fun packet ->
+              Fox_sched.Cpu.charge receiver.Network.cpu "application" app_us;
+              received := !received + Packet.length packet;
+              if !received >= bytes then t1 := Scheduler.now ())
+        in
+        t0 := Scheduler.now ();
+        let request = receiver_ops.allocate conn 8 in
+        Packet.set_u32 request 4 bytes;
+        receiver_ops.send conn request)
+  in
+  assert (!received >= bytes);
+  !t1 - !t0
+
+let ablation_priority () =
+  section "Ablation D: priority to_do queue (the paper's suggested refinement)";
+  Printf.printf
+    "\"By replacing the current FIFO with a priority queue, we could specify\n\
+     that particular actions, e.g., actions which affect the packet latency,\n\
+     be executed with higher priority.\"  500 KB to a slow application that\n\
+     burns 4 ms of CPU per delivered segment, inside the upcall: with the\n\
+     FIFO the ACK queued behind each User_data action waits for the app.\n\n";
+  let bytes = 500_000 and app_us = 4_000 in
+  (let _, a, b = Network.pair ~engine:Network.Fox () in
+   let elapsed =
+     transfer_with_slow_app
+       (Fox_ops.ops (Network.fox_tcp a))
+       (Fox_ops.ops (Network.fox_tcp b))
+       ~sender_addr:a.Network.addr ~receiver:b ~app_us ~bytes
+   in
+   Printf.printf "  %-26s elapsed %8.2f s (virtual)\n" "FIFO to_do queue"
+     (float_of_int elapsed /. 1e6));
+  let _, a, b = Network.pair ~engine:Network.Bare () in
+  let ta = Stack.Tcp_prioritized.create a.Network.metered_ip in
+  let tb = Stack.Tcp_prioritized.create b.Network.metered_ip in
+  let elapsed =
+    transfer_with_slow_app (Prio_ops.ops ta) (Prio_ops.ops tb)
+      ~sender_addr:a.Network.addr ~receiver:b ~app_us ~bytes
+  in
+  Printf.printf "  %-26s elapsed %8.2f s (virtual)\n" "priority to_do queue"
+    (float_of_int elapsed /. 1e6)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf
+    "Fox Net benchmark harness — reproduces the evaluation of\n\
+     \"A Structured TCP in Standard ML\" (Biagioni, SIGCOMM '94).\n";
+  microbenchmarks ();
+  table1 ();
+  table2 ();
+  gc_experiment ();
+  window_sweep ();
+  ablation_control_structure ();
+  ablation_checksums ();
+  ablation_delayed_ack ();
+  ablation_priority ();
+  Printf.printf "\n%s\ndone.\n" line

@@ -1,0 +1,165 @@
+(* foxnet — drive the simulated Fox Net stack from the command line.
+
+     foxnet transfer [--bytes N] [--loss P] [--decstation] [--baseline]
+     foxnet ping     [--count N] [--size N] [--loss P]
+     foxnet rtt      [--decstation] [--baseline]
+     foxnet table1 / foxnet table2
+
+   Everything runs in-process on the simulated Ethernet under virtual
+   time; see examples/ for narrated versions of the same scenarios. *)
+
+open Cmdliner
+module Scheduler = Fox_sched.Scheduler
+module Network = Fox_stack.Network
+module Experiments = Fox_stack.Experiments
+module Cost_model = Fox_stack.Cost_model
+module Netem = Fox_dev.Netem
+
+let netem_of loss seed =
+  if loss > 0.0 then Netem.adverse ~loss ~seed Netem.ethernet_10mbps
+  else Netem.ethernet_10mbps
+
+(* ---------------- transfer ---------------- *)
+
+let transfer bytes loss seed decstation baseline =
+  let engine = if baseline then Network.Baseline else Network.Fox in
+  let cost =
+    if decstation then
+      Some (if baseline then Cost_model.xkernel else Cost_model.fox)
+    else None
+  in
+  let _, sender, receiver =
+    Network.pair ~engine ?cost ~netem:(netem_of loss seed) ()
+  in
+  let result =
+    if baseline then
+      Experiments.Baseline_run.transfer ~sender ~receiver ~bytes ()
+    else Experiments.Fox_run.transfer ~sender ~receiver ~bytes ()
+  in
+  let open Experiments in
+  Printf.printf "%d bytes in %.3f s (virtual) = %.3f Mb/s; %d segments, %d rtx\n"
+    result.bytes
+    (float_of_int result.elapsed_us /. 1e6)
+    result.throughput_mbps result.sender_segments result.retransmissions
+
+(* ---------------- ping (ICMP echo) ---------------- *)
+
+let ping count size loss seed =
+  let _, a, b = Network.pair ~engine:Network.Fox ~netem:(netem_of loss seed) () in
+  let received = ref 0 in
+  let _ =
+    Scheduler.run (fun () ->
+        for seq = 1 to count do
+          match
+            Fox_stack.Stack.Icmp.ping a.Network.icmp b.Network.addr ~len:size
+              ~timeout_us:1_000_000
+          with
+          | Some rtt ->
+            incr received;
+            Printf.printf "%d bytes from %s: icmp_seq=%d time=%.3f ms\n" size
+              (Fox_ip.Ipv4_addr.to_string b.Network.addr)
+              seq
+              (float_of_int rtt /. 1000.)
+          | None -> Printf.printf "icmp_seq=%d timed out\n" seq
+        done)
+  in
+  Printf.printf "%d packets transmitted, %d received, %.0f%% packet loss\n"
+    count !received
+    (100.0 *. float_of_int (count - !received) /. float_of_int count)
+
+(* ---------------- rtt (TCP ping-pong) ---------------- *)
+
+let rtt decstation baseline =
+  let engine = if baseline then Network.Baseline else Network.Fox in
+  let cost =
+    if decstation then
+      Some (if baseline then Cost_model.xkernel else Cost_model.fox)
+    else None
+  in
+  let _, client, server = Network.pair ~engine ?cost () in
+  let result =
+    if baseline then Experiments.Baseline_run.round_trip ~client ~server ()
+    else Experiments.Fox_run.round_trip ~client ~server ()
+  in
+  let open Experiments in
+  Printf.printf "TCP round-trip over %d samples: mean %.2f ms (min %.2f, max %.2f)\n"
+    result.samples
+    (float_of_int result.mean_rtt_us /. 1000.)
+    (float_of_int result.min_rtt_us /. 1000.)
+    (float_of_int result.max_rtt_us /. 1000.)
+
+(* ---------------- tables ---------------- *)
+
+let table1 () =
+  let fox_tp, fox_rtt, base_tp, base_rtt = Experiments.table1 () in
+  let open Experiments in
+  Printf.printf "%-22s %10s %10s %8s\n" "" "Fox Net" "x-kernel" "ratio";
+  Printf.printf "%-22s %10.2f %10.2f %8.2f\n" "Throughput (Mb/s)"
+    fox_tp.throughput_mbps base_tp.throughput_mbps
+    (fox_tp.throughput_mbps /. base_tp.throughput_mbps);
+  Printf.printf "%-22s %10.1f %10.1f %8.1f\n" "Round-Trip (ms)"
+    (float_of_int fox_rtt.mean_rtt_us /. 1000.)
+    (float_of_int base_rtt.mean_rtt_us /. 1000.)
+    (float_of_int fox_rtt.mean_rtt_us /. float_of_int base_rtt.mean_rtt_us)
+
+let table2 () =
+  let _, sender, receiver = Experiments.table2 () in
+  Printf.printf "%-22s %8s %9s\n" "component" "Sender" "Receiver";
+  List.iter
+    (fun (name, pct, _) ->
+      let rpct =
+        match List.find_opt (fun (n, _, _) -> n = name) receiver with
+        | Some (_, p, _) -> p
+        | None -> 0.0
+      in
+      Printf.printf "%-22s %8.1f %9.1f\n" name pct rpct)
+    sender
+
+(* ---------------- cmdliner plumbing ---------------- *)
+
+let bytes = Arg.(value & opt int 1_000_000 & info [ "bytes"; "b" ] ~doc:"Bytes.")
+
+let loss = Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"Loss rate.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let decstation =
+  Arg.(value & flag & info [ "decstation" ] ~doc:"DECstation cost model.")
+
+let baseline =
+  Arg.(value & flag & info [ "baseline" ] ~doc:"Monolithic baseline engine.")
+
+let count = Arg.(value & opt int 5 & info [ "count"; "c" ] ~doc:"Pings.")
+
+let size = Arg.(value & opt int 56 & info [ "size"; "s" ] ~doc:"Payload bytes.")
+
+let transfer_cmd =
+  Cmd.v
+    (Cmd.info "transfer" ~doc:"One-way TCP throughput run")
+    Term.(const transfer $ bytes $ loss $ seed $ decstation $ baseline)
+
+let ping_cmd =
+  Cmd.v
+    (Cmd.info "ping" ~doc:"ICMP echo across the simulated wire")
+    Term.(const ping $ count $ size $ loss $ seed)
+
+let rtt_cmd =
+  Cmd.v
+    (Cmd.info "rtt" ~doc:"TCP small-message round-trip time")
+    Term.(const rtt $ decstation $ baseline)
+
+let table1_cmd =
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1")
+    Term.(const table1 $ const ())
+
+let table2_cmd =
+  Cmd.v (Cmd.info "table2" ~doc:"Reproduce the paper's Table 2")
+    Term.(const table2 $ const ())
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "foxnet" ~version:"1.0"
+             ~doc:"The Fox Net structured TCP/IP stack, simulated")
+          [ transfer_cmd; ping_cmd; rtt_cmd; table1_cmd; table2_cmd ]))

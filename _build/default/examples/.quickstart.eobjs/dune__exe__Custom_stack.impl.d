@@ -1,0 +1,1 @@
+examples/custom_stack.ml: Fox_basis Fox_dev Fox_eth Fox_sched Fox_stack Packet Printf String

@@ -1,0 +1,1 @@
+examples/echo_server.ml: Arg Cmd Cmdliner Fox_basis Fox_ip Fox_sched Fox_stack List Packet Printf String Term

@@ -1,0 +1,1 @@
+examples/file_transfer.ml: Arg Cmd Cmdliner Format Fox_dev Fox_sched Fox_stack List Printf Term

@@ -1,0 +1,1 @@
+examples/lossy_transfer.ml: Arg Buffer Bytes Char Cmd Cmdliner Format Fox_basis Fox_dev Fox_sched Fox_stack Fox_tcp Packet Printf Term

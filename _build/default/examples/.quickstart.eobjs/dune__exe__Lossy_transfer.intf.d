@@ -1,0 +1,1 @@
+examples/lossy_transfer.mli:

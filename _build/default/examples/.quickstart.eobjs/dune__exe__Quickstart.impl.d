@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fox_basis Fox_proto Fox_sched Fox_stack Packet Printf String

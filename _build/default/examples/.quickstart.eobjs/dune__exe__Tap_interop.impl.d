@@ -1,0 +1,1 @@
+examples/tap_interop.ml: Bytes Fox_basis Fox_dev Fox_eth Fox_ip Fox_proto Fox_sched Fox_stack Fox_tun Fun Packet Printf String Unix

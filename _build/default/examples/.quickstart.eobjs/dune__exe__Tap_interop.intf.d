@@ -1,0 +1,1 @@
+examples/tap_interop.mli:

@@ -1,0 +1,1 @@
+examples/web_server.ml: Buffer Fox_sched Fox_stack List Printf String

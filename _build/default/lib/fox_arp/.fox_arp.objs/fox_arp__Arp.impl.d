@@ -1,0 +1,1 @@
+lib/fox_arp/arp.ml: Fox_basis Fox_eth Fox_ip Fox_proto Fox_sched Hashtbl List Packet

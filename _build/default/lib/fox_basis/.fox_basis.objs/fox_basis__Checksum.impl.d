@@ -1,0 +1,1 @@
+lib/fox_basis/checksum.ml: Bytes String Wire

@@ -1,0 +1,1 @@
+lib/fox_basis/checksum.mli: Bytes

@@ -1,0 +1,1 @@
+lib/fox_basis/counters.ml: Hashtbl List String

@@ -1,0 +1,1 @@
+lib/fox_basis/crc32.ml: Array Bytes Char Lazy String

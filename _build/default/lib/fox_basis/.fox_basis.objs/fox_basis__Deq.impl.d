@@ -1,0 +1,1 @@
+lib/fox_basis/deq.ml: List

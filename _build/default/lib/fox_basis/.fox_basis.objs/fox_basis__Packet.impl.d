@@ -1,0 +1,1 @@
+lib/fox_basis/packet.ml: Bytes Char Format Printf String Wire

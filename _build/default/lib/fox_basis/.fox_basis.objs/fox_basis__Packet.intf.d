@@ -1,0 +1,1 @@
+lib/fox_basis/packet.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/fox_basis/rng.ml: Bytes Char Int64

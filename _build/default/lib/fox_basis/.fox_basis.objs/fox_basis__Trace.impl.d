@@ -1,0 +1,1 @@
+lib/fox_basis/trace.ml: Array List Printf String

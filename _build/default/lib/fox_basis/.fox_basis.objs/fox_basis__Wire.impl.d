@@ -1,0 +1,1 @@
+lib/fox_basis/wire.ml: Buffer Bytes Char Int32 Printf

@@ -1,0 +1,1 @@
+lib/fox_basis/word.ml: Format Int Printf

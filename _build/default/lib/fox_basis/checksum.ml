@@ -1,0 +1,140 @@
+type alg = [ `Basic | `Optimized ]
+
+(* [sum] is a partial one's-complement sum, possibly un-folded (carries
+   pending above bit 15).  [odd] records that an odd number of bytes has
+   been accumulated, so the next byte belongs to the low half of the
+   current 16-bit word. *)
+type acc = { sum : int; odd : bool }
+
+let zero = { sum = 0; odd = false }
+
+let fold16 s =
+  let rec go s = if s > 0xFFFF then go ((s land 0xFFFF) + (s lsr 16)) else s in
+  go s
+
+(* The x-kernel-style loop: 16 bits at a time, folding the carry on every
+   addition. *)
+let sum_basic b off len init =
+  let sum = ref init in
+  let i = ref off in
+  let stop = off + (len land lnot 1) in
+  while !i < stop do
+    let s = !sum + Wire.get_u16 b !i in
+    sum := (s land 0xFFFF) + (s lsr 16);
+    i := !i + 2
+  done;
+  if len land 1 = 1 then begin
+    let s = !sum + (Wire.get_u8 b (off + len - 1) lsl 8) in
+    sum := (s land 0xFFFF) + (s lsr 16)
+  end;
+  !sum
+
+(* Figure 10 of the paper: 4-byte loads, carries accumulated in the top of
+   the word, tail-recursive main loop.  At most [chunk] 16-bit quantities
+   are summed between renormalisations so the accumulator never overflows
+   its 16 bits of carry space. *)
+let word_check b n acc limit =
+  let rec go n sum =
+    if n >= limit then sum
+    else
+      let byte4 = Wire.get_u32 b n in
+      let low = byte4 land 0xFFFF in
+      let high = byte4 lsr 16 in
+      go (n + 4) (sum + high + low)
+  in
+  go n acc
+
+let chunk_bytes = 2 * 65536
+
+let sum_optimized b off len init =
+  (* Head: 16-bit steps until the offset is 4-byte aligned relative to the
+     start of the range, so the main loop always does 4-byte loads. *)
+  let sum = ref init and i = ref off and remaining = ref len in
+  while !remaining >= 2 && !i land 3 <> 0 do
+    sum := !sum + Wire.get_u16 b !i;
+    i := !i + 2;
+    remaining := !remaining - 2
+  done;
+  (* Main loop, renormalising every [chunk_bytes] so carries fit. *)
+  while !remaining >= 4 do
+    let n = min (!remaining land lnot 3) chunk_bytes in
+    sum := fold16 (word_check b !i !sum (!i + n));
+    i := !i + n;
+    remaining := !remaining - n
+  done;
+  (* Tail: the odd 0..3 bytes. *)
+  if !remaining >= 2 then begin
+    sum := !sum + Wire.get_u16 b !i;
+    i := !i + 2;
+    remaining := !remaining - 2
+  end;
+  if !remaining = 1 then sum := !sum + (Wire.get_u8 b !i lsl 8);
+  fold16 !sum
+
+let sum_range alg b off len init =
+  match alg with
+  | `Basic -> sum_basic b off len init
+  | `Optimized -> sum_optimized b off len init
+
+(* One's-complement addition is commutative on 16-bit words, so a byte
+   stream at odd parity can be summed by byte-swapping: sum the rest of the
+   stream as if it started a fresh word and swap the result back. *)
+let swap16 v = (v lsr 8 lor (v lsl 8)) land 0xFFFF
+
+let add_bytes ?(alg = `Optimized) acc b off len =
+  if len < 0 || off < 0 || off + len > Bytes.length b then
+    invalid_arg "Checksum.add_bytes";
+  if len = 0 then acc
+  else if not acc.odd then
+    { sum = sum_range alg b off len acc.sum; odd = len land 1 = 1 }
+  else
+    (* First byte completes the pending word (low half); the remainder is
+       summed at even parity. *)
+    let sum = fold16 acc.sum + Wire.get_u8 b off in
+    let rest = sum_range alg b (off + 1) (len - 1) 0 in
+    { sum = fold16 sum + fold16 rest; odd = len land 1 = 0 }
+
+let add_string ?alg acc s = add_bytes ?alg acc (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let add_u16 acc v =
+  if acc.odd then invalid_arg "Checksum.add_u16: odd parity";
+  { acc with sum = acc.sum + (v land 0xFFFF) }
+
+let add_u32 acc v =
+  let acc = add_u16 acc (v lsr 16 land 0xFFFF) in
+  add_u16 acc (v land 0xFFFF)
+
+let finish acc = fold16 acc.sum
+
+let checksum_of acc = lnot (finish acc) land 0xFFFF
+
+let checksum ?(alg = `Optimized) b off len =
+  checksum_of (add_bytes ~alg zero b off len)
+
+let valid acc = finish acc = 0xFFFF
+
+let pseudo_ipv4 ~src ~dst ~proto ~len =
+  let acc = add_u32 zero src in
+  let acc = add_u32 acc dst in
+  let acc = add_u16 acc (proto land 0xFF) in
+  add_u16 acc (len land 0xFFFF)
+
+let adjust ~checksum ~old_u16 ~new_u16 =
+  (* RFC 1624: HC' = ~(~HC + ~m + m') using one's-complement arithmetic. *)
+  let s =
+    (lnot checksum land 0xFFFF) + (lnot old_u16 land 0xFFFF) + (new_u16 land 0xFFFF)
+  in
+  lnot (fold16 s) land 0xFFFF
+
+let reference b off len =
+  let sum = ref 0 in
+  for i = 0 to len - 1 do
+    let byte = Wire.get_u8 b (off + i) in
+    sum := !sum + if i land 1 = 0 then byte lsl 8 else byte
+  done;
+  lnot (fold16 !sum) land 0xFFFF
+
+(* swap16 participates in the odd-parity reasoning above but the final
+   implementation folds instead; keep it exported for white-box tests via
+   ignore to avoid an unused warning. *)
+let _ = swap16

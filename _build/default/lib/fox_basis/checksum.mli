@@ -1,0 +1,68 @@
+(** Internet (one's-complement) checksum.
+
+    Two implementations of the same function are provided:
+
+    - [`Basic] — the straightforward algorithm the paper attributes to the
+      x-kernel: load 16 bits at a time and fold the carry on every step.
+    - [`Optimized] — the paper's Figure 10: load 32 bits at a time and
+      accumulate up to 16 bits of carries in the top half of the
+      accumulator, renormalising only every 2{^16} 16-bit quantities, in a
+      tail-recursive loop ("using the techniques described by Braden,
+      Borman, and Partridge", RFC 1071).
+
+    A checksum over scattered ranges (pseudo-header, header, payload) is
+    built by threading an accumulator through [add_*] calls; [finish] folds
+    it to 16 bits.  Odd-length ranges are handled: the accumulator tracks
+    byte parity so a range may start at an odd byte position in the
+    conceptual 16-bit stream. *)
+
+type alg = [ `Basic | `Optimized ]
+
+type acc
+
+(** The empty accumulator (even parity, zero sum). *)
+val zero : acc
+
+(** [add_bytes ~alg acc b off len] accumulates the range [b.[off..off+len-1]]
+    interpreted as big-endian 16-bit words continuing the stream in [acc]. *)
+val add_bytes : ?alg:alg -> acc -> Bytes.t -> int -> int -> acc
+
+(** [add_string ~alg acc s] accumulates a whole string. *)
+val add_string : ?alg:alg -> acc -> string -> acc
+
+(** [add_u16 acc v] accumulates one 16-bit word.  The accumulator must be at
+    even parity (raises [Invalid_argument] otherwise). *)
+val add_u16 : acc -> int -> acc
+
+(** [add_u32 acc v] accumulates a 32-bit word as two 16-bit words. *)
+val add_u32 : acc -> int -> acc
+
+(** [finish acc] folds the accumulator to the 16-bit one's-complement sum
+    (not complemented). *)
+val finish : acc -> int
+
+(** [checksum ?alg b off len] is the Internet checksum of the range: the
+    complement of the folded one's-complement sum, as transmitted in
+    protocol headers. *)
+val checksum : ?alg:alg -> Bytes.t -> int -> int -> int
+
+(** [checksum_of acc] is the complement of [finish acc], i.e. the header
+    field value for a fully accumulated message. *)
+val checksum_of : acc -> int
+
+(** [valid acc] is true iff a message accumulated {e including} its checksum
+    field sums to the all-ones pattern, i.e. verifies correctly. *)
+val valid : acc -> bool
+
+(** [pseudo_ipv4 ~src ~dst ~proto ~len] is an accumulator pre-loaded with
+    the TCP/UDP pseudo-header: source and destination 32-bit addresses, the
+    protocol number and the transport-layer length. *)
+val pseudo_ipv4 : src:int -> dst:int -> proto:int -> len:int -> acc
+
+(** [adjust ~checksum ~old_u16 ~new_u16] is the RFC 1624 incremental update
+    of a checksum field after one 16-bit word of the covered data changed. *)
+val adjust : checksum:int -> old_u16:int -> new_u16:int -> int
+
+(** Slow, obviously-correct per-byte implementation, used as the oracle in
+    property tests. *)
+val reference : Bytes.t -> int -> int -> int

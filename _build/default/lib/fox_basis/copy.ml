@@ -1,0 +1,45 @@
+type impl = Byte | Unrolled | Word | Blit
+
+let byte_copy src soff dst doff len =
+  for i = 0 to len - 1 do
+    Bytes.set dst (doff + i) (Bytes.get src (soff + i))
+  done
+
+let unrolled_copy src soff dst doff len =
+  let i = ref 0 in
+  let stop = len - 3 in
+  while !i < stop do
+    let i0 = !i in
+    Bytes.set dst (doff + i0) (Bytes.get src (soff + i0));
+    Bytes.set dst (doff + i0 + 1) (Bytes.get src (soff + i0 + 1));
+    Bytes.set dst (doff + i0 + 2) (Bytes.get src (soff + i0 + 2));
+    Bytes.set dst (doff + i0 + 3) (Bytes.get src (soff + i0 + 3));
+    i := i0 + 4
+  done;
+  while !i < len do
+    Bytes.set dst (doff + !i) (Bytes.get src (soff + !i));
+    incr i
+  done
+
+let word_copy src soff dst doff len =
+  let i = ref 0 in
+  let stop = len - 7 in
+  while !i < stop do
+    Bytes.set_int64_ne dst (doff + !i) (Bytes.get_int64_ne src (soff + !i));
+    i := !i + 8
+  done;
+  while !i < len do
+    Bytes.set dst (doff + !i) (Bytes.get src (soff + !i));
+    incr i
+  done
+
+let blit src soff dst doff len = Bytes.blit src soff dst doff len
+
+let copy = function
+  | Byte -> byte_copy
+  | Unrolled -> unrolled_copy
+  | Word -> word_copy
+  | Blit -> blit
+
+let all =
+  [ ("byte", Byte); ("unrolled", Unrolled); ("word", Word); ("blit", Blit) ]

@@ -1,0 +1,42 @@
+type cell = { mutable total : int; mutable updates : int }
+
+type t = { cells : (string, cell) Hashtbl.t; update_overhead_us : int }
+
+let create ?(update_overhead_us = 0) () =
+  { cells = Hashtbl.create 16; update_overhead_us }
+
+let cell t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some c -> c
+  | None ->
+    let c = { total = 0; updates = 0 } in
+    Hashtbl.add t.cells name c;
+    c
+
+let add t name us =
+  let c = cell t name in
+  c.total <- c.total + us;
+  c.updates <- c.updates + 1
+
+let time t name clock f =
+  let start = clock () in
+  let result = f () in
+  add t name (clock () - start);
+  result
+
+let total t name =
+  match Hashtbl.find_opt t.cells name with Some c -> c.total | None -> 0
+
+let updates t name =
+  match Hashtbl.find_opt t.cells name with Some c -> c.updates | None -> 0
+
+let grand_total t = Hashtbl.fold (fun _ c acc -> acc + c.total) t.cells 0
+
+let overhead_estimate t =
+  t.update_overhead_us * Hashtbl.fold (fun _ c acc -> acc + c.updates) t.cells 0
+
+let dump t =
+  Hashtbl.fold (fun name c acc -> (name, c.total, c.updates) :: acc) t.cells []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let reset t = Hashtbl.reset t.cells

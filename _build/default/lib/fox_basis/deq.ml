@@ -1,0 +1,79 @@
+(* Two-list deque.  [front] holds the first elements in order, [back] holds
+   the last elements reversed.  When one side runs dry we split the other
+   side in half, which gives amortised O(1) operations for sequences of
+   operations that do not pathologically alternate ends. *)
+
+type 'a t = { front : 'a list; back : 'a list; size : int }
+
+let empty = { front = []; back = []; size = 0 }
+
+let is_empty d = d.size = 0
+
+let size d = d.size
+
+let split_at n xs =
+  let rec go n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] xs
+
+(* Rebalance when the side we need to pop from is empty. *)
+let balance_front d =
+  match d.front with
+  | _ :: _ -> d
+  | [] ->
+    let back = List.rev d.back in
+    let front, rest = split_at ((d.size + 1) / 2) back in
+    { d with front; back = List.rev rest }
+
+let balance_back d =
+  match d.back with
+  | _ :: _ -> d
+  | [] ->
+    let keep, tail = split_at (d.size / 2) d.front in
+    { d with front = keep; back = List.rev tail }
+
+let push_front x d = { d with front = x :: d.front; size = d.size + 1 }
+
+let push_back x d = { d with back = x :: d.back; size = d.size + 1 }
+
+let pop_front d =
+  if d.size = 0 then None
+  else
+    let d = balance_front d in
+    match d.front with
+    | x :: front -> Some (x, { d with front; size = d.size - 1 })
+    | [] -> assert false
+
+let pop_back d =
+  if d.size = 0 then None
+  else
+    let d = balance_back d in
+    match d.back with
+    | x :: back -> Some (x, { d with back; size = d.size - 1 })
+    | [] -> assert false
+
+let peek_front d =
+  if d.size = 0 then None
+  else
+    match d.front with
+    | x :: _ -> Some x
+    | [] -> (match List.rev d.back with x :: _ -> Some x | [] -> None)
+
+let peek_back d =
+  if d.size = 0 then None
+  else
+    match d.back with
+    | x :: _ -> Some x
+    | [] -> (match List.rev d.front with x :: _ -> Some x | [] -> None)
+
+let of_list xs = { front = xs; back = []; size = List.length xs }
+
+let to_list d = d.front @ List.rev d.back
+
+let fold f init d =
+  List.fold_left f (List.fold_left f init d.front) (List.rev d.back)
+
+let iter f d = fold (fun () x -> f x) () d

@@ -1,0 +1,47 @@
+(** Double-ended queues.
+
+    This is the [D: DEQ] structure of the paper's FOX_BASIS.  TCP uses a
+    deque for the [queued] send buffer: data is appended at the back, and
+    segmentation / retransmission peel segments off the front, but
+    window-update processing occasionally pushes data back on the front. *)
+
+type 'a t
+
+(** The empty deque. *)
+val empty : 'a t
+
+(** [is_empty d] is true iff [d] holds no elements. *)
+val is_empty : 'a t -> bool
+
+(** [size d] is the number of elements; O(1). *)
+val size : 'a t -> int
+
+(** [push_front x d] adds [x] at the front. *)
+val push_front : 'a -> 'a t -> 'a t
+
+(** [push_back x d] adds [x] at the back. *)
+val push_back : 'a -> 'a t -> 'a t
+
+(** [pop_front d] is [Some (front, rest)], or [None] when empty. *)
+val pop_front : 'a t -> ('a * 'a t) option
+
+(** [pop_back d] is [Some (back, rest)], or [None] when empty. *)
+val pop_back : 'a t -> ('a * 'a t) option
+
+(** [peek_front d] is the front element, if any. *)
+val peek_front : 'a t -> 'a option
+
+(** [peek_back d] is the back element, if any. *)
+val peek_back : 'a t -> 'a option
+
+(** [of_list xs] builds a deque whose front-to-back order is [xs]. *)
+val of_list : 'a list -> 'a t
+
+(** [to_list d] lists elements front-to-back. *)
+val to_list : 'a t -> 'a list
+
+(** [fold f init d] folds front-to-back. *)
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+(** [iter f d] applies [f] front-to-back. *)
+val iter : ('a -> unit) -> 'a t -> unit

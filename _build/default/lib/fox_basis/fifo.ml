@@ -1,0 +1,41 @@
+(* Standard two-list persistent queue: [front] is the head of the queue in
+   order, [back] is the tail reversed.  The invariant maintained by [norm]
+   is that [front] is empty only when the whole queue is empty. *)
+
+type 'a t = { front : 'a list; back : 'a list; size : int }
+
+let empty = { front = []; back = []; size = 0 }
+
+let is_empty q = q.size = 0
+
+let size q = q.size
+
+let norm q =
+  match q.front with
+  | [] -> { q with front = List.rev q.back; back = [] }
+  | _ :: _ -> q
+
+let add x q = norm { q with back = x :: q.back; size = q.size + 1 }
+
+let next q =
+  match q.front with
+  | [] -> None
+  | x :: front -> Some (x, norm { q with front; size = q.size - 1 })
+
+let peek q =
+  match q.front with
+  | [] -> None
+  | x :: _ -> Some x
+
+let of_list xs = List.fold_left (fun q x -> add x q) empty xs
+
+let to_list q = q.front @ List.rev q.back
+
+let fold f init q =
+  List.fold_left f (List.fold_left f init q.front) (List.rev q.back)
+
+let iter f q = fold (fun () x -> f x) () q
+
+let filter p q = of_list (List.filter p (to_list q))
+
+let exists p q = List.exists p q.front || List.exists p q.back

@@ -1,0 +1,45 @@
+(** First-in first-out queues.
+
+    This is the [Q: FIFO] structure of the paper's FOX_BASIS: a persistent
+    (purely functional) queue with amortised O(1) [add] and [next].  The TCP
+    implementation stores one of these in a [ref] inside each TCB ([to_do],
+    [out_of_order]) so that every queue update is an explicit, testable state
+    change. *)
+
+type 'a t
+
+(** The empty queue. *)
+val empty : 'a t
+
+(** [is_empty q] is true iff [q] holds no elements. *)
+val is_empty : 'a t -> bool
+
+(** [add x q] is [q] with [x] enqueued at the back. *)
+val add : 'a -> 'a t -> 'a t
+
+(** [next q] is [Some (front, rest)], or [None] if [q] is empty. *)
+val next : 'a t -> ('a * 'a t) option
+
+(** [peek q] is the front element without removing it. *)
+val peek : 'a t -> 'a option
+
+(** [size q] is the number of elements in [q]; O(1). *)
+val size : 'a t -> int
+
+(** [of_list xs] enqueues the elements of [xs] front-first. *)
+val of_list : 'a list -> 'a t
+
+(** [to_list q] lists the elements of [q] front-first. *)
+val to_list : 'a t -> 'a list
+
+(** [fold f init q] folds [f] over the elements front-first. *)
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+(** [iter f q] applies [f] to the elements front-first. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** [filter p q] keeps the elements satisfying [p], preserving order. *)
+val filter : ('a -> bool) -> 'a t -> 'a t
+
+(** [exists p q] is true iff some element satisfies [p]. *)
+val exists : ('a -> bool) -> 'a t -> bool

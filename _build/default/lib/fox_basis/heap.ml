@@ -1,0 +1,86 @@
+(* Array-backed binary min-heap.  Each entry carries an insertion sequence
+   number so that equal keys pop in FIFO order, which keeps the scheduler
+   and timer wheels deterministic. *)
+
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create ~cmp = { cmp; data = [||]; len = 0; next_seq = 0 }
+
+let size h = h.len
+
+let is_empty h = h.len = 0
+
+let entry_lt h a b =
+  let c = h.cmp a.value b.value in
+  c < 0 || (c = 0 && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let ncap = if cap = 0 then 8 else cap * 2 in
+    (* The dummy cell is immediately overwritten before being read. *)
+    let ndata = Array.make ncap h.data.(0) in
+    Array.blit h.data 0 ndata 0 h.len;
+    h.data <- ndata
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt h h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && entry_lt h h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.len && entry_lt h h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let add h x =
+  let e = { value = x; seq = h.next_seq } in
+  h.next_seq <- h.next_seq + 1;
+  if Array.length h.data = 0 then h.data <- Array.make 8 e;
+  grow h;
+  h.data.(h.len) <- e;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop_min h =
+  if h.len = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      sift_down h 0
+    end;
+    Some top.value
+  end
+
+let peek_min h = if h.len = 0 then None else Some h.data.(0).value
+
+let to_list h =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (h.data.(i).value :: acc) in
+  go (h.len - 1) []
+
+let clear h =
+  h.len <- 0;
+  h.data <- [||]

@@ -1,0 +1,34 @@
+(** Mutable binary min-heaps.
+
+    The paper's scheduler keeps its sleep queue in "a priority queue
+    implemented as a heap"; IP reassembly and TCP timers reuse the same
+    structure.  Ordering is supplied at creation time.  Ties are broken by
+    insertion order so that scheduling is deterministic. *)
+
+type 'a t
+
+(** [create ~cmp] is an empty heap ordered by [cmp] (negative means
+    higher priority / smaller). *)
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+(** [size h] is the number of elements. *)
+val size : 'a t -> int
+
+(** [is_empty h] is true iff [h] holds no elements. *)
+val is_empty : 'a t -> bool
+
+(** [add h x] inserts [x]. *)
+val add : 'a t -> 'a -> unit
+
+(** [pop_min h] removes and returns the smallest element (earliest inserted
+    among equals), or [None] when empty. *)
+val pop_min : 'a t -> 'a option
+
+(** [peek_min h] returns the smallest element without removing it. *)
+val peek_min : 'a t -> 'a option
+
+(** [to_list h] lists the elements in no particular order. *)
+val to_list : 'a t -> 'a list
+
+(** [clear h] removes all elements. *)
+val clear : 'a t -> unit

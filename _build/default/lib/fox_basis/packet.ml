@@ -1,0 +1,140 @@
+type t = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
+
+let reallocation_count = ref 0
+
+let reallocations () = !reallocation_count
+
+let create ?(headroom = 0) ?(tailroom = 0) len =
+  if len < 0 || headroom < 0 || tailroom < 0 then invalid_arg "Packet.create";
+  { buf = Bytes.make (headroom + len + tailroom) '\000'; off = headroom; len }
+
+let of_string ?headroom ?tailroom s =
+  let p = create ?headroom ?tailroom (String.length s) in
+  Bytes.blit_string s 0 p.buf p.off (String.length s);
+  p
+
+let of_bytes ?headroom ?tailroom b =
+  let p = create ?headroom ?tailroom (Bytes.length b) in
+  Bytes.blit b 0 p.buf p.off (Bytes.length b);
+  p
+
+let length p = p.len
+
+let headroom p = p.off
+
+let tailroom p = Bytes.length p.buf - p.off - p.len
+
+let push_header p n =
+  if n < 0 then invalid_arg "Packet.push_header";
+  if n <= p.off then p.off <- p.off - n
+  else begin
+    (* Out of headroom: reallocate with fresh space.  Kept off the fast
+       path by sizing allocations with the stack's total header budget. *)
+    incr reallocation_count;
+    let extra = n - p.off in
+    let nbuf = Bytes.make (Bytes.length p.buf + extra) '\000' in
+    Bytes.blit p.buf p.off nbuf n (p.len);
+    p.buf <- nbuf;
+    p.off <- 0
+  end;
+  p.len <- p.len + n
+
+let pull_header p n =
+  if n < 0 || n > p.len then invalid_arg "Packet.pull_header";
+  p.off <- p.off + n;
+  p.len <- p.len - n
+
+let push_trailer p n =
+  if n < 0 then invalid_arg "Packet.push_trailer";
+  let avail = tailroom p in
+  if n > avail then begin
+    incr reallocation_count;
+    let nbuf = Bytes.make (Bytes.length p.buf + n - avail) '\000' in
+    Bytes.blit p.buf p.off nbuf p.off p.len;
+    p.buf <- nbuf
+  end;
+  p.len <- p.len + n
+
+let pull_trailer p n =
+  if n < 0 || n > p.len then invalid_arg "Packet.pull_trailer";
+  p.len <- p.len - n
+
+let trim p len =
+  if len < 0 || len > p.len then invalid_arg "Packet.trim";
+  p.len <- len
+
+let sub ?(headroom = 0) p off len =
+  if off < 0 || len < 0 || off + len > p.len then invalid_arg "Packet.sub";
+  let q = create ~headroom len in
+  Bytes.blit p.buf (p.off + off) q.buf q.off len;
+  q
+
+let copy p = sub ~headroom:p.off p 0 p.len
+
+let check p i n =
+  if i < 0 || i + n > p.len then
+    invalid_arg
+      (Printf.sprintf "Packet: access at %d width %d beyond length %d" i n p.len)
+
+let get_u8 p i =
+  check p i 1;
+  Wire.get_u8 p.buf (p.off + i)
+
+let set_u8 p i v =
+  check p i 1;
+  Wire.set_u8 p.buf (p.off + i) v
+
+let get_u16 p i =
+  check p i 2;
+  Wire.get_u16 p.buf (p.off + i)
+
+let set_u16 p i v =
+  check p i 2;
+  Wire.set_u16 p.buf (p.off + i) v
+
+let get_u32 p i =
+  check p i 4;
+  Wire.get_u32 p.buf (p.off + i)
+
+let set_u32 p i v =
+  check p i 4;
+  Wire.set_u32 p.buf (p.off + i) v
+
+let blit_from_string s soff p poff len =
+  check p poff len;
+  Bytes.blit_string s soff p.buf (p.off + poff) len
+
+let blit_from_bytes b soff p poff len =
+  check p poff len;
+  Bytes.blit b soff p.buf (p.off + poff) len
+
+let blit p poff dst doff len =
+  check p poff len;
+  Bytes.blit p.buf (p.off + poff) dst doff len
+
+let to_string p = Bytes.sub_string p.buf p.off p.len
+
+let append ?(headroom = 0) a b =
+  let q = create ~headroom (a.len + b.len) in
+  Bytes.blit a.buf a.off q.buf q.off a.len;
+  Bytes.blit b.buf b.off q.buf (q.off + a.len) b.len;
+  q
+
+type saved = { s_buf : Bytes.t; s_off : int; s_len : int }
+
+let save p = { s_buf = p.buf; s_off = p.off; s_len = p.len }
+
+let restore p { s_buf; s_off; s_len } =
+  p.buf <- s_buf;
+  p.off <- s_off;
+  p.len <- s_len
+
+let buffer p = p.buf
+
+let offset p = p.off
+
+let fill p v = Bytes.fill p.buf p.off p.len (Char.chr (v land 0xff))
+
+let hexdump p = Wire.hexdump p.buf p.off p.len
+
+let pp fmt p = Format.fprintf fmt "<packet len=%d headroom=%d>" p.len p.off

@@ -1,0 +1,118 @@
+(** Packets with headroom.
+
+    A packet is a window onto a byte buffer.  The send path of the stack
+    copies user data exactly once: the application's bytes are placed into a
+    buffer allocated with enough {e headroom} that each layer can prepend its
+    header in place with [push_header] instead of copying the payload.  The
+    receive path strips headers with [pull_header], again without copying.
+    This is the single-copy discipline the paper's Section 5 describes. *)
+
+type t
+
+(** [create ~headroom ~tailroom len] is a zero-filled packet of [len]
+    payload bytes preceded by [headroom] and followed by [tailroom] spare
+    bytes for headers and trailers. *)
+val create : ?headroom:int -> ?tailroom:int -> int -> t
+
+(** [of_string ?headroom ?tailroom s] is a packet whose payload is a copy
+    of [s]. *)
+val of_string : ?headroom:int -> ?tailroom:int -> string -> t
+
+(** [of_bytes ?headroom ?tailroom b] copies [b] into a fresh packet. *)
+val of_bytes : ?headroom:int -> ?tailroom:int -> Bytes.t -> t
+
+(** [length p] is the current length of the visible window. *)
+val length : t -> int
+
+(** [headroom p] is the number of spare bytes before the window. *)
+val headroom : t -> int
+
+(** [tailroom p] is the number of spare bytes after the window. *)
+val tailroom : t -> int
+
+(** [push_header p n] grows the window by [n] bytes at the front, exposing
+    space for a header.  If the headroom is insufficient the packet is
+    reallocated (and {!reallocations} is incremented), preserving contents. *)
+val push_header : t -> int -> unit
+
+(** [pull_header p n] shrinks the window by [n] bytes at the front
+    (consuming a decoded header).  Raises [Invalid_argument] if [n] exceeds
+    the window. *)
+val pull_header : t -> int -> unit
+
+(** [push_trailer p n] grows the window by [n] bytes at the back, exposing
+    space for a trailer (e.g. an Ethernet FCS); reallocates like
+    {!push_header} when the tailroom is insufficient. *)
+val push_trailer : t -> int -> unit
+
+(** [pull_trailer p n] shrinks the window by [n] bytes at the back. *)
+val pull_trailer : t -> int -> unit
+
+(** [trim p len] truncates the window to its first [len] bytes.  Raises
+    [Invalid_argument] if [len] exceeds the window. *)
+val trim : t -> int -> unit
+
+(** [sub p off len] is a fresh packet copying [len] bytes of [p] starting
+    at window offset [off]. *)
+val sub : ?headroom:int -> t -> int -> int -> t
+
+(** [copy p] is [sub p 0 (length p)] with the same headroom. *)
+val copy : t -> t
+
+(** Accessors, indexed from the start of the current window. *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+
+(** [blit_from_string s soff p poff len] copies into the packet window. *)
+val blit_from_string : string -> int -> t -> int -> int -> unit
+
+(** [blit_from_bytes b soff p poff len] copies into the packet window. *)
+val blit_from_bytes : Bytes.t -> int -> t -> int -> int -> unit
+
+(** [blit p poff dst doff len] copies out of the packet window. *)
+val blit : t -> int -> Bytes.t -> int -> int -> unit
+
+(** [to_string p] is a copy of the window as a string. *)
+val to_string : t -> string
+
+(** [append a b] is a fresh packet holding [a]'s window followed by
+    [b]'s window. *)
+val append : ?headroom:int -> t -> t -> t
+
+(** Expose the underlying buffer for checksum/copy inner loops:
+    [buffer p] with [offset p] is the start of the window.  Mutating
+    functions must stay within [length p]. *)
+
+val buffer : t -> Bytes.t
+val offset : t -> int
+
+(** [fill p v] sets every window byte to [v land 0xff]. *)
+val fill : t -> int -> unit
+
+(** [hexdump p] renders the window. *)
+val hexdump : t -> string
+
+(** A snapshot of a packet's window, for the retransmission discipline:
+    TCP pushes headers into a queued segment's buffer, hands it to the
+    wire (which copies it synchronously), then {!restore}s the window so
+    the same packet can be retransmitted later.  Restoring is correct even
+    if a push reallocated the buffer, because the saved buffer is never
+    mutated inside its saved window. *)
+type saved
+
+(** [save p] snapshots the current window. *)
+val save : t -> saved
+
+(** [restore p s] rewinds [p] to the snapshot. *)
+val restore : t -> saved -> unit
+
+(** Number of packets reallocated because [push_header] ran out of
+    headroom — a measure of mis-sized allocations on the fast path. *)
+val reallocations : unit -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+(* splitmix64: fast, well-distributed, and trivially seedable. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next t }
+
+(* Drop two bits so the result always fits a non-negative native int. *)
+let bits64 t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  bits64 t mod bound
+
+let float t = float_of_int (bits64 t land 0x1F_FFFF_FFFF_FFFF) /. 9007199254740992.0
+
+let bool t p = float t < p
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Char.chr (int t 256))
+  done;
+  b

@@ -1,0 +1,39 @@
+type t = {
+  capacity : int;
+  mutable items : (int * string) array;
+  mutable head : int; (* index of oldest *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Trace.create";
+  { capacity; items = Array.make capacity (0, ""); head = 0; len = 0; dropped = 0 }
+
+let add t ~time msg =
+  let slot = (t.head + t.len) mod t.capacity in
+  t.items.(slot) <- (time, msg);
+  if t.len < t.capacity then t.len <- t.len + 1
+  else begin
+    t.head <- (t.head + 1) mod t.capacity;
+    t.dropped <- t.dropped + 1
+  end
+
+let addf t ~time fmt = Printf.ksprintf (fun msg -> add t ~time msg) fmt
+
+let events t =
+  List.init t.len (fun i -> t.items.((t.head + i) mod t.capacity))
+
+let size t = t.len
+
+let dropped t = t.dropped
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+let to_string t =
+  events t
+  |> List.map (fun (time, msg) -> Printf.sprintf "[%8d us] %s" time msg)
+  |> String.concat "\n"

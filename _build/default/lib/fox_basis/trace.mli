@@ -1,0 +1,32 @@
+(** Bounded in-memory event traces.
+
+    The paper's debugging relied on [do_prints] / [do_traces] functor
+    parameters; enabling them records protocol events that component tests
+    and post-mortems can inspect without any I/O on the fast path.  A trace
+    is a bounded ring: when full, the oldest events are dropped. *)
+
+type t
+
+(** [create capacity] is an empty trace holding at most [capacity] events. *)
+val create : int -> t
+
+(** [add t ~time msg] records an event stamped with the caller's clock. *)
+val add : t -> time:int -> string -> unit
+
+(** [addf t ~time fmt ...] is [add] with a format string. *)
+val addf : t -> time:int -> ('a, unit, string, unit) format4 -> 'a
+
+(** [events t] lists [(time, message)] oldest first. *)
+val events : t -> (int * string) list
+
+(** [size t] is the number of retained events. *)
+val size : t -> int
+
+(** [dropped t] is the number of events lost to capacity. *)
+val dropped : t -> int
+
+(** [clear t] forgets everything. *)
+val clear : t -> unit
+
+(** [to_string t] renders one event per line. *)
+val to_string : t -> string

@@ -1,0 +1,61 @@
+module type S = sig
+  type t = int
+
+  val bits : int
+  val max_value : t
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val to_int : t -> int
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val logand : t -> t -> t
+  val logor : t -> t -> t
+  val logxor : t -> t -> t
+  val lognot : t -> t
+  val shift_left : t -> int -> t
+  val shift_right : t -> int -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val to_hex : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (W : sig
+  val bits : int
+end) : S = struct
+  type t = int
+
+  let bits = W.bits
+  let max_value = (1 lsl bits) - 1
+  let zero = 0
+  let one = 1
+  let of_int n = n land max_value
+  let to_int w = w
+  let add a b = (a + b) land max_value
+  let sub a b = (a - b) land max_value
+  let mul a b = a * b land max_value
+  let logand = ( land )
+  let logor = ( lor )
+  let logxor = ( lxor )
+  let lognot a = lnot a land max_value
+  let shift_left a n = if n >= bits then 0 else (a lsl n) land max_value
+  let shift_right a n = if n >= bits then 0 else a lsr n
+  let compare = Int.compare
+  let equal = Int.equal
+  let to_hex w = Printf.sprintf "0x%0*x" (bits / 4) w
+  let pp fmt w = Format.pp_print_string fmt (to_hex w)
+end
+
+module U8 = Make (struct
+  let bits = 8
+end)
+
+module U16 = Make (struct
+  let bits = 16
+end)
+
+module U32 = Make (struct
+  let bits = 32
+end)

@@ -1,0 +1,65 @@
+(** Fixed-width unsigned arithmetic.
+
+    The paper extends SML with [ubyte1], [ubyte2] and [ubyte4] types that
+    provide wrap-around unsigned arithmetic, logical operations and shifts
+    independent of the machine word size.  OCaml's 63-bit [int] comfortably
+    holds 32-bit quantities, so we represent each width as an [int] kept in
+    range by masking in every operation.  [U32] is used throughout TCP for
+    sequence numbers, [U16] for ports, lengths and checksums. *)
+
+module type S = sig
+  type t = int
+
+  (** Number of bits in the representation. *)
+  val bits : int
+
+  (** All-ones value ([2^bits - 1]). *)
+  val max_value : t
+
+  val zero : t
+  val one : t
+
+  (** [of_int n] truncates [n] to the word width. *)
+  val of_int : int -> t
+
+  (** [to_int w] is the unsigned value as an OCaml int. *)
+  val to_int : t -> int
+
+  (** Wrap-around sum. *)
+  val add : t -> t -> t
+
+  (** Wrap-around difference. *)
+  val sub : t -> t -> t
+
+  (** Wrap-around product. *)
+  val mul : t -> t -> t
+
+  val logand : t -> t -> t
+  val logor : t -> t -> t
+  val logxor : t -> t -> t
+  val lognot : t -> t
+
+  (** [shift_left w n] with the shifted-out bits discarded. *)
+  val shift_left : t -> int -> t
+
+  (** Logical (zero-filling) right shift. *)
+  val shift_right : t -> int -> t
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+
+  (** Hexadecimal rendering, zero-padded to the word width, e.g.
+      ["0x0000beef"] for a [U32]. *)
+  val to_hex : t -> string
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** 8-bit unsigned words (the paper's [ubyte1]). *)
+module U8 : S
+
+(** 16-bit unsigned words (the paper's [ubyte2]). *)
+module U16 : S
+
+(** 32-bit unsigned words (the paper's [ubyte4]). *)
+module U32 : S

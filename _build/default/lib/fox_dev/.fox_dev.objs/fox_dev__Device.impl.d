@@ -1,0 +1,1 @@
+lib/fox_dev/device.ml: Fox_basis Link Packet

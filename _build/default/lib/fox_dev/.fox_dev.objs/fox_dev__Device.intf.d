@@ -1,0 +1,1 @@
+lib/fox_dev/device.mli: Fox_basis Link

@@ -1,0 +1,1 @@
+lib/fox_dev/link.ml: Array Fox_basis Fox_sched Fun List Netem Packet Rng

@@ -1,0 +1,1 @@
+lib/fox_dev/link.mli: Fox_basis Netem

@@ -1,0 +1,1 @@
+lib/fox_dev/loopback.ml: Device Fox_basis Fox_sched Link Packet

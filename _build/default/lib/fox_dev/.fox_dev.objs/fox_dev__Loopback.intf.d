@@ -1,0 +1,1 @@
+lib/fox_dev/loopback.mli: Device Link

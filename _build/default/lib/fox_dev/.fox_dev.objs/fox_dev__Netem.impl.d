@@ -1,0 +1,1 @@
+lib/fox_dev/netem.ml: Format

@@ -1,0 +1,1 @@
+lib/fox_dev/pcap.ml: Bytes Fox_basis Fox_sched Fun List Packet

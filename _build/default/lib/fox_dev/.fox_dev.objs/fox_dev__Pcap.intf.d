@@ -1,0 +1,1 @@
+lib/fox_dev/pcap.mli: Fox_basis

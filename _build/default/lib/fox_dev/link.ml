@@ -1,0 +1,158 @@
+open Fox_basis
+
+type port = {
+  transmit : Packet.t -> unit;
+  set_receive : (Packet.t -> unit) -> unit;
+}
+
+type stats = {
+  tx_frames : int;
+  tx_bytes : int;
+  rx_frames : int;
+  rx_bytes : int;
+  dropped : int;
+  duplicated : int;
+  corrupted : int;
+  unclaimed : int;
+}
+
+type port_state = {
+  mutable receive : (Packet.t -> unit) option;
+  mutable tx_frames : int;
+  mutable tx_bytes : int;
+  mutable rx_frames : int;
+  mutable rx_bytes : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable corrupted : int;
+  mutable unclaimed : int;
+}
+
+type t = {
+  netem : Netem.t;
+  rng : Rng.t;
+  ports : port_state array;
+  shared_medium : bool;
+  (* virtual time at which each transmit direction is free; a hub has a
+     single shared medium, a point-to-point link one per direction *)
+  mutable medium_free_at : int array;
+}
+
+let new_port_state () =
+  {
+    receive = None;
+    tx_frames = 0;
+    tx_bytes = 0;
+    rx_frames = 0;
+    rx_bytes = 0;
+    dropped = 0;
+    duplicated = 0;
+    corrupted = 0;
+    unclaimed = 0;
+  }
+
+let deliver t dst (frame : Packet.t) =
+  let p = t.ports.(dst) in
+  match p.receive with
+  | None -> p.unclaimed <- p.unclaimed + 1
+  | Some handler ->
+    p.rx_frames <- p.rx_frames + 1;
+    p.rx_bytes <- p.rx_bytes + Packet.length frame;
+    handler frame
+
+(* Schedule one copy of [frame] to arrive at [dst] at virtual [arrival]. *)
+let schedule_delivery t dst frame arrival =
+  Fox_sched.Scheduler.fork (fun () ->
+      let wait = arrival - Fox_sched.Scheduler.now () in
+      if wait > 0 then Fox_sched.Scheduler.sleep wait;
+      deliver t dst frame)
+
+let corrupt_copy t frame =
+  let copy = Packet.copy frame in
+  let len = Packet.length copy in
+  if len > 0 then begin
+    let byte = Rng.int t.rng len in
+    let bit = Rng.int t.rng 8 in
+    Packet.set_u8 copy byte (Packet.get_u8 copy byte lxor (1 lsl bit))
+  end;
+  copy
+
+let transmit t src frame =
+  let ps = t.ports.(src) in
+  let len = Packet.length frame in
+  ps.tx_frames <- ps.tx_frames + 1;
+  ps.tx_bytes <- ps.tx_bytes + len;
+  (* Serialise onto the medium: a hub is half-duplex (one medium), a
+     point-to-point link is full-duplex (one medium per direction). *)
+  let medium = if t.shared_medium then 0 else src in
+  let now = Fox_sched.Scheduler.now () in
+  let start = max now t.medium_free_at.(medium) in
+  let tx_time = Netem.tx_time_us t.netem len in
+  t.medium_free_at.(medium) <- start + tx_time;
+  let base_arrival = start + tx_time + t.netem.Netem.propagation_us in
+  let destinations =
+    if t.shared_medium then
+      List.filter (fun i -> i <> src) (List.init (Array.length t.ports) Fun.id)
+    else [ 1 - src ]
+  in
+  List.iter
+    (fun dst ->
+      if Rng.bool t.rng t.netem.Netem.loss then ps.dropped <- ps.dropped + 1
+      else begin
+        let frame, arrival =
+          if Rng.bool t.rng t.netem.Netem.corrupt then begin
+            ps.corrupted <- ps.corrupted + 1;
+            (corrupt_copy t frame, base_arrival)
+          end
+          else (Packet.copy frame, base_arrival)
+        in
+        let arrival =
+          if Rng.bool t.rng t.netem.Netem.reorder then
+            arrival + 1 + Rng.int t.rng (max 1 t.netem.Netem.reorder_jitter_us)
+          else arrival
+        in
+        schedule_delivery t dst frame arrival;
+        if Rng.bool t.rng t.netem.Netem.duplicate then begin
+          ps.duplicated <- ps.duplicated + 1;
+          schedule_delivery t dst (Packet.copy frame) arrival
+        end
+      end)
+    destinations
+
+let make ~ports ~shared netem =
+  let mediums = if shared then 1 else ports in
+  {
+    netem;
+    rng = Rng.create netem.Netem.seed;
+    ports = Array.init ports (fun _ -> new_port_state ());
+    shared_medium = shared;
+    medium_free_at = Array.make mediums 0;
+  }
+
+let point_to_point netem = make ~ports:2 ~shared:false netem
+
+let hub ~ports netem =
+  if ports < 2 then invalid_arg "Link.hub";
+  make ~ports ~shared:true netem
+
+let port t i =
+  let ps = t.ports.(i) in
+  {
+    transmit = (fun frame -> transmit t i frame);
+    set_receive = (fun handler -> ps.receive <- Some handler);
+  }
+
+let stats t i =
+  let p = t.ports.(i) in
+  {
+    tx_frames = p.tx_frames;
+    tx_bytes = p.tx_bytes;
+    rx_frames = p.rx_frames;
+    rx_bytes = p.rx_bytes;
+    dropped = p.dropped;
+    duplicated = p.duplicated;
+    corrupted = p.corrupted;
+    unclaimed = p.unclaimed;
+  }
+
+let config t = t.netem

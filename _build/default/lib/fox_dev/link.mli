@@ -1,0 +1,50 @@
+(** Simulated wires: point-to-point links and multi-drop hubs.
+
+    A wire hands out {e ports}.  Frames written to a port are delivered to
+    the other port(s) after the serialisation and propagation delays of the
+    wire's {!Netem} configuration, possibly dropped, duplicated, jittered
+    or bit-corrupted (all deterministically, from the configured seed).
+    Delivery happens on a freshly forked scheduler thread, so receive
+    upcalls never run inside the sender's stack frame — the same asynchrony
+    a real interrupt-driven device has, but with a total order imposed by
+    the virtual clock. *)
+
+type port = {
+  transmit : Fox_basis.Packet.t -> unit;
+      (** send a frame; the packet is copied immediately, the caller may
+          reuse it *)
+  set_receive : (Fox_basis.Packet.t -> unit) -> unit;
+      (** register the handler for delivered frames *)
+}
+
+(** Per-port statistics. *)
+type stats = {
+  tx_frames : int;
+  tx_bytes : int;
+  rx_frames : int;
+  rx_bytes : int;
+  dropped : int;  (** frames lost to the [loss] knob *)
+  duplicated : int;
+  corrupted : int;
+  unclaimed : int;  (** frames delivered with no receive handler set *)
+}
+
+type t
+
+(** [point_to_point config] is a two-port wire. *)
+val point_to_point : Netem.t -> t
+
+(** [hub ~ports config] is a shared-medium wire with [ports] ports; a frame
+    transmitted on one port is delivered to every other port (half-duplex:
+    all frames serialise through the one medium, like the paper's shared
+    10 Mb/s Ethernet). *)
+val hub : ports:int -> Netem.t -> t
+
+(** [port t i] is the [i]th port. *)
+val port : t -> int -> port
+
+(** [stats t i] is a snapshot of port [i]'s counters. *)
+val stats : t -> int -> stats
+
+(** [config t] is the wire's emulation parameters. *)
+val config : t -> Netem.t

@@ -1,0 +1,16 @@
+open Fox_basis
+
+let port () =
+  let handler = ref None in
+  {
+    Link.transmit =
+      (fun frame ->
+        let copy = Packet.copy frame in
+        Fox_sched.Scheduler.fork (fun () ->
+            match !handler with
+            | Some h -> h copy
+            | None -> ()));
+    set_receive = (fun h -> handler := Some h);
+  }
+
+let device ?name ?mtu () = Device.create ?name ?mtu (port ())

@@ -1,0 +1,10 @@
+(** The loopback wire: a single port whose transmissions are delivered back
+    to itself on a fresh scheduler thread.  Lets a whole stack talk to
+    itself in one process — the quickest way to smoke-test a composition,
+    and what the quickstart example uses. *)
+
+(** [port ()] is a fresh loopback port. *)
+val port : unit -> Link.port
+
+(** [device ?name ?mtu ()] is a device on a fresh loopback port. *)
+val device : ?name:string -> ?mtu:int -> unit -> Device.t

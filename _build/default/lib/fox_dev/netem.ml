@@ -1,0 +1,52 @@
+type t = {
+  bandwidth_bps : int;
+  propagation_us : int;
+  loss : float;
+  duplicate : float;
+  reorder : float;
+  reorder_jitter_us : int;
+  corrupt : float;
+  seed : int;
+}
+
+let perfect =
+  {
+    bandwidth_bps = 0;
+    propagation_us = 0;
+    loss = 0.0;
+    duplicate = 0.0;
+    reorder = 0.0;
+    reorder_jitter_us = 0;
+    corrupt = 0.0;
+    seed = 1;
+  }
+
+let ethernet_10mbps =
+  { perfect with bandwidth_bps = 10_000_000; propagation_us = 50 }
+
+let gigabit = { perfect with bandwidth_bps = 1_000_000_000; propagation_us = 10 }
+
+let adverse ?(loss = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0) ?(corrupt = 0.0)
+    ~seed base =
+  {
+    base with
+    loss;
+    duplicate;
+    reorder;
+    corrupt;
+    reorder_jitter_us =
+      (if reorder > 0.0 && base.reorder_jitter_us = 0 then 2000
+       else base.reorder_jitter_us);
+    seed;
+  }
+
+let tx_time_us t bytes =
+  if t.bandwidth_bps = 0 then 0
+  else
+    (* bits * 1e6 / bps, rounded up so back-to-back frames serialise. *)
+    ((bytes * 8 * 1_000_000) + t.bandwidth_bps - 1) / t.bandwidth_bps
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%d bps, %d us prop, loss=%.3f dup=%.3f reorder=%.3f corrupt=%.3f"
+    t.bandwidth_bps t.propagation_us t.loss t.duplicate t.reorder t.corrupt

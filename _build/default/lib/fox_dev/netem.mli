@@ -1,0 +1,45 @@
+(** Network-emulation parameters for simulated links.
+
+    The paper measured on "an isolated 10 Mb/s ethernet"; we cannot reserve
+    a 1994 machine room, so the wire is simulated under virtual time with
+    these knobs.  Clean presets reproduce the paper's environment; adverse
+    presets (loss, reordering, duplication, corruption) exercise the
+    retransmission and checksum machinery the paper's TCP implements. *)
+
+type t = {
+  bandwidth_bps : int;
+      (** serialisation rate in bits/second; [0] means infinitely fast *)
+  propagation_us : int;  (** one-way propagation delay *)
+  loss : float;  (** probability a frame is dropped *)
+  duplicate : float;  (** probability a frame is delivered twice *)
+  reorder : float;  (** probability a frame gets extra jitter delay *)
+  reorder_jitter_us : int;  (** maximum extra delay for jittered frames *)
+  corrupt : float;  (** probability one bit of the frame is flipped *)
+  seed : int;  (** PRNG seed: identical configs replay identically *)
+}
+
+(** An ideal wire: no delay, no bandwidth limit, no impairment. *)
+val perfect : t
+
+(** The paper's testbed: 10 Mb/s shared Ethernet, 50 µs propagation. *)
+val ethernet_10mbps : t
+
+(** A modern-ish fast LAN (1 Gb/s, 10 µs). *)
+val gigabit : t
+
+(** [adverse ~seed ?loss ?duplicate ?reorder ?corrupt base] overlays
+    impairments on [base]. *)
+val adverse :
+  ?loss:float ->
+  ?duplicate:float ->
+  ?reorder:float ->
+  ?corrupt:float ->
+  seed:int ->
+  t ->
+  t
+
+(** Serialisation time of [bytes] at [t.bandwidth_bps], in µs (0 when the
+    bandwidth is infinite). *)
+val tx_time_us : t -> int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/fox_eth/eth.ml: Format Fox_basis Fox_dev Fox_proto Frame Hashtbl List Mac Packet Printf

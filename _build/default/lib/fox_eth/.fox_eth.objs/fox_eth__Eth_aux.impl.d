@@ -1,0 +1,1 @@
+lib/fox_eth/eth_aux.ml: Eth Fox_basis Fox_proto Frame Mac

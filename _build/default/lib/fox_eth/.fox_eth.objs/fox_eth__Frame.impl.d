@@ -1,0 +1,1 @@
+lib/fox_eth/frame.ml: Crc32 Format Fox_basis Mac Packet Wire

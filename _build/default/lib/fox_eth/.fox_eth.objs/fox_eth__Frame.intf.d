@@ -1,0 +1,1 @@
+lib/fox_eth/frame.mli: Format Fox_basis Mac

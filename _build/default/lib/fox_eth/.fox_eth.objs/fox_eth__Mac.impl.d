@@ -1,0 +1,1 @@
+lib/fox_eth/mac.ml: Format Fox_basis Hashtbl Int List Printf String Wire

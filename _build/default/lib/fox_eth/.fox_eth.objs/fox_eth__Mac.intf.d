@@ -1,0 +1,1 @@
+lib/fox_eth/mac.mli: Bytes Format

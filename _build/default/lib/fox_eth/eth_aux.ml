@@ -1,0 +1,53 @@
+(** An [IP_AUX] structure for running transports directly over Ethernet.
+
+    This is what makes Figure 3's non-standard stack possible: TCP's
+    functor asks only for {!Fox_proto.Protocol.IP_AUX}, so handing it this
+    structure instead of the IP one composes TCP straight onto Ethernet.
+    Hosts are MAC addresses and segments travel in frames with the local
+    experimental ethertype.
+
+    There is no IP header here, hence no real pseudo-header; [pseudo] folds
+    just the protocol number and length (symmetric between the two ends).
+    The paper's non-standard stack runs with [compute_checksums = false]
+    and relies on the Ethernet CRC — including the reviewer's caveat that
+    this is sound only when the CRC is known to be implemented correctly,
+    which our simulated wire's {!Frame} FCS is. *)
+
+(* Bind the record builders while [Eth] still names the defining module
+   rather than the functor parameter below. *)
+let make_address dest = { Eth.dest; proto = Frame.ethertype_tcp_direct }
+
+let tcp_direct_pattern = { Eth.match_proto = Frame.ethertype_tcp_direct }
+
+module Make (Eth : Eth.S) :
+  Fox_proto.Protocol.IP_AUX
+    with type host = Mac.t
+     and type lower_address = Eth.address
+     and type lower_pattern = Eth.address_pattern
+     and type lower_connection = Eth.connection = struct
+  type host = Mac.t
+
+  type lower_address = Eth.address
+
+  type lower_pattern = Eth.address_pattern
+
+  type lower_connection = Eth.connection
+
+  let hash = Mac.hash
+
+  let equal = Mac.equal
+
+  let to_string = Mac.to_string
+
+  let lower_address ~proto:_ host = make_address host
+
+  let default_pattern ~proto:_ = tcp_direct_pattern
+
+  let source = Eth.peer
+
+  let pseudo _conn ~proto ~len =
+    let open Fox_basis.Checksum in
+    add_u16 (add_u16 zero (proto land 0xFF)) (len land 0xFFFF)
+
+  let mtu = Eth.max_packet_size
+end

@@ -1,0 +1,33 @@
+(** 48-bit Ethernet (MAC) addresses. *)
+
+type t
+
+(** [of_int n] uses the low 48 bits of [n]. *)
+val of_int : int -> t
+
+(** [to_int m] is the address as a 48-bit unsigned int. *)
+val to_int : t -> int
+
+(** [of_string "aa:bb:cc:dd:ee:ff"] parses colon-separated hex.
+    Raises [Invalid_argument] on malformed input. *)
+val of_string : string -> t
+
+val to_string : t -> string
+
+(** The all-ones broadcast address. *)
+val broadcast : t
+
+(** [is_broadcast m] / [is_multicast m] test the usual address classes. *)
+val is_broadcast : t -> bool
+
+val is_multicast : t -> bool
+
+(** [write m b off] stores the 6 bytes at [off]; [read b off] loads them. *)
+val write : t -> Bytes.t -> int -> unit
+
+val read : Bytes.t -> int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

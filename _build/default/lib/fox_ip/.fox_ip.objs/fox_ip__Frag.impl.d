@@ -1,0 +1,1 @@
+lib/fox_ip/frag.ml: Fox_basis List Packet

@@ -1,0 +1,1 @@
+lib/fox_ip/frag.mli: Fox_basis

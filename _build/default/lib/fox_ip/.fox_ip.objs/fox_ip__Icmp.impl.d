@@ -1,0 +1,1 @@
+lib/fox_ip/icmp.ml: Checksum Fox_basis Fox_sched Hashtbl Ip Ipv4_addr Ipv4_header Packet

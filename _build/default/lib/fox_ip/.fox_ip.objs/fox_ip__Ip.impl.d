@@ -1,0 +1,1 @@
+lib/fox_ip/ip.ml: Format Fox_basis Fox_proto Fox_sched Frag Hashtbl Ipv4_addr Ipv4_header List Packet Printf Reass Route

@@ -1,0 +1,1 @@
+lib/fox_ip/ip_aux.ml: Fox_basis Fox_proto Ip Ipv4_addr

@@ -1,0 +1,1 @@
+lib/fox_ip/ipv4_addr.ml: Format Fox_basis Hashtbl Int List Printf String Wire

@@ -1,0 +1,1 @@
+lib/fox_ip/ipv4_addr.mli: Bytes Format

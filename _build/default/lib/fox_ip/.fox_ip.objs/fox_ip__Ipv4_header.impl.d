@@ -1,0 +1,1 @@
+lib/fox_ip/ipv4_header.ml: Checksum Format Fox_basis Ipv4_addr Packet Printf Wire

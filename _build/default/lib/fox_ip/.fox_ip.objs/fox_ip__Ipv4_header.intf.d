@@ -1,0 +1,1 @@
+lib/fox_ip/ipv4_header.mli: Format Fox_basis Ipv4_addr

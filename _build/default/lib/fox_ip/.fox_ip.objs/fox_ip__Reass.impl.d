@@ -1,0 +1,1 @@
+lib/fox_ip/reass.ml: Fox_basis Fox_sched Hashtbl Int Ipv4_addr List Packet

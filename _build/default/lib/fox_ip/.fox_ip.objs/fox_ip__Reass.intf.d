@@ -1,0 +1,1 @@
+lib/fox_ip/reass.mli: Fox_basis Ipv4_addr

@@ -1,0 +1,1 @@
+lib/fox_ip/route.ml: Int Ipv4_addr List

@@ -1,0 +1,1 @@
+lib/fox_ip/route.mli: Ipv4_addr

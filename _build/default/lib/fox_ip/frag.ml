@@ -1,0 +1,20 @@
+open Fox_basis
+
+let fragment ~mtu ~headroom payload =
+  if mtu < 8 then invalid_arg "Frag.fragment: mtu < 8";
+  let total = Packet.length payload in
+  if total <= mtu then [ (payload, 0, false) ]
+  else begin
+    (* every fragment but the last carries a multiple of 8 bytes *)
+    let piece = mtu land lnot 7 in
+    let rec go off acc =
+      if off >= total then List.rev acc
+      else begin
+        let len = min piece (total - off) in
+        let more = off + len < total in
+        let frag = Packet.sub ~headroom payload off len in
+        go (off + len) ((frag, off, more) :: acc)
+      end
+    in
+    go 0 []
+  end

@@ -1,0 +1,19 @@
+(** IP fragmentation (the send side).
+
+    The paper notes that "additional copies might be required when using IP
+    fragmentation … we have not optimized for these cases": fragments are
+    copied out of the original datagram, and that is fine because the
+    standard TCP stack sizes segments to the MTU and never fragments. *)
+
+(** [fragment ~mtu ~headroom payload] splits a transport payload into
+    fragments each at most [mtu] bytes, with offsets that are multiples of
+    8 as the wire format requires.  Each fragment packet is allocated with
+    [headroom].  Returns the fragments in offset order together with their
+    byte offsets and more-fragments flags: [(packet, offset, more)].
+    A payload that already fits yields a single entry.
+    Raises [Invalid_argument] if [mtu < 8]. *)
+val fragment :
+  mtu:int ->
+  headroom:int ->
+  Fox_basis.Packet.t ->
+  (Fox_basis.Packet.t * int * bool) list

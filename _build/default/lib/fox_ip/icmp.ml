@@ -1,0 +1,153 @@
+(** ICMP echo (ping).
+
+    A thin client of the IP layer's generic interface: it passively opens
+    protocol 1, answers echo requests, and offers a blocking [ping] that
+    measures round-trip time under the virtual clock.  Used by the
+    examples and as a stack-composition smoke test. *)
+
+open Fox_basis
+
+type stats = {
+  echo_requests_answered : int;
+  echo_replies_received : int;
+  unmatched_replies : int;
+  bad_messages : int;
+}
+
+module Make (Ip : Ip.S) : sig
+  type t
+
+  (** [create ip] installs the protocol-1 listener and starts answering
+      echo requests. *)
+  val create : Ip.t -> t
+
+  (** [ping t dst ~len ~timeout_us] sends one echo request carrying [len]
+      payload bytes and waits for the reply; [Some rtt_us] on success. *)
+  val ping : t -> Ipv4_addr.t -> len:int -> timeout_us:int -> int option
+
+  val stats : t -> stats
+end = struct
+  type t = {
+    ip : Ip.t;
+    pending : (int * int, int option Fox_sched.Cond.t) Hashtbl.t;
+        (* (id, seq) -> reply mailbox *)
+    mutable next_id : int;
+    mutable echo_requests_answered : int;
+    mutable echo_replies_received : int;
+    mutable unmatched_replies : int;
+    mutable bad_messages : int;
+  }
+
+  let header_length = 8
+
+  let type_echo_reply = 0
+
+  let type_echo_request = 8
+
+  let finish_checksum packet =
+    Packet.set_u16 packet 2 0;
+    let ck =
+      Checksum.checksum (Packet.buffer packet) (Packet.offset packet)
+        (Packet.length packet)
+    in
+    Packet.set_u16 packet 2 ck
+
+  let checksum_ok packet =
+    Checksum.(
+      finish
+        (add_bytes zero (Packet.buffer packet) (Packet.offset packet)
+           (Packet.length packet)))
+    = 0xFFFF
+
+  let receive t conn packet =
+    if Packet.length packet < header_length || not (checksum_ok packet) then
+      t.bad_messages <- t.bad_messages + 1
+    else begin
+      let typ = Packet.get_u8 packet 0 in
+      let id = Packet.get_u16 packet 4 in
+      let seq = Packet.get_u16 packet 6 in
+      if typ = type_echo_request then begin
+        (* Turn the request around in place: same id, seq and payload. *)
+        let reply =
+          Ip.allocate_send conn (Packet.length packet)
+        in
+        Packet.blit packet 0 (Packet.buffer reply) (Packet.offset reply)
+          (Packet.length packet);
+        Packet.set_u8 reply 0 type_echo_reply;
+        finish_checksum reply;
+        Ip.send conn reply;
+        t.echo_requests_answered <- t.echo_requests_answered + 1
+      end
+      else if typ = type_echo_reply then begin
+        match Hashtbl.find_opt t.pending (id, seq) with
+        | Some mailbox ->
+          t.echo_replies_received <- t.echo_replies_received + 1;
+          Hashtbl.remove t.pending (id, seq);
+          Fox_sched.Cond.signal mailbox (Some (Fox_sched.Scheduler.now ()))
+        | None -> t.unmatched_replies <- t.unmatched_replies + 1
+      end
+      (* other ICMP types are silently ignored, like the paper's stack *)
+    end
+
+  let handler t conn = ((fun packet -> receive t conn packet), ignore)
+
+  let create ip =
+    let t =
+      {
+        ip;
+        pending = Hashtbl.create 8;
+        next_id = 1;
+        echo_requests_answered = 0;
+        echo_replies_received = 0;
+        unmatched_replies = 0;
+        bad_messages = 0;
+      }
+    in
+    ignore
+      (Ip.start_passive ip { match_proto = Ipv4_header.proto_icmp }
+         (handler t));
+    t
+
+  let ping t dst ~len ~timeout_us =
+    let conn =
+      Ip.connect t.ip { dest = dst; proto = Ipv4_header.proto_icmp } (handler t)
+    in
+    let id = t.next_id land 0xFFFF in
+    t.next_id <- t.next_id + 1;
+    let seq = 1 in
+    let mailbox = Fox_sched.Cond.create () in
+    Hashtbl.replace t.pending (id, seq) mailbox;
+    let request = Ip.allocate_send conn (header_length + len) in
+    Packet.set_u8 request 0 type_echo_request;
+    Packet.set_u8 request 1 0;
+    Packet.set_u16 request 4 id;
+    Packet.set_u16 request 6 seq;
+    for i = 0 to len - 1 do
+      Packet.set_u8 request (header_length + i) (i land 0xFF)
+    done;
+    finish_checksum request;
+    let sent_at = Fox_sched.Scheduler.now () in
+    let timeout =
+      Fox_sched.Timer.start
+        (fun () ->
+          if Hashtbl.mem t.pending (id, seq) then begin
+            Hashtbl.remove t.pending (id, seq);
+            Fox_sched.Cond.signal mailbox None
+          end)
+        timeout_us
+    in
+    Ip.send conn request;
+    match Fox_sched.Cond.wait mailbox with
+    | Some received_at ->
+      Fox_sched.Timer.clear timeout;
+      Some (received_at - sent_at)
+    | None -> None
+
+  let stats t =
+    {
+      echo_requests_answered = t.echo_requests_answered;
+      echo_replies_received = t.echo_replies_received;
+      unmatched_replies = t.unmatched_replies;
+      bad_messages = t.bad_messages;
+    }
+end

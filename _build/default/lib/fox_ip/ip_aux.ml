@@ -1,0 +1,48 @@
+(** The auxiliary structure supplied to TCP and UDP (Figure 5).
+
+    [Make (Ip)] packages everything the transports need that depends on the
+    IP address format — hashing and printing hosts, building lower
+    addresses and patterns, the pseudo-header checksum, and the MTU — so
+    that a change of IP version would touch the IP library and this
+    structure but not TCP. *)
+
+(* Bind the record builders outside the functor, where [Ip] still names the
+   defining module rather than the functor parameter. *)
+let make_address dest proto = { Ip.dest; proto }
+
+let make_pattern proto = { Ip.match_proto = proto }
+
+module Make (Ip : Ip.S) :
+  Fox_proto.Protocol.IP_AUX
+    with type host = Ipv4_addr.t
+     and type lower_address = Ip.address
+     and type lower_pattern = Ip.address_pattern
+     and type lower_connection = Ip.connection = struct
+  type host = Ipv4_addr.t
+
+  type lower_address = Ip.address
+
+  type lower_pattern = Ip.address_pattern
+
+  type lower_connection = Ip.connection
+
+  let hash = Ipv4_addr.hash
+
+  let equal = Ipv4_addr.equal
+
+  let to_string = Ipv4_addr.to_string
+
+  let lower_address ~proto host = make_address host proto
+
+  let default_pattern ~proto = make_pattern proto
+
+  let source = Ip.peer
+
+  let pseudo conn ~proto ~len =
+    Fox_basis.Checksum.pseudo_ipv4
+      ~src:(Ipv4_addr.to_int (Ip.local conn))
+      ~dst:(Ipv4_addr.to_int (Ip.peer conn))
+      ~proto ~len
+
+  let mtu = Ip.max_packet_size
+end

@@ -1,0 +1,95 @@
+open Fox_basis
+
+let min_length = 20
+
+let proto_icmp = 1
+
+let proto_tcp = 6
+
+let proto_udp = 17
+
+type t = {
+  tos : int;
+  total_length : int;
+  id : int;
+  dont_fragment : bool;
+  more_fragments : bool;
+  fragment_offset : int;
+  ttl : int;
+  proto : int;
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+}
+
+let encode ~checksum hdr p =
+  Packet.push_header p min_length;
+  let b = Packet.buffer p and off = Packet.offset p in
+  Wire.set_u8 b off 0x45 (* version 4, IHL 5 *);
+  Wire.set_u8 b (off + 1) hdr.tos;
+  Wire.set_u16 b (off + 2) hdr.total_length;
+  Wire.set_u16 b (off + 4) hdr.id;
+  let flags =
+    (if hdr.dont_fragment then 0x4000 else 0)
+    lor (if hdr.more_fragments then 0x2000 else 0)
+    lor (hdr.fragment_offset / 8)
+  in
+  Wire.set_u16 b (off + 6) flags;
+  Wire.set_u8 b (off + 8) hdr.ttl;
+  Wire.set_u8 b (off + 9) hdr.proto;
+  Wire.set_u16 b (off + 10) 0;
+  Ipv4_addr.write hdr.src b (off + 12);
+  Ipv4_addr.write hdr.dst b (off + 14 + 2);
+  if checksum then
+    Wire.set_u16 b (off + 10) (Checksum.checksum b off min_length)
+
+type error = Too_short | Bad_version of int | Bad_checksum | Bad_length
+
+let decode ~checksum p =
+  if Packet.length p < min_length then Error Too_short
+  else begin
+    let b = Packet.buffer p and off = Packet.offset p in
+    let vi = Wire.get_u8 b off in
+    let version = vi lsr 4 and ihl = (vi land 0xF) * 4 in
+    if version <> 4 then Error (Bad_version version)
+    else if ihl < min_length || ihl > Packet.length p then Error Bad_length
+    else begin
+      let total_length = Wire.get_u16 b (off + 2) in
+      if total_length < ihl || total_length > Packet.length p then
+        Error Bad_length
+      else if checksum && Checksum.(finish (add_bytes zero b off ihl)) <> 0xFFFF
+      then Error Bad_checksum
+      else begin
+        let flags = Wire.get_u16 b (off + 6) in
+        let hdr =
+          {
+            tos = Wire.get_u8 b (off + 1);
+            total_length;
+            id = Wire.get_u16 b (off + 4);
+            dont_fragment = flags land 0x4000 <> 0;
+            more_fragments = flags land 0x2000 <> 0;
+            fragment_offset = flags land 0x1FFF * 8;
+            ttl = Wire.get_u8 b (off + 8);
+            proto = Wire.get_u8 b (off + 9);
+            src = Ipv4_addr.read b (off + 12);
+            dst = Ipv4_addr.read b (off + 16);
+          }
+        in
+        (* strip the header and any link padding beyond total_length *)
+        Packet.trim p total_length;
+        Packet.pull_header p ihl;
+        Ok hdr
+      end
+    end
+  end
+
+let error_to_string = function
+  | Too_short -> "too short"
+  | Bad_version v -> Printf.sprintf "bad version %d" v
+  | Bad_checksum -> "bad header checksum"
+  | Bad_length -> "inconsistent lengths"
+
+let pp fmt h =
+  Format.fprintf fmt "%a -> %a proto=%d len=%d id=%d%s off=%d ttl=%d"
+    Ipv4_addr.pp h.src Ipv4_addr.pp h.dst h.proto h.total_length h.id
+    (if h.more_fragments then "+MF" else "")
+    h.fragment_offset h.ttl

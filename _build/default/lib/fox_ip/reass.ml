@@ -1,0 +1,102 @@
+open Fox_basis
+
+type key = {
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+  proto : int;
+  id : int;
+}
+
+type pending = {
+  mutable fragments : (int * Packet.t) list; (* offset-sorted, disjoint *)
+  mutable total : int option; (* known once the more=false fragment arrives *)
+  timer : Fox_sched.Timer.t;
+}
+
+type stats = {
+  completed : int;
+  timed_out : int;
+  active : int;
+  duplicate_fragments : int;
+}
+
+type t = {
+  table : (key, pending) Hashtbl.t;
+  timeout_us : int;
+  mutable completed : int;
+  mutable timed_out : int;
+  mutable duplicate_fragments : int;
+}
+
+let create ?(timeout_us = 30_000_000) () =
+  { table = Hashtbl.create 16; timeout_us; completed = 0; timed_out = 0;
+    duplicate_fragments = 0 }
+
+(* Insert keeping offsets sorted; overlapping or duplicate fragments are
+   counted and the first arrival wins (RFC 791 leaves the policy open). *)
+let insert t pending offset packet =
+  let len = Packet.length packet in
+  let overlaps (o, p) = offset < o + Packet.length p && o < offset + len in
+  if List.exists overlaps pending.fragments then
+    t.duplicate_fragments <- t.duplicate_fragments + 1
+  else
+    pending.fragments <-
+      List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        ((offset, packet) :: pending.fragments)
+
+let complete pending =
+  match pending.total with
+  | None -> None
+  | Some total ->
+    let covered =
+      List.fold_left
+        (fun expected (off, p) ->
+          if expected = off then expected + Packet.length p else -1)
+        0 pending.fragments
+    in
+    if covered <> total then None
+    else begin
+      let out = Packet.create total in
+      List.iter
+        (fun (off, p) ->
+          Packet.blit p 0 (Packet.buffer out) (Packet.offset out + off)
+            (Packet.length p))
+        pending.fragments;
+      Some out
+    end
+
+let offer t key ~offset ~more payload =
+  let pending =
+    match Hashtbl.find_opt t.table key with
+    | Some p -> p
+    | None ->
+      let timer =
+        Fox_sched.Timer.start
+          (fun () ->
+            if Hashtbl.mem t.table key then begin
+              Hashtbl.remove t.table key;
+              t.timed_out <- t.timed_out + 1
+            end)
+          t.timeout_us
+      in
+      let p = { fragments = []; total = None; timer } in
+      Hashtbl.add t.table key p;
+      p
+  in
+  insert t pending offset (Packet.copy payload);
+  if not more then pending.total <- Some (offset + Packet.length payload);
+  match complete pending with
+  | Some whole ->
+    Fox_sched.Timer.clear pending.timer;
+    Hashtbl.remove t.table key;
+    t.completed <- t.completed + 1;
+    Some whole
+  | None -> None
+
+let stats t =
+  {
+    completed = t.completed;
+    timed_out = t.timed_out;
+    active = Hashtbl.length t.table;
+    duplicate_fragments = t.duplicate_fragments;
+  }

@@ -1,0 +1,38 @@
+(** IP reassembly (the receive side).
+
+    The paper uses fragment reassembly as its motivating example for
+    automatic storage management: buffers appear while a burst of
+    fragmented datagrams is in flight and become garbage the moment each
+    datagram completes or times out.  This module does exactly that — each
+    datagram under reassembly holds its fragments until the hole list is
+    empty, then the payload is rebuilt and everything is dropped on the
+    floor for the collector. *)
+
+type t
+
+type key = {
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+  proto : int;
+  id : int;
+}
+
+type stats = {
+  completed : int;
+  timed_out : int;
+  active : int;
+  duplicate_fragments : int;
+}
+
+(** [create ?timeout_us ()] is an empty reassembly table; datagrams that do
+    not complete within the timeout (default 30 s of virtual time) are
+    discarded.  Must be used inside a running scheduler (for the timers). *)
+val create : ?timeout_us:int -> unit -> t
+
+(** [offer t key ~offset ~more payload] adds one fragment.  Returns the
+    fully reassembled payload when this fragment completes the datagram. *)
+val offer :
+  t -> key -> offset:int -> more:bool -> Fox_basis.Packet.t ->
+  Fox_basis.Packet.t option
+
+val stats : t -> stats

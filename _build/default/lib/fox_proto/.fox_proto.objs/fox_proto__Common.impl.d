@@ -1,0 +1,1 @@
+lib/fox_proto/common.ml:

@@ -1,0 +1,1 @@
+lib/fox_proto/meter.ml: Common Fox_basis Packet Protocol Status

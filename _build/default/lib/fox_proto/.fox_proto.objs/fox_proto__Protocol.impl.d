@@ -1,0 +1,1 @@
+lib/fox_proto/protocol.ml: Format Fox_basis Status

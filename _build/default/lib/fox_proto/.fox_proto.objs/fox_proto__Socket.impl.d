@@ -1,0 +1,1 @@
+lib/fox_proto/socket.ml: Buffer Fox_basis Fox_sched Option Packet Status String

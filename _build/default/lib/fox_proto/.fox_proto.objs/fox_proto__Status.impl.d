@@ -1,0 +1,1 @@
+lib/fox_proto/status.ml: Format

@@ -1,0 +1,9 @@
+(** The exceptions required by {!Protocol.PROTOCOL}.
+
+    Implementations [include] this module so that the same exception
+    constructors flow through every layer — a handler can catch
+    [Connection_failed] without knowing which layer refused. *)
+
+exception Initialization_failed of string
+exception Connection_failed of string
+exception Send_failed of string

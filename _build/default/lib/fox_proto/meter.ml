@@ -1,0 +1,159 @@
+(** A virtual protocol: metering/cost-charging shim.
+
+    The x-kernel calls a protocol that adds behaviour without adding a
+    header a {e virtual protocol}; the paper lists them among the x-kernel
+    ideas its stack had "not (yet) made use of".  We use one to reproduce
+    the paper's evaluation: [Make (P)] yields a protocol identical to [P]
+    (same addresses, same wire format — it pushes no header at all) that
+    invokes callbacks around every send and delivery.  The benchmark
+    harness hangs {!Fox_sched.Cpu} charges on these callbacks to model the
+    DECstation's per-layer processing costs, which is what turns a run
+    into Table 1's timings and Table 2's profile without touching any
+    protocol code.
+
+    Composition works because the functor preserves the address types:
+
+    {[
+      module Metered_ip = Meter.Make (Ip)
+      module Tcp = Tcp.Make (Metered_ip) (Metered_ip.Lift_aux (Ip_aux)) (...)
+    ]} *)
+
+open Fox_basis
+
+type config = {
+  on_send : int -> unit;  (** called with the packet length, before *)
+  on_receive : int -> unit;  (** called with the packet length, before *)
+}
+
+let silent = { on_send = ignore; on_receive = ignore }
+
+module Make
+    (P : Protocol.PROTOCOL
+           with type incoming_message = Packet.t
+            and type outgoing_message = Packet.t) : sig
+  include
+    Protocol.PROTOCOL
+      with type address = P.address
+       and type address_pattern = P.address_pattern
+       and type incoming_message = Packet.t
+       and type outgoing_message = Packet.t
+
+  val create : P.t -> config -> t
+
+  (** The wrapped connection, for auxiliary structures. *)
+  val inner : connection -> P.connection
+
+  (** Lift an [IP_AUX] structure over [P] to one over the metered
+      protocol. *)
+  module Lift_aux
+      (Aux : Protocol.IP_AUX
+               with type lower_connection = P.connection
+                and type lower_address = P.address
+                and type lower_pattern = P.address_pattern) :
+    Protocol.IP_AUX
+      with type host = Aux.host
+       and type lower_address = address
+       and type lower_pattern = address_pattern
+       and type lower_connection = connection
+end = struct
+  include Common
+
+  type address = P.address
+
+  type address_pattern = P.address_pattern
+
+  type incoming_message = Packet.t
+
+  type outgoing_message = Packet.t
+
+  type data_handler = incoming_message -> unit
+
+  type status_handler = Status.t -> unit
+
+  type t = { inner_instance : P.t; config : config }
+
+  type connection = { meter : t; pconn : P.connection }
+
+  type listener = P.listener
+
+  type handler = connection -> data_handler * status_handler
+
+  let inner conn = conn.pconn
+
+  let create inner_instance config = { inner_instance; config }
+
+  let wrap_handler t (handler : handler) =
+    fun pconn ->
+    let conn = { meter = t; pconn } in
+    let data, status = handler conn in
+    ( (fun packet ->
+        t.config.on_receive (Packet.length packet);
+        data packet),
+      status )
+
+  let connect t address handler =
+    let pconn = P.connect t.inner_instance address (wrap_handler t handler) in
+    { meter = t; pconn }
+
+  let start_passive t pattern handler =
+    P.start_passive t.inner_instance pattern (wrap_handler t handler)
+
+  let stop_passive l = P.stop_passive l
+
+  let send conn packet =
+    conn.meter.config.on_send (Packet.length packet);
+    P.send conn.pconn packet
+
+  let prepare_send conn =
+    let inner_send = P.prepare_send conn.pconn in
+    let on_send = conn.meter.config.on_send in
+    fun packet ->
+      on_send (Packet.length packet);
+      inner_send packet
+
+  let close conn = P.close conn.pconn
+
+  let abort conn = P.abort conn.pconn
+
+  let initialize t = P.initialize t.inner_instance
+
+  let finalize t = P.finalize t.inner_instance
+
+  let allocate_send conn len = P.allocate_send conn.pconn len
+
+  let max_packet_size conn = P.max_packet_size conn.pconn
+
+  let headroom conn = P.headroom conn.pconn
+
+  let tailroom conn = P.tailroom conn.pconn
+
+  let pp_address = P.pp_address
+
+  module Lift_aux
+      (Aux : Protocol.IP_AUX with type lower_connection = P.connection) =
+  struct
+    type host = Aux.host
+
+    type lower_address = Aux.lower_address
+
+    type lower_pattern = Aux.lower_pattern
+
+    type lower_connection = connection
+
+    let hash = Aux.hash
+
+    let equal = Aux.equal
+
+    let to_string = Aux.to_string
+
+    let lower_address = Aux.lower_address
+
+    let default_pattern = Aux.default_pattern
+
+    let source conn = Aux.source conn.pconn
+
+    let pseudo conn ~proto ~len = Aux.pseudo conn.pconn ~proto ~len
+
+    let mtu conn = Aux.mtu conn.pconn
+  end
+end

@@ -1,0 +1,160 @@
+(** The generic protocol signature.
+
+    Following the x-kernel (and Figure 2 of the paper), every protocol in
+    the stack — Ethernet, ARP, IP, UDP, TCP, and the baseline TCP — presents
+    essentially the same interface, described here {e formally} as a module
+    type so the compiler checks every composition: a functor application
+    such as [Tcp (struct module Lower = Eth ... end)] is only accepted when
+    all the functions required of "the layer below TCP" are present with the
+    right types.
+
+    Protocol-specific signatures (e.g. {!module-type:Fox_ip.Ip.S}) are
+    derived from this one by [include PROTOCOL with type ...] constraints,
+    guaranteeing that any structure matching the specific signature also
+    matches the generic one.
+
+    Conventions shared by every implementation:
+
+    - {b Upcalls}: received data is delivered by calling the higher layer's
+      receive handler (Clark's upcalls).  The handler supplied to an open
+      call receives the new connection and returns the pair of
+      connection-specific data and status handlers; the closure may
+      pre-compute anything it needs about the connection, which is the
+      staging idiom the paper highlights.
+    - {b Staging}: [prepare_send] performs the early stage of the send path
+      (resolve the connection, pick the lower-layer send function) once and
+      returns the specialised late stage.
+    - {b Instances}: a structure describes a protocol's {e code}; a value of
+      type [t] is one {e instance} of the protocol on one host (the paper
+      creates instances by functor application at link time; we additionally
+      allow many hosts per process, which the simulator needs). *)
+
+module type PROTOCOL = sig
+  (** One instance of this protocol on one host. *)
+  type t
+
+  (** Addresses name the remote endpoint of an active open. *)
+  type address
+
+  (** Patterns select which incoming connection requests a passive open
+      accepts. *)
+  type address_pattern
+
+  type connection
+
+  type incoming_message
+  type outgoing_message
+
+  exception Initialization_failed of string
+  exception Connection_failed of string
+  exception Send_failed of string
+
+  type data_handler = incoming_message -> unit
+  type status_handler = Status.t -> unit
+
+  (** A handler specialises on the connection it is given and returns the
+      connection-specific upcalls. *)
+  type handler = connection -> data_handler * status_handler
+
+  (** [initialize t] prepares the instance for use and returns the new
+      initialization count (reference-counted, like the paper's). *)
+  val initialize : t -> int
+
+  (** [finalize t] undoes one [initialize]; at zero the instance releases
+      its resources and aborts its connections. *)
+  val finalize : t -> int
+
+  (** [connect t address handler] actively opens a connection.  The handler
+      is applied to the new connection before any data is delivered.
+      Blocks (cooperatively) until the connection is usable or raises
+      [Connection_failed]. *)
+  val connect : t -> address -> handler -> connection
+
+  type listener
+
+  (** [start_passive t pattern handler] accepts incoming connections
+      matching [pattern]; each acceptance applies [handler] to the new
+      connection. *)
+  val start_passive : t -> address_pattern -> handler -> listener
+
+  (** [stop_passive l] stops accepting.  Existing connections survive. *)
+  val stop_passive : listener -> unit
+
+  (** [allocate_send conn len] is a packet with [len] bytes of payload
+      window and enough headroom for every header this connection's stack
+      will push — filling it and calling [send] involves no further
+      copies. *)
+  val allocate_send : connection -> int -> outgoing_message
+
+  (** [send conn msg] queues [msg] for transmission.  The packet is
+      consumed (the layer may mutate it in place to add headers). *)
+  val send : connection -> outgoing_message -> unit
+
+  (** [prepare_send conn] stages the send path: the returned closure is the
+      late stage, usable many times. *)
+  val prepare_send : connection -> outgoing_message -> unit
+
+  (** [close conn] closes gracefully (for TCP: after delivering queued
+      data, FIN handshake).  The status handler eventually sees
+      {!Status.Closed}. *)
+  val close : connection -> unit
+
+  (** [abort conn] closes immediately and impolitely. *)
+  val abort : connection -> unit
+
+  (** [max_packet_size conn] is the largest [len] accepted by
+      [allocate_send] without lower-layer fragmentation. *)
+  val max_packet_size : connection -> int
+
+  (** [headroom conn] is the total header space this connection's stack
+      pushes in front of a payload. *)
+  val headroom : connection -> int
+
+  (** [tailroom conn] is the total trailer space pushed after a payload
+      (e.g. the Ethernet FCS when software CRC is enabled). *)
+  val tailroom : connection -> int
+
+  val pp_address : Format.formatter -> address -> unit
+end
+
+(** The auxiliary structure TCP and UDP require from the layer below —
+    the paper's Figure 5 ([IP_AUX]).  These are the functions that are
+    traditionally supplied by IP or depend on the form of the IP address
+    (the pseudo-header checksum, the MTU, demultiplexing information), and
+    are required because TCP depends on values carried in the IP header.
+    Keeping them out of [PROTOCOL] means a change of IP version touches the
+    IP implementation and this structure, but not TCP. *)
+module type IP_AUX = sig
+  (** Host identity at the lower layer (an IPv4 address over IP, a MAC
+      address when TCP runs directly over Ethernet). *)
+  type host
+
+  type lower_address
+  type lower_pattern
+  type lower_connection
+
+  val hash : host -> int
+  val equal : host -> host -> bool
+  val to_string : host -> string
+
+  (** [lower_address ~proto host] is the lower-layer address for opening a
+      transport connection ([proto] is the IP protocol number, e.g. 6). *)
+  val lower_address : proto:int -> host -> lower_address
+
+  (** [default_pattern ~proto] is the lower-layer pattern a passive
+      transport instance listens on. *)
+  val default_pattern : proto:int -> lower_pattern
+
+  (** [source conn] is the remote host of a lower connection (the [src]
+      component of the paper's [info]). *)
+  val source : lower_connection -> host
+
+  (** [pseudo conn ~proto ~len] is the pseudo-header checksum accumulator
+      for a [len]-byte transport segment on this connection (the paper's
+      [check]). *)
+  val pseudo : lower_connection -> proto:int -> len:int -> Fox_basis.Checksum.acc
+
+  (** [mtu conn] is the maximum transport-segment size the lower connection
+      carries without fragmentation. *)
+  val mtu : lower_connection -> int
+end

@@ -1,0 +1,204 @@
+(** A blocking, socket-style veneer over any protocol.
+
+    The stack's native interface is upcall-driven (received data is pushed
+    into the handler supplied at open time — Clark's upcalls, as in the
+    x-kernel and the paper).  Many applications are more naturally written
+    pull-style: a thread that [recv]s in a loop.  [Make (P)] bridges the
+    two with a mailbox per connection: the upcall deposits packets, [recv]
+    blocks (cooperatively) until one is available, and connection status
+    transitions resolve pending reads to end-of-stream or errors.
+
+    This is also the shape of interface the paper's Section 6 gestures at
+    when it mentions CML-style abstractions as future work for "use by
+    functional programmers". *)
+
+open Fox_basis
+
+type error = Closed | Reset | Timed_out
+
+let error_to_string = function
+  | Closed -> "closed"
+  | Reset -> "reset"
+  | Timed_out -> "timed out"
+
+exception Socket_error of error
+
+(** The slice of {!Protocol.PROTOCOL} the veneer needs.  A structural
+    signature so protocols whose specific signatures renamed
+    [address_pattern] (e.g. to [pattern], via destructive substitution)
+    can be adapted with a two-line [struct include P ... end]. *)
+module type CONNECTOR = sig
+  type t
+
+  type address
+
+  type address_pattern
+
+  type connection
+
+  type listener
+
+  val connect :
+    t -> address ->
+    (connection -> (Packet.t -> unit) * (Status.t -> unit)) ->
+    connection
+
+  val start_passive :
+    t -> address_pattern ->
+    (connection -> (Packet.t -> unit) * (Status.t -> unit)) ->
+    listener
+
+  val allocate_send : connection -> int -> Packet.t
+
+  val send : connection -> Packet.t -> unit
+
+  val close : connection -> unit
+
+  val abort : connection -> unit
+end
+
+module Make (P : CONNECTOR) : sig
+  type t
+
+  (** [connect instance address] opens actively and returns once
+      established. *)
+  val connect : P.t -> P.address -> t
+
+  (** [listen instance pattern serve] accepts connections and forks one
+      scheduler thread per connection running [serve socket]. *)
+  val listen : P.t -> P.address_pattern -> (t -> unit) -> P.listener
+
+  (** [recv sock] blocks until data arrives; [None] means the peer closed
+      its side (end of stream).  Raises [Socket_error] on reset/timeout. *)
+  val recv : t -> Packet.t option
+
+  (** [recv_string sock] is [recv] as a string. *)
+  val recv_string : t -> string option
+
+  (** [recv_exactly sock n] accumulates exactly [n] bytes (or [None] if
+      the stream ends first). *)
+  val recv_exactly : t -> int -> string option
+
+  (** [send sock packet] queues data (may block on flow control). *)
+  val send : t -> Packet.t -> unit
+
+  (** [send_string sock s] copies [s] into a fresh packet and sends. *)
+  val send_string : t -> string -> unit
+
+  (** [close sock] closes the send side gracefully. *)
+  val close : t -> unit
+
+  (** [abort sock] resets. *)
+  val abort : t -> unit
+
+  (** [peer_closed sock] is true once EOF has been observed. *)
+  val peer_closed : t -> bool
+
+  (** The underlying connection, for statistics. *)
+  val connection : t -> P.connection
+end = struct
+  type item = Data of Packet.t | Eof | Failed of error
+
+  type t = {
+    conn : P.connection;
+    mailbox : item Fox_sched.Cond.t;
+    (* packets whose bytes were partially consumed by recv_exactly *)
+    mutable leftover : string option;
+    mutable eof_seen : bool;
+    mutable failed : error option;
+  }
+
+  let connection t = t.conn
+
+  let peer_closed t = t.eof_seen
+
+  let status_item = function
+    | Status.Remote_close -> Some Eof
+    | Status.Reset -> Some (Failed Reset)
+    | Status.Timed_out -> Some (Failed Timed_out)
+    | Status.Closed | Status.Aborted -> Some (Failed Closed)
+    | Status.Connected | Status.Protocol_error _ -> None
+
+  let make_handler cell conn =
+    let mailbox = Fox_sched.Cond.create () in
+    let sock =
+      { conn; mailbox; leftover = None; eof_seen = false; failed = None }
+    in
+    cell := Some sock;
+    let data packet = Fox_sched.Cond.signal mailbox (Data packet) in
+    let status s =
+      match status_item s with
+      | Some item -> Fox_sched.Cond.signal mailbox item
+      | None -> ()
+    in
+    (sock, data, status)
+
+  let connect instance address =
+    let cell = ref None in
+    let _conn =
+      P.connect instance address (fun conn ->
+          let _sock, data, status = make_handler cell conn in
+          (data, status))
+    in
+    match !cell with
+    | Some sock -> sock
+    | None -> invalid_arg "Socket.connect: handler was not applied"
+
+  let listen instance pattern serve =
+    P.start_passive instance pattern (fun conn ->
+        let cell = ref None in
+        let sock, data, status = make_handler cell conn in
+        Fox_sched.Scheduler.fork (fun () -> serve sock);
+        (data, status))
+
+  let rec recv t =
+    match t.leftover with
+    | Some s ->
+      t.leftover <- None;
+      Some (Packet.of_string s)
+    | None ->
+      if t.eof_seen then None
+      else (
+        match t.failed with
+        | Some e -> raise (Socket_error e)
+        | None -> (
+          match Fox_sched.Cond.wait t.mailbox with
+          | Data packet -> Some packet
+          | Eof ->
+            t.eof_seen <- true;
+            None
+          | Failed e ->
+            t.failed <- Some e;
+            recv t))
+
+  let recv_string t = Option.map Packet.to_string (recv t)
+
+  let recv_exactly t n =
+    let buf = Buffer.create n in
+    let rec go () =
+      if Buffer.length buf >= n then begin
+        let all = Buffer.contents buf in
+        if String.length all > n then
+          t.leftover <- Some (String.sub all n (String.length all - n));
+        Some (String.sub all 0 n)
+      end
+      else
+        match recv_string t with
+        | None -> None
+        | Some s ->
+          Buffer.add_string buf s;
+          go ()
+    in
+    go ()
+
+  let send t packet = P.send t.conn packet
+
+  let send_string t s =
+    let p = P.allocate_send t.conn (String.length s) in
+    Packet.blit_from_string s 0 p 0 (String.length s);
+    P.send t.conn p
+
+  let close t = P.close t.conn
+
+  let abort t = P.abort t.conn
+end

@@ -1,0 +1,27 @@
+(** Connection status messages delivered to a handler's status upcall.
+
+    Every protocol in the stack reports connection lifecycle events through
+    the same small vocabulary, which is what lets handlers be written
+    against the generic {!Protocol.PROTOCOL} signature. *)
+
+type t =
+  | Connected  (** the connection is fully established *)
+  | Remote_close  (** the peer closed its half (EOF after queued data) *)
+  | Closed  (** the connection is fully closed; resources released *)
+  | Reset  (** the peer reset the connection *)
+  | Timed_out  (** the user timeout or retransmission limit expired *)
+  | Aborted  (** the local side aborted *)
+  | Protocol_error of string  (** unrecoverable protocol-level error *)
+
+let to_string = function
+  | Connected -> "connected"
+  | Remote_close -> "remote-close"
+  | Closed -> "closed"
+  | Reset -> "reset"
+  | Timed_out -> "timed-out"
+  | Aborted -> "aborted"
+  | Protocol_error msg -> "protocol-error: " ^ msg
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,1 @@
+lib/fox_sched/channel.ml: Fox_basis List Scheduler

@@ -1,0 +1,1 @@
+lib/fox_sched/cpu.ml: Float Fox_basis Scheduler

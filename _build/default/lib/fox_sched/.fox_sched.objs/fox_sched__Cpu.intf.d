@@ -1,0 +1,1 @@
+lib/fox_sched/cpu.mli: Fox_basis

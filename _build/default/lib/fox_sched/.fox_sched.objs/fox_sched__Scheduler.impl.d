@@ -1,0 +1,1 @@
+lib/fox_sched/scheduler.ml: Effect Fifo Format Fox_basis Heap Int Unix

@@ -1,0 +1,1 @@
+lib/fox_sched/timer.mli:

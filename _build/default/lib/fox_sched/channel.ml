@@ -1,0 +1,101 @@
+(** Synchronous typed channels, CML style.
+
+    The paper's Section 6 names Reppy's Concurrent ML — "typed channels
+    and lightweight threads integrated into a parallel programming
+    environment" — as the interface it might offer functional programmers
+    next.  This module provides the core of that: a ['a t] is a
+    rendezvous point; [send] and [recv] block until both parties arrive,
+    then transfer the value atomically (with respect to the cooperative
+    scheduler).  [select] waits on several channels at once.
+
+    Built entirely on {!Scheduler.suspend}, like everything else in the
+    threading layer. *)
+
+type 'a t = {
+  mutable senders : ('a * (unit -> unit)) Fox_basis.Fifo.t;
+      (** value + resumer of the blocked sender *)
+  mutable receivers : ('a -> unit) Fox_basis.Fifo.t;
+      (** resumers of blocked receivers *)
+}
+
+let create () =
+  { senders = Fox_basis.Fifo.empty; receivers = Fox_basis.Fifo.empty }
+
+(** [send ch v] blocks until a receiver takes [v]. *)
+let send ch v =
+  match Fox_basis.Fifo.next ch.receivers with
+  | Some (resume_rx, rest) ->
+    ch.receivers <- rest;
+    resume_rx v
+  | None ->
+    Scheduler.suspend (fun resume_tx ->
+        ch.senders <-
+          Fox_basis.Fifo.add (v, fun () -> resume_tx ()) ch.senders)
+
+(** [recv ch] blocks until a sender offers a value. *)
+let recv ch =
+  match Fox_basis.Fifo.next ch.senders with
+  | Some ((v, resume_tx), rest) ->
+    ch.senders <- rest;
+    resume_tx ();
+    v
+  | None ->
+    Scheduler.suspend (fun resume_rx -> ch.receivers <- Fox_basis.Fifo.add resume_rx ch.receivers)
+
+(** [try_send ch v] succeeds only if a receiver is already waiting. *)
+let try_send ch v =
+  match Fox_basis.Fifo.next ch.receivers with
+  | Some (resume_rx, rest) ->
+    ch.receivers <- rest;
+    resume_rx v;
+    true
+  | None -> false
+
+(** [try_recv ch] succeeds only if a sender is already waiting. *)
+let try_recv ch =
+  match Fox_basis.Fifo.next ch.senders with
+  | Some ((v, resume_tx), rest) ->
+    ch.senders <- rest;
+    resume_tx ();
+    Some v
+  | None -> None
+
+(** [select chans] blocks until any of [chans] has a sender, returning the
+    channel index and the value.  A ready channel (sender already waiting)
+    wins immediately, earliest channel first. *)
+let select chans =
+  let rec try_ready i = function
+    | [] -> None
+    | ch :: rest -> (
+      match try_recv ch with
+      | Some v -> Some (i, v)
+      | None -> try_ready (i + 1) rest)
+  in
+  match try_ready 0 chans with
+  | Some result -> result
+  | None ->
+    (* park one receiver on every channel; the first sender to arrive
+       wins and the others are disarmed *)
+    Scheduler.suspend (fun resume ->
+        let taken = ref false in
+        List.iteri
+          (fun i ch ->
+            ch.receivers <-
+              Fox_basis.Fifo.add
+                (fun v ->
+                  if !taken then
+                    (* already resolved: put the value back for the next
+                       receiver (re-offer as a ready sender) *)
+                    ch.senders <- Fox_basis.Fifo.add (v, fun () -> ()) ch.senders
+                  else begin
+                    taken := true;
+                    resume (i, v)
+                  end)
+                ch.receivers)
+          chans)
+
+(** Number of blocked senders / receivers (tests, introspection). *)
+
+let waiting_senders ch = Fox_basis.Fifo.size ch.senders
+
+let waiting_receivers ch = Fox_basis.Fifo.size ch.receivers

@@ -1,0 +1,39 @@
+open Fox_basis
+
+type 'a t = {
+  mutable waiting : ('a -> unit) Fifo.t;
+  mutable values : 'a Fifo.t;
+}
+
+let create () = { waiting = Fifo.empty; values = Fifo.empty }
+
+let wait c =
+  match Fifo.next c.values with
+  | Some (v, rest) ->
+    c.values <- rest;
+    v
+  | None ->
+    Scheduler.suspend (fun resume -> c.waiting <- Fifo.add resume c.waiting)
+
+let try_wait c =
+  match Fifo.next c.values with
+  | Some (v, rest) ->
+    c.values <- rest;
+    Some v
+  | None -> None
+
+let signal c v =
+  match Fifo.next c.waiting with
+  | Some (resume, rest) ->
+    c.waiting <- rest;
+    resume v
+  | None -> c.values <- Fifo.add v c.values
+
+let broadcast c v =
+  let waiters = c.waiting in
+  c.waiting <- Fifo.empty;
+  Fifo.iter (fun resume -> resume v) waiters
+
+let waiters c = Fifo.size c.waiting
+
+let pending c = Fifo.size c.values

@@ -1,0 +1,82 @@
+(** The COROUTINE scheduler.
+
+    The paper implements its scheduler "entirely in SML using continuations"
+    — non-preemptive, so thread switches happen only inside scheduler calls
+    and data-structure locks are unnecessary.  We implement the same design
+    with OCaml 5 effect handlers (one-shot delimited continuations, the
+    direct descendant of the [callcc] the Fox project used).
+
+    Time is {e virtual}: a microsecond clock that advances only when every
+    runnable thread has yielded and the earliest sleeper is due.  This makes
+    whole-stack runs deterministic — the property the paper's
+    quasi-synchronous control structure is designed around — and lets the
+    benchmark harness measure protocol dynamics independently of host speed.
+
+    All operations except {!run} must be called from inside a thread of a
+    running scheduler; calling them elsewhere raises [Effect.Unhandled]. *)
+
+(** Statistics returned by {!run}. *)
+type stats = {
+  switches : int;  (** number of times a thread was given the CPU *)
+  forks : int;  (** threads created (including the main thread) *)
+  sleeps : int;  (** calls to [sleep] that actually suspended *)
+  completed : int;  (** threads that ran to completion or exited *)
+  blocked : int;  (** threads still suspended when the run ended *)
+  end_time : int;  (** virtual clock (µs) at termination *)
+}
+
+(** [run ?start_time ?realtime ?idle main] executes [main] and every
+    thread it forks until no thread is runnable or sleeping (or {!stop} is
+    called), then returns run statistics.  Threads blocked forever on a
+    {!suspend} do not prevent termination; they are counted in [blocked].
+
+    By default time is virtual (see above).  With [~realtime:true] the
+    clock follows the wall clock instead: [now] reports real elapsed
+    microseconds and sleepers wait in real time — the mode used when the
+    stack drives a real device (TUN/TAP) and must share timebase with the
+    kernel.
+
+    [idle] is invoked whenever no thread is runnable, with the number of
+    microseconds until the earliest sleeper ([None] if there are no
+    sleepers).  It may block for up to that long (e.g. in [select] on a
+    device) and may make threads runnable by calling resumers obtained
+    from {!suspend} — this is how external I/O enters the scheduler.  When
+    an [idle] hook is present the run only terminates via {!stop} or when
+    the hook leaves the scheduler with neither runnable nor sleeping
+    threads and returns without enqueuing work twice in a row. *)
+val run :
+  ?start_time:int ->
+  ?realtime:bool ->
+  ?idle:(int option -> unit) ->
+  (unit -> unit) ->
+  stats
+
+(** [fork f] creates a new thread running [f].  The current thread keeps
+    the CPU; the new thread runs when the current one yields. *)
+val fork : (unit -> unit) -> unit
+
+(** [yield ()] moves the current thread to the back of the run queue. *)
+val yield : unit -> unit
+
+(** [sleep us] suspends the current thread for [us] virtual microseconds.
+    [sleep 0] is equivalent to [yield] except that it passes through the
+    sleep queue. *)
+val sleep : int -> unit
+
+(** [now ()] is the current virtual time in microseconds. *)
+val now : unit -> int
+
+(** [suspend f] blocks the current thread; [f] receives a resumer that,
+    when called with a value, reschedules the thread with that value as the
+    result of [suspend].  The resumer must be called at most once. *)
+val suspend : (('a -> unit) -> unit) -> 'a
+
+(** [exit_thread ()] terminates the current thread immediately. *)
+val exit_thread : unit -> 'a
+
+(** [stop ()] terminates the whole run: the run queue and sleep queue are
+    discarded and {!run} returns.  Used by servers that would otherwise
+    sleep forever. *)
+val stop : unit -> 'a
+
+val pp_stats : Format.formatter -> stats -> unit

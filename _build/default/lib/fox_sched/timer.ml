@@ -1,0 +1,17 @@
+(* A direct port of Figure 11: the timer is an updatable boolean shared
+   between the creator and the sleeping thread's closure. *)
+
+type t = bool ref
+
+let start handler us =
+  let cleared = ref false in
+  let sleep () =
+    Scheduler.sleep us;
+    if !cleared then () else handler ()
+  in
+  Scheduler.fork sleep;
+  cleared
+
+let clear cleared = cleared := true
+
+let cleared t = !t

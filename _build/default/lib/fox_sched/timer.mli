@@ -1,0 +1,21 @@
+(** Timers, exactly as in Figure 11 of the paper.
+
+    [start] heap-allocates a fresh boolean cell, creates a closure capturing
+    it together with the handler, and forks a thread that sleeps and then
+    calls the handler only if the cell is still unset.  [clear] works "by
+    changing the value of a variable".  TCP's retransmission, delayed-ACK,
+    2MSL and user timers are all built on this. *)
+
+type t
+
+(** [start handler us] arms a timer that calls [handler ()] after [us]
+    virtual microseconds unless cleared first.  Must be called from inside
+    a running scheduler. *)
+val start : (unit -> unit) -> int -> t
+
+(** [clear t] prevents the handler from firing (idempotent; harmless after
+    expiry). *)
+val clear : t -> unit
+
+(** [cleared t] is true once [clear] has been called. *)
+val cleared : t -> bool

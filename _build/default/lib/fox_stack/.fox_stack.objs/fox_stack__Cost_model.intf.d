@@ -1,0 +1,1 @@
+lib/fox_stack/cost_model.mli:

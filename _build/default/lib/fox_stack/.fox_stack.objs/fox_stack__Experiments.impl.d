@@ -1,0 +1,1 @@
+lib/fox_stack/experiments.ml: Cost_model Counters Fox_baseline Fox_basis Fox_ip Fox_sched Fox_tcp Gc List Network Packet Printf Stack

@@ -1,0 +1,1 @@
+lib/fox_stack/stack.ml: Fox_arp Fox_baseline Fox_eth Fox_ip Fox_proto Fox_tcp Fox_udp

@@ -1,0 +1,82 @@
+(* Derivation (see DESIGN.md §3 and EXPERIMENTS.md):
+
+   The fox model targets Table 1's 0.6 Mb/s / 36 ms and Table 2's
+   percentage profile for a 10^6-byte transfer with MSS 1460 (≈685 data
+   segments, ≈343 ACKs, total ≈13.3 s).  Component totals implied by the
+   percentages are converted to per-packet or per-KB rates according to
+   whether the component touches data.  Note the paper's Table 2 rates for
+   copy/checksum come out ~2× the microbenchmark rates it also reports
+   (the profile includes work the microbenchmarks do not); we calibrate to
+   the table, since the table is the reproduction target, and reproduce
+   the microbenchmark rates separately with real code in bench/.
+
+   The x-kernel model targets 2.5 Mb/s / 4.9 ms with bcopy (61 µs/KB) and
+   the basic checksum (375 µs/KB); its protocol costs are weighted toward
+   per-KB terms so that both the throughput and the much lower small-packet
+   round-trip hold simultaneously. *)
+
+type component = { per_segment_us : int; per_kb_us : int }
+
+type t = {
+  tcp : component;
+  ip : component;
+  eth_mach : component;
+  copy : component;
+  checksum : component;
+  mach_send : component;
+  packet_wait : component;
+  gc : component;
+  misc : component;
+  counter_update_us : int;
+}
+
+let fox =
+  (* each protocol component is split half per-segment, half size-scaled
+     (per-KB rate chosen so a 1460-byte segment pays the Table 2 total),
+     so that small ACKs cost roughly half a data segment, as they did on
+     the real machine *)
+  {
+    tcp = { per_segment_us = 1875; per_kb_us = 1285 };
+    ip = { per_segment_us = 500; per_kb_us = 342 };
+    eth_mach = { per_segment_us = 725; per_kb_us = 496 };
+    copy = { per_segment_us = 0; per_kb_us = 1400 };
+    checksum = { per_segment_us = 0; per_kb_us = 680 };
+    mach_send = { per_segment_us = 725; per_kb_us = 496 };
+    packet_wait = { per_segment_us = 2000; per_kb_us = 1370 };
+    gc = { per_segment_us = 220; per_kb_us = 150 };
+    misc = { per_segment_us = 300; per_kb_us = 205 };
+    counter_update_us = 15;
+  }
+
+let xkernel =
+  (* data-touching rates are the paper's direct measurements (bcopy
+     61 µs/KB, x-kernel checksum 375 µs/KB); protocol-processing rates are
+     fitted so the simulated pipeline lands on Table 1's 2.5 Mb/s and
+     4.9 ms *)
+  {
+    tcp = { per_segment_us = 200; per_kb_us = 450 };
+    ip = { per_segment_us = 60; per_kb_us = 125 };
+    eth_mach = { per_segment_us = 90; per_kb_us = 150 };
+    copy = { per_segment_us = 0; per_kb_us = 61 };
+    checksum = { per_segment_us = 0; per_kb_us = 375 };
+    mach_send = { per_segment_us = 75; per_kb_us = 100 };
+    packet_wait = { per_segment_us = 175; per_kb_us = 0 };
+    gc = { per_segment_us = 0; per_kb_us = 0 };
+    misc = { per_segment_us = 30; per_kb_us = 50 };
+    counter_update_us = 15;
+  }
+
+let cost c ~bytes = c.per_segment_us + (c.per_kb_us * bytes / 1024)
+
+let rows t =
+  [
+    ("TCP", t.tcp);
+    ("IP", t.ip);
+    ("eth, Mach interf.", t.eth_mach);
+    ("copy", t.copy);
+    ("checksum", t.checksum);
+    ("Mach send", t.mach_send);
+    ("packet wait", t.packet_wait);
+    ("g. c.", t.gc);
+    ("misc.", t.misc);
+  ]

@@ -1,0 +1,51 @@
+(** Virtual-CPU cost models calibrated to the paper's DECstation 5000/125.
+
+    We cannot run on 1994 hardware, so the per-component costs a host
+    charges in virtual time are derived mechanically from the paper's own
+    measurements (see DESIGN.md §3):
+
+    - the {b fox} model comes from Table 1's 0.6 Mb/s total and Table 2's
+      percentage breakdown, with the data-touching components pinned to the
+      directly reported rates (copy 300 µs/KB, optimised checksum
+      343 µs/KB, counter pair 15 µs);
+    - the {b x-kernel} model comes from Table 1's 2.5 Mb/s total with
+      bcopy at 61 µs/KB and the basic checksum at 375 µs/KB, the remainder
+      distributed over protocol processing in the same proportions.
+
+    Each component cost has a per-segment part and a per-KB part; the
+    harness charges them at the layer boundaries (a {!Fox_proto.Meter}
+    above IP for "tcp"+"checksum"+"copy", one above Ethernet for "ip", and
+    device hooks for "eth, Mach interf.", "Mach send" and "packet wait"),
+    so Table 2 falls out of the counter set and Table 1 out of the virtual
+    clock. *)
+
+(** One component's cost. *)
+type component = {
+  per_segment_us : int;
+  per_kb_us : int;
+}
+
+type t = {
+  tcp : component;
+  ip : component;
+  eth_mach : component;  (** "eth, Mach interf." *)
+  copy : component;
+  checksum : component;
+  mach_send : component;
+  packet_wait : component;
+  gc : component;  (** modelled from the paper's measured share *)
+  misc : component;
+  counter_update_us : int;  (** charged per counter update, Table 2's row *)
+}
+
+(** The structured (Fox Net) configuration. *)
+val fox : t
+
+(** The monolithic (x-kernel-like) configuration. *)
+val xkernel : t
+
+(** [cost c ~bytes] is the µs charge for one [bytes]-byte packet. *)
+val cost : component -> bytes:int -> int
+
+(** Display order and labels matching Table 2's rows. *)
+val rows : t -> (string * component) list

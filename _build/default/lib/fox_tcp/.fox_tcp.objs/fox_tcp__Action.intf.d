@@ -1,0 +1,1 @@
+lib/fox_tcp/action.mli: Fox_basis Tcb Tcp_header

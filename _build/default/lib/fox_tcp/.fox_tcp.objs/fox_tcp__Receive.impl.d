@@ -1,0 +1,1 @@
+lib/fox_tcp/receive.ml: Deq Fox_basis Packet Resend Send Seq Tcb Tcp_header

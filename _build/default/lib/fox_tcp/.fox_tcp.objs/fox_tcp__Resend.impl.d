@@ -1,0 +1,1 @@
+lib/fox_tcp/resend.ml: Deq Fox_basis Seq Tcb

@@ -1,0 +1,1 @@
+lib/fox_tcp/resend.mli: Seq Tcb

@@ -1,0 +1,1 @@
+lib/fox_tcp/send.ml: Deq Fox_basis Packet Resend Seq Tcb

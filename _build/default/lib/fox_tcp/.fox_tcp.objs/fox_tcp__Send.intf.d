@@ -1,0 +1,1 @@
+lib/fox_tcp/send.mli: Fox_basis Tcb

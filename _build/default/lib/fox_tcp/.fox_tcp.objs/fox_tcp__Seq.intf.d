@@ -1,0 +1,1 @@
+lib/fox_tcp/seq.mli: Format

@@ -1,0 +1,1 @@
+lib/fox_tcp/state.ml: Fox_basis Resend Send Seq Tcb Tcp_header

@@ -1,0 +1,1 @@
+lib/fox_tcp/state.mli: Seq Tcb

@@ -1,0 +1,1 @@
+lib/fox_tcp/tcb.ml: Deq Fifo Format Fox_basis Packet Seq Tcp_header

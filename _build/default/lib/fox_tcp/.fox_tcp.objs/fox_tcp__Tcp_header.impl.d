@@ -1,0 +1,1 @@
+lib/fox_tcp/tcp_header.ml: Checksum Format Fox_basis Packet Printf Seq

@@ -1,0 +1,1 @@
+lib/fox_tcp/tcp_header.mli: Format Fox_basis Seq

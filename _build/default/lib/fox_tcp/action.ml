@@ -1,0 +1,21 @@
+open Fox_basis
+
+let internalize ?alg ~pseudo packet ~now =
+  match Tcp_header.decode ?alg ~pseudo packet with
+  | Error e -> Error e
+  | Ok hdr -> Ok { Tcb.hdr; data = packet; arrived_at = now }
+
+let externalize ?alg ~pseudo_for ~hdr ~data ~allocate ~send () =
+  let hlen = Tcp_header.header_length hdr in
+  match data with
+  | Some packet ->
+    let saved = Packet.save packet in
+    let pseudo = pseudo_for (hlen + Packet.length packet) in
+    Tcp_header.encode ?alg ~pseudo hdr packet;
+    send packet;
+    Packet.restore packet saved
+  | None ->
+    let packet = allocate 0 in
+    let pseudo = pseudo_for hlen in
+    Tcp_header.encode ?alg ~pseudo hdr packet;
+    send packet

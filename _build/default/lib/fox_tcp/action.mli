@@ -1,0 +1,42 @@
+(** Segment externalisation and internalisation.
+
+    This is the wire-facing half of the paper's [Action] module ("timers
+    and segment externalization and internalization" — the timers
+    themselves are armed by the engine through {!Fox_sched.Timer}, since
+    they need the connection):
+
+    - [internalize] turns a received packet into a {!Tcb.segment}:
+      checksum verification (against the pseudo-header supplied by the
+      [IP_AUX] structure) and header decoding.  The caller then queues a
+      [Process_data] action — receive processing itself never happens in
+      the network upcall.
+    - [externalize] turns a {!Tcb.send_segment} into bytes on the wire:
+      header encoding, checksumming, and the single-buffer retransmission
+      discipline (push headers into the segment's own buffer, send — the
+      simulated device copies synchronously, like the paper's Mach
+      interface — then restore the buffer for a possible retransmission).
+*)
+
+(** [internalize ?alg ~pseudo packet ~now] decodes and verifies; the
+    packet window is left at the segment text. *)
+val internalize :
+  ?alg:Fox_basis.Checksum.alg ->
+  pseudo:Fox_basis.Checksum.acc option ->
+  Fox_basis.Packet.t ->
+  now:int ->
+  (Tcb.segment, Tcp_header.error) result
+
+(** [externalize ?alg ~pseudo_for ~hdr ~data ~allocate ~send] encodes and
+    transmits one segment.  [pseudo_for len] must give the pseudo-header
+    accumulator for a [len]-byte segment; [allocate n] must return a packet
+    with [n] bytes of window and full lower-stack headroom (used when
+    [data] is [None]). *)
+val externalize :
+  ?alg:Fox_basis.Checksum.alg ->
+  pseudo_for:(int -> Fox_basis.Checksum.acc option) ->
+  hdr:Tcp_header.t ->
+  data:Fox_basis.Packet.t option ->
+  allocate:(int -> Fox_basis.Packet.t) ->
+  send:(Fox_basis.Packet.t -> unit) ->
+  unit ->
+  unit

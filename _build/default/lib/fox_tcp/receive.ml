@@ -1,0 +1,445 @@
+open Fox_basis
+open Tcb
+
+(* ------------------------------------------------------------------ *)
+(* Acknowledgement policy                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Queue an immediate ACK. *)
+let ack_now tcb =
+  if tcb.ack_timer_on then begin
+    tcb.ack_timer_on <- false;
+    add_to_do tcb (Clear_timer Delayed_ack)
+  end;
+  tcb.ack_pending <- false;
+  add_to_do tcb Send_ack
+
+(* Data arrived in order: acknowledge every second segment immediately,
+   otherwise start the delayed-ACK timer ("a Set_Timer for the ack timer if
+   the ack is to be delayed", Section 4). *)
+let ack_data (params : params) tcb =
+  if params.delayed_ack_us <= 0 then ack_now tcb
+  else if tcb.ack_pending then ack_now tcb
+  else begin
+    tcb.ack_pending <- true;
+    if not tcb.ack_timer_on then begin
+      tcb.ack_timer_on <- true;
+      add_to_do tcb (Set_timer (Delayed_ack, params.delayed_ack_us))
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Segment acceptability (RFC 793 p. 69, the four-case table)          *)
+(* ------------------------------------------------------------------ *)
+
+let acceptable tcb seg =
+  let len = seg_len seg in
+  let seq = seg.hdr.Tcp_header.seq in
+  match (len, tcb.rcv_wnd) with
+  | 0, 0 -> Seq.equal seq tcb.rcv_nxt
+  | 0, _ -> Seq.in_window ~base:tcb.rcv_nxt ~size:tcb.rcv_wnd seq
+  | _, 0 -> false
+  | _, _ ->
+    Seq.in_window ~base:tcb.rcv_nxt ~size:tcb.rcv_wnd seq
+    || Seq.in_window ~base:tcb.rcv_nxt ~size:tcb.rcv_wnd
+         (Seq.add seq (len - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Out-of-order queue                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let insert_out_of_order tcb seg =
+  tcb.ooo_segments <- tcb.ooo_segments + 1;
+  let seq_of s = s.hdr.Tcp_header.seq in
+  (* keep sorted; drop exact duplicates (same start) *)
+  let rec ins = function
+    | [] -> [ seg ]
+    | s :: rest as all ->
+      if Seq.lt (seq_of seg) (seq_of s) then seg :: all
+      else if Seq.equal (seq_of seg) (seq_of s) then begin
+        tcb.dup_segments <- tcb.dup_segments + 1;
+        all
+      end
+      else s :: ins rest
+  in
+  tcb.out_of_order <- ins tcb.out_of_order
+
+(* ------------------------------------------------------------------ *)
+(* In-order text delivery                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Deliver the in-window part of an in-order segment, advance rcv_nxt, and
+   absorb any out-of-order segments that became contiguous.  Returns true
+   when the segment's FIN was consumed (its sequence number reached). *)
+let deliver_text (params : params) tcb seg =
+  let fin_seen = ref false in
+  let consume s =
+    let seq = s.hdr.Tcp_header.seq in
+    let data_len = Packet.length s.data in
+    let offset = Seq.diff tcb.rcv_nxt seq in
+    (* [offset] bytes are old (already delivered); skip them *)
+    if offset < data_len then begin
+      let fresh =
+        if offset = 0 then s.data
+        else Packet.sub s.data offset (data_len - offset)
+      in
+      tcb.bytes_in <- tcb.bytes_in + Packet.length fresh;
+      add_to_do tcb (User_data fresh);
+      tcb.rcv_nxt <- Seq.add seq data_len
+    end
+    else if data_len > 0 && offset > data_len then tcb.dup_segments <- tcb.dup_segments + 1;
+    (* consume the FIN if it is exactly next *)
+    if s.hdr.Tcp_header.fin && Seq.equal tcb.rcv_nxt (Seq.add seq data_len)
+    then begin
+      tcb.rcv_nxt <- Seq.add tcb.rcv_nxt 1;
+      fin_seen := true
+    end
+  in
+  consume seg;
+  (* absorb contiguous out-of-order segments *)
+  let rec absorb () =
+    match tcb.out_of_order with
+    | s :: rest when Seq.le s.hdr.Tcp_header.seq tcb.rcv_nxt ->
+      tcb.out_of_order <- rest;
+      if Seq.ge (Seq.add s.hdr.Tcp_header.seq (seg_len s)) tcb.rcv_nxt then
+        consume s
+      else tcb.dup_segments <- tcb.dup_segments + 1;
+      absorb ()
+    | _ -> ()
+  in
+  absorb ();
+  (* a pushed segment marks the end of an application write: acknowledge
+     immediately rather than waiting out the delayed-ACK timer *)
+  if seg.hdr.Tcp_header.psh then ack_now tcb else ack_data params tcb;
+  !fin_seen
+
+(* ------------------------------------------------------------------ *)
+(* The fast path ("handle the normal cases quickly")                  *)
+(* ------------------------------------------------------------------ *)
+
+let fast_path (params : params) tcb seg ~now =
+  let h = seg.hdr in
+  let predictable =
+    h.Tcp_header.ack_flag
+    && (not h.Tcp_header.syn) && (not h.Tcp_header.fin) && (not h.Tcp_header.rst)
+    && (not h.Tcp_header.urg)
+    && Seq.equal h.Tcp_header.seq tcb.rcv_nxt
+    && tcb.out_of_order = []
+  in
+  if not predictable then false
+  else begin
+    let data_len = Packet.length seg.data in
+    if data_len = 0 then begin
+      (* pure ACK for new data, window unchanged *)
+      if
+        Seq.gt h.Tcp_header.ack tcb.snd_una
+        && Seq.le h.Tcp_header.ack tcb.snd_nxt
+        && h.Tcp_header.window = tcb.snd_wnd
+      then begin
+        tcb.fast_path_hits <- tcb.fast_path_hits + 1;
+        ignore (Resend.process_ack params tcb ~ack:h.Tcp_header.ack ~now);
+        Send.segmentize params tcb ~now;
+        true
+      end
+      else false
+    end
+    else if
+      (* in-order data, pure receiver side: ack must not move our send
+         state and must fit the receive window *)
+      Seq.equal h.Tcp_header.ack tcb.snd_una
+      && data_len <= tcb.rcv_wnd
+    then begin
+      tcb.fast_path_hits <- tcb.fast_path_hits + 1;
+      tcb.segs_in <- tcb.segs_in + 1;
+      tcb.bytes_in <- tcb.bytes_in + data_len;
+      add_to_do tcb (User_data seg.data);
+      tcb.rcv_nxt <- Seq.add h.Tcp_header.seq data_len;
+      (* window update still applies *)
+      tcb.snd_wnd <- h.Tcp_header.window;
+      tcb.snd_wl1 <- h.Tcp_header.seq;
+      tcb.snd_wl2 <- h.Tcp_header.ack;
+      if h.Tcp_header.psh then ack_now tcb else ack_data params tcb;
+      true
+    end
+    else false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The full DAG                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* RFC 793 p. 72, fifth step: ACK processing common to the synchronised
+   states.  Returns [`Drop] when the segment must not be processed
+   further, [`Continue] otherwise. *)
+let process_ack_common (params : params) tcb seg ~now =
+  let h = seg.hdr in
+  if not h.Tcp_header.ack_flag then `Drop
+  else begin
+    let ack = h.Tcp_header.ack in
+    if Seq.gt ack tcb.snd_nxt then begin
+      (* acking the future: ack and drop *)
+      ack_now tcb;
+      `Drop
+    end
+    else begin
+      if Seq.gt ack tcb.snd_una then
+        ignore (Resend.process_ack params tcb ~ack ~now)
+      else if
+        (* RFC 5681-style duplicate: no data, window unchanged, data
+           outstanding *)
+        Seq.equal ack tcb.snd_una
+        && Packet.length seg.data = 0
+        && (not (Deq.is_empty tcb.rtx_q))
+        && h.Tcp_header.window = tcb.snd_wnd
+      then Resend.duplicate_ack params tcb ~now;
+      (* window update (p. 72) *)
+      if
+        Seq.lt tcb.snd_wl1 h.Tcp_header.seq
+        || (Seq.equal tcb.snd_wl1 h.Tcp_header.seq && Seq.le tcb.snd_wl2 ack)
+      then begin
+        let opening = h.Tcp_header.window > tcb.snd_wnd in
+        tcb.snd_wnd <- h.Tcp_header.window;
+        tcb.snd_wl1 <- h.Tcp_header.seq;
+        tcb.snd_wl2 <- ack;
+        if opening then add_to_do tcb (Clear_timer Window_probe)
+      end;
+      Send.segmentize params tcb ~now;
+      `Continue
+    end
+  end
+
+(* Eighth step: FIN processing shared by the states that accept one.
+   Returns the successor state. *)
+let process_fin (params : params) state tcb =
+  add_to_do tcb Peer_close;
+  ack_now tcb;
+  ignore params;
+  match state with
+  | Estab _ -> Close_wait tcb
+  | Fin_wait_1 _ ->
+    if tcb.fin_acked then begin
+      add_to_do tcb (Set_timer (Time_wait, params.time_wait_us));
+      Time_wait tcb
+    end
+    else Closing tcb
+  | Fin_wait_2 _ ->
+    add_to_do tcb (Set_timer (Time_wait, params.time_wait_us));
+    Time_wait tcb
+  | Close_wait _ | Closing _ | Last_ack _ -> state
+  | Time_wait _ ->
+    (* restart the 2MSL timer *)
+    add_to_do tcb (Set_timer (Time_wait, params.time_wait_us));
+    state
+  | Closed | Listen | Syn_sent _ | Syn_active _ | Syn_passive _ -> state
+
+(* SYN-SENT (RFC 793 p. 66). *)
+let process_syn_sent (params : params) tcb seg ~now =
+  let h = seg.hdr in
+  let ack_acceptable =
+    h.Tcp_header.ack_flag
+    && Seq.gt h.Tcp_header.ack tcb.iss
+    && Seq.le h.Tcp_header.ack tcb.snd_nxt
+  in
+  if h.Tcp_header.ack_flag && not ack_acceptable then begin
+    (* bad ACK: reset unless it is itself a reset *)
+    if not h.Tcp_header.rst then
+      add_to_do tcb
+        (Send_segment
+           {
+             out_seq = h.Tcp_header.ack;
+             out_syn = false;
+             out_fin = false;
+             out_rst = true;
+             out_psh = false;
+             out_ack = false;
+             out_data = None;
+             out_mss = None;
+             out_is_rtx = false;
+           });
+    Syn_sent tcb
+  end
+  else if h.Tcp_header.rst then begin
+    if ack_acceptable then begin
+      add_to_do tcb Peer_reset;
+      add_to_do tcb Delete_tcb;
+      Closed
+    end
+    else Syn_sent tcb
+  end
+  else if h.Tcp_header.syn then begin
+    tcb.irs <- h.Tcp_header.seq;
+    tcb.rcv_nxt <- Seq.add h.Tcp_header.seq 1;
+    (match h.Tcp_header.mss with
+    | Some mss -> tcb.snd_mss <- min tcb.snd_mss mss
+    | None -> ());
+    if ack_acceptable then begin
+      (* our SYN is acknowledged: connection established *)
+      ignore (Resend.process_ack params tcb ~ack:h.Tcp_header.ack ~now);
+      tcb.snd_wnd <- h.Tcp_header.window;
+      tcb.snd_wl1 <- h.Tcp_header.seq;
+      tcb.snd_wl2 <- h.Tcp_header.ack;
+      ack_now tcb;
+      add_to_do tcb Complete_open;
+      (* any queued early data may now flow *)
+      Send.segmentize params tcb ~now;
+      (* a FIN can ride on the SYN-ACK *)
+      if h.Tcp_header.fin then process_fin params (Estab tcb) tcb
+      else Estab tcb
+    end
+    else begin
+      (* simultaneous open: SYN without ACK; answer with SYN-ACK *)
+      tcb.snd_wnd <- h.Tcp_header.window;
+      tcb.snd_wl1 <- h.Tcp_header.seq;
+      tcb.snd_wl2 <- Seq.zero;
+      add_to_do tcb
+        (Send_segment
+           {
+             out_seq = tcb.iss;
+             out_syn = true;
+             out_fin = false;
+             out_rst = false;
+             out_psh = false;
+             out_ack = true;
+             out_data = None;
+             out_mss = Some tcb.adv_mss;
+             out_is_rtx = true (* re-sends iss, already on the rtx queue *);
+           });
+      Syn_active tcb
+    end
+  end
+  else Syn_sent tcb
+
+(* The synchronised-state steps (pp. 69–76), shared from SYN-RECEIVED
+   through TIME-WAIT. *)
+let process_synchronized (params : params) state tcb seg ~now =
+  let h = seg.hdr in
+  (* first: sequence-number acceptability *)
+  if not (acceptable tcb seg) then begin
+    tcb.dup_segments <- tcb.dup_segments + 1;
+    if not h.Tcp_header.rst then begin
+      ack_now tcb;
+      (* RFC 793 p.73: in TIME-WAIT "the only thing that can arrive … is a
+         retransmission of the remote FIN.  Acknowledge it, and restart
+         the 2 MSL timeout." *)
+      match state with
+      | Time_wait _ when h.Tcp_header.fin ->
+        add_to_do tcb (Set_timer (Time_wait, params.time_wait_us))
+      | _ -> ()
+    end;
+    state
+  end
+  else if h.Tcp_header.rst then begin
+    (* second: RST *)
+    add_to_do tcb Peer_reset;
+    add_to_do tcb Delete_tcb;
+    Closed
+  end
+  else if h.Tcp_header.syn && Seq.ge h.Tcp_header.seq tcb.rcv_nxt then begin
+    (* fourth: SYN in the window is an error; reset the connection *)
+    add_to_do tcb
+      (Send_segment
+         {
+           out_seq = tcb.snd_nxt;
+           out_syn = false;
+           out_fin = false;
+           out_rst = true;
+           out_psh = false;
+           out_ack = false;
+           out_data = None;
+           out_mss = None;
+           out_is_rtx = false;
+         });
+    add_to_do tcb Peer_reset;
+    add_to_do tcb Delete_tcb;
+    Closed
+  end
+  else begin
+    (* fifth: ACK *)
+    (* SYN-RECEIVED first moves to ESTABLISHED when our SYN is acked *)
+    let state =
+      match state with
+      | Syn_active _ | Syn_passive _ ->
+        if
+          h.Tcp_header.ack_flag
+          && Seq.gt h.Tcp_header.ack tcb.snd_una
+          && Seq.le h.Tcp_header.ack tcb.snd_nxt
+        then begin
+          tcb.snd_wnd <- h.Tcp_header.window;
+          tcb.snd_wl1 <- h.Tcp_header.seq;
+          tcb.snd_wl2 <- h.Tcp_header.ack;
+          add_to_do tcb Complete_open;
+          Estab tcb
+        end
+        else state
+      | _ -> state
+    in
+    match state with
+    | Syn_active _ | Syn_passive _ ->
+      (* still waiting for the handshake ACK; nothing more to do *)
+      state
+    | _ -> (
+      match process_ack_common params tcb seg ~now with
+      | `Drop -> state
+      | `Continue ->
+        (* state-specific consequences of the ACK *)
+        let state =
+          match state with
+          | Fin_wait_1 _ when tcb.fin_acked -> Fin_wait_2 tcb
+          | Closing _ when tcb.fin_acked ->
+            add_to_do tcb (Set_timer (Time_wait, params.time_wait_us));
+            Time_wait tcb
+          | Last_ack _ when tcb.fin_acked ->
+            add_to_do tcb Complete_close;
+            add_to_do tcb Delete_tcb;
+            Closed
+          | Time_wait _ ->
+            (* retransmitted FIN: ack it, restart 2MSL *)
+            if h.Tcp_header.fin then begin
+              ack_now tcb;
+              add_to_do tcb (Set_timer (Time_wait, params.time_wait_us))
+            end;
+            state
+          | s -> s
+        in
+        if Closed = state then Closed
+        else begin
+          (* seventh: segment text *)
+          let fin_consumed =
+            match state with
+            | Estab _ | Fin_wait_1 _ | Fin_wait_2 _ ->
+              if Packet.length seg.data > 0 || h.Tcp_header.fin then begin
+                if Seq.le h.Tcp_header.seq tcb.rcv_nxt then begin
+                  tcb.segs_in <- tcb.segs_in + 1;
+                  deliver_text params tcb seg
+                end
+                else begin
+                  (* out of order: queue it and send a duplicate ACK *)
+                  insert_out_of_order tcb seg;
+                  ack_now tcb;
+                  false
+                end
+              end
+              else false
+            | _ ->
+              (* past ESTABLISHED a FIN retransmission may still arrive *)
+              h.Tcp_header.fin
+              && Seq.equal (Seq.add h.Tcp_header.seq (Packet.length seg.data))
+                   (Seq.add tcb.rcv_nxt (-1))
+              |> fun retrans ->
+              if retrans then ack_now tcb;
+              false
+          in
+          (* eighth: FIN *)
+          if fin_consumed then process_fin params state tcb else state
+        end)
+  end
+
+let process (params : params) state seg ~now =
+  match state with
+  | Syn_sent tcb -> process_syn_sent params tcb seg ~now
+  | Syn_active tcb | Syn_passive tcb | Estab tcb | Fin_wait_1 tcb
+  | Fin_wait_2 tcb | Close_wait tcb | Closing tcb | Last_ack tcb
+  | Time_wait tcb ->
+    process_synchronized params state tcb seg ~now
+  | Closed | Listen ->
+    invalid_arg "Receive.process: CLOSED/LISTEN are handled by the engine"

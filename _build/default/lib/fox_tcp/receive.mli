@@ -1,0 +1,25 @@
+(** Processing of incoming segments.
+
+    This is the paper's [Receive] module.  The standard describes segment
+    arrival as "a procedure with branch points and merge points, but no
+    loops (a directed acyclic graph)"; [process] implements exactly the
+    branches of RFC 793 pp. 64–76, with functions as labels for the merge
+    points, so the code can be read side by side with the standard.
+
+    A header-prediction fast path ([fast_path], tried first by the engine
+    in the established state) handles the common case — the next expected
+    in-order data segment or a plain ACK with no state changes — and
+    "defers to the full code for the less common cases", as Section 4
+    describes.
+
+    Everything communicates by queuing {!Tcb.tcp_action}s; given the order
+    in which segments are presented, the result is fully deterministic. *)
+
+(** [process params state segment ~now] runs the receive DAG and returns
+    the successor state.  [state] must carry a TCB (the engine handles
+    CLOSED and LISTEN itself, since they have none). *)
+val process : Tcb.params -> Tcb.tcp_state -> Tcb.segment -> now:int -> Tcb.tcp_state
+
+(** [fast_path params tcb segment ~now] attempts header prediction on an
+    established connection; [true] means the segment was fully handled. *)
+val fast_path : Tcb.params -> Tcb.tcp_tcb -> Tcb.segment -> now:int -> bool

@@ -1,0 +1,152 @@
+open Fox_basis
+open Tcb
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let rto (params : params) tcb =
+  clamp params.rto_min_us params.rto_max_us (tcb.rto_us lsl tcb.backoff)
+
+(* Jacobson 1988, in microseconds with the standard 1/8 and 1/4 gains. *)
+let sample (params : params) tcb ~sample_us =
+  if tcb.srtt_us < 0 then begin
+    tcb.srtt_us <- sample_us;
+    tcb.rttvar_us <- sample_us / 2
+  end
+  else begin
+    let err = sample_us - tcb.srtt_us in
+    tcb.srtt_us <- tcb.srtt_us + (err / 8);
+    let dev = abs err - tcb.rttvar_us in
+    tcb.rttvar_us <- tcb.rttvar_us + (dev / 4)
+  end;
+  tcb.rto_us <-
+    clamp params.rto_min_us params.rto_max_us
+      (tcb.srtt_us + max 1 (4 * tcb.rttvar_us))
+
+let set_rtx_timer params tcb =
+  if not tcb.rtx_timer_on then begin
+    tcb.rtx_timer_on <- true;
+    add_to_do tcb (Set_timer (Retransmit, rto params tcb))
+  end
+
+let clear_rtx_timer tcb =
+  if tcb.rtx_timer_on then begin
+    tcb.rtx_timer_on <- false;
+    add_to_do tcb (Clear_timer Retransmit)
+  end
+
+let track tcb entry ~now =
+  entry.first_sent_at <- now;
+  tcb.rtx_q <- Deq.push_back entry tcb.rtx_q;
+  (* Karn: time one segment at a time, never a retransmission. *)
+  (match tcb.timing with
+  | None when entry.sent_count = 1 ->
+    tcb.timing <- Some (Seq.add entry.rtx_seq entry.rtx_len, now)
+  | _ -> ());
+  if not tcb.rtx_timer_on then begin
+    tcb.rtx_timer_on <- true;
+    add_to_do tcb (Set_timer (Retransmit, tcb.rto_us lsl tcb.backoff))
+  end
+
+(* Grow cwnd on new data acknowledged: exponentially below ssthresh (slow
+   start), by one MSS per window above it (congestion avoidance). *)
+let open_cwnd tcb ~acked =
+  if tcb.cwnd < tcb.ssthresh then tcb.cwnd <- tcb.cwnd + min acked tcb.snd_mss
+  else
+    tcb.cwnd <-
+      tcb.cwnd + max 1 (tcb.snd_mss * tcb.snd_mss / max tcb.cwnd 1)
+
+let resend_entry tcb entry =
+  entry.sent_count <- entry.sent_count + 1;
+  tcb.retransmissions <- tcb.retransmissions + 1;
+  (* Karn: a retransmitted sequence range must not produce an RTT sample. *)
+  (match tcb.timing with
+  | Some (timed_end, _)
+    when Seq.in_window ~base:entry.rtx_seq ~size:entry.rtx_len
+           (Seq.add timed_end (-1)) ->
+    tcb.timing <- None
+  | _ -> ());
+  add_to_do tcb
+    (Send_segment
+       {
+         out_seq = entry.rtx_seq;
+         out_syn = entry.rtx_syn;
+         out_fin = entry.rtx_fin;
+         out_rst = false;
+         out_psh = entry.rtx_data <> None;
+         out_ack = entry.rtx_ack;
+         out_data = entry.rtx_data;
+         out_mss = entry.rtx_mss;
+         out_is_rtx = true;
+       })
+
+let process_ack (params : params) tcb ~ack ~now =
+  if Seq.le ack tcb.snd_una then false
+  else begin
+    let acked = Seq.diff ack tcb.snd_una in
+    tcb.snd_una <- ack;
+    tcb.dup_acks <- 0;
+    (* drop fully covered entries; the front entry may be partially
+       covered (can only happen for data segments) *)
+    let rec drop q =
+      match Deq.pop_front q with
+      | None -> q
+      | Some (e, rest) ->
+        let seg_end = Seq.add e.rtx_seq e.rtx_len in
+        if Seq.le seg_end ack then begin
+          if e.rtx_fin then tcb.fin_acked <- true;
+          drop rest
+        end
+        else q
+    in
+    tcb.rtx_q <- drop tcb.rtx_q;
+    (* RTT sample if the timed octet is now acknowledged *)
+    (match tcb.timing with
+    | Some (timed_end, sent_at) when Seq.le timed_end ack ->
+      tcb.timing <- None;
+      sample params tcb ~sample_us:(now - sent_at)
+    | _ -> ());
+    tcb.backoff <- 0;
+    if params.congestion_control then open_cwnd tcb ~acked;
+    if Deq.is_empty tcb.rtx_q then clear_rtx_timer tcb
+    else begin
+      (* restart the timer for the remaining data *)
+      clear_rtx_timer tcb;
+      set_rtx_timer params tcb
+    end;
+    true
+  end
+
+let duplicate_ack (params : params) tcb ~now =
+  ignore now;
+  if params.fast_retransmit && not (Deq.is_empty tcb.rtx_q) then begin
+    tcb.dup_acks <- tcb.dup_acks + 1;
+    if tcb.dup_acks = 3 then begin
+      (* fast retransmit: resend the first unacknowledged segment and
+         deflate the congestion window *)
+      if params.congestion_control then begin
+        tcb.ssthresh <- max (flight_size tcb / 2) (2 * tcb.snd_mss);
+        tcb.cwnd <- tcb.ssthresh
+      end;
+      match Deq.peek_front tcb.rtx_q with
+      | Some entry -> resend_entry tcb entry
+      | None -> ()
+    end
+  end
+
+let retransmit (params : params) tcb ~now =
+  ignore now;
+  tcb.rtx_timer_on <- false;
+  match Deq.peek_front tcb.rtx_q with
+  | None -> true (* spurious: nothing outstanding *)
+  | Some entry ->
+    if entry.sent_count > params.max_retransmits then false
+    else begin
+      if params.congestion_control then begin
+        tcb.ssthresh <- max (flight_size tcb / 2) (2 * tcb.snd_mss);
+        tcb.cwnd <- tcb.snd_mss
+      end;
+      tcb.backoff <- min (tcb.backoff + 1) 16;
+      resend_entry tcb entry;
+      set_rtx_timer params tcb;
+      true
+    end

@@ -1,0 +1,48 @@
+(** Retransmission and round-trip-time estimation.
+
+    This is the paper's [Resend] module: it implements "the round-trip time
+    computations developed by Karn and Jacobson" and removes acknowledged
+    segments from the retransmit queue.  It also carries the RFC 1122
+    congestion machinery (slow start, congestion avoidance, and optional
+    fast retransmit), each switchable through {!Tcb.params} so the
+    benchmark harness can ablate them.
+
+    All functions operate on a {!Tcb.tcp_tcb} and communicate with the rest
+    of TCP exclusively by queuing {!Tcb.tcp_action}s — nothing here sends a
+    packet or touches a real timer. *)
+
+(** [track tcb entry ~now] appends a freshly sent segment to the
+    retransmission queue, starts RTT timing for it when no segment is being
+    timed (Karn's rule times at most one, and never a retransmission), and
+    queues [Set_timer Retransmit] if the timer is not running. *)
+val track : Tcb.tcp_tcb -> Tcb.rtx_entry -> now:int -> unit
+
+(** [process_ack params tcb ~ack ~now] handles an acceptable ACK: drops
+    covered entries from the queue, takes an RTT sample if the timed
+    segment is covered (updating SRTT/RTTVAR and the RTO per Jacobson),
+    resets the backoff, opens the congestion window, advances [snd_una],
+    detects that our FIN was acknowledged ([tcb.fin_acked]), and manages
+    the retransmit timer ([Set_timer]/[Clear_timer] actions).
+
+    Returns [true] when the ACK acknowledged new data. *)
+val process_ack : Tcb.params -> Tcb.tcp_tcb -> ack:Seq.t -> now:int -> bool
+
+(** [duplicate_ack params tcb ~now] counts a duplicate ACK; on the third,
+    when fast retransmit is enabled, retransmits the first queue entry and
+    deflates the congestion window. *)
+val duplicate_ack : Tcb.params -> Tcb.tcp_tcb -> now:int -> unit
+
+(** [retransmit params tcb ~now] handles a retransmission timeout: resends
+    the first queue entry, doubles the backoff, collapses the congestion
+    window, and re-arms the timer.  Returns [false] when the retry budget
+    ([params.max_retransmits]) is exhausted — the caller then gives up on
+    the connection. *)
+val retransmit : Tcb.params -> Tcb.tcp_tcb -> now:int -> bool
+
+(** [rto params tcb] is the current retransmission timeout with backoff
+    applied, clamped to the configured bounds. *)
+val rto : Tcb.params -> Tcb.tcp_tcb -> int
+
+(** [sample params tcb ~sample_us] feeds one RTT measurement to the
+    Jacobson estimator (exposed for unit tests). *)
+val sample : Tcb.params -> Tcb.tcp_tcb -> sample_us:int -> unit

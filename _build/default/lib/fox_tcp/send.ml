@@ -1,0 +1,117 @@
+open Fox_basis
+open Tcb
+
+let usable_window (params : params) tcb =
+  let wnd =
+    if params.congestion_control then min tcb.snd_wnd tcb.cwnd else tcb.snd_wnd
+  in
+  max 0 (wnd - flight_size tcb)
+
+(* Take up to [budget] bytes off the front of the queued deque.  When a
+   whole user packet fits it is used as segment text directly (the
+   single-copy discipline); only a packet straddling the segment boundary
+   is split, which costs one copy of the head piece. *)
+let take_bytes tcb budget =
+  match Deq.pop_front tcb.queued with
+  | None -> None
+  | Some (packet, rest) ->
+    let len = Packet.length packet in
+    if len <= budget then begin
+      tcb.queued <- rest;
+      tcb.queued_bytes <- tcb.queued_bytes - len;
+      Some packet
+    end
+    else begin
+      let head = Packet.sub ~headroom:64 packet 0 budget in
+      let tail = Packet.sub ~headroom:64 packet budget (len - budget) in
+      tcb.queued <- Deq.push_front tail rest;
+      tcb.queued_bytes <- tcb.queued_bytes - budget;
+      Some head
+    end
+
+let emit_segment (_params : params) tcb ~now ~data ~fin =
+  let len = (match data with Some d -> Packet.length d | None -> 0)
+            + if fin then 1 else 0 in
+  let entry =
+    {
+      rtx_seq = tcb.snd_nxt;
+      rtx_len = len;
+      rtx_syn = false;
+      rtx_fin = fin;
+      rtx_ack = true;
+      rtx_data = data;
+      rtx_mss = None;
+      first_sent_at = now;
+      sent_count = 1;
+    }
+  in
+  tcb.snd_nxt <- Seq.add tcb.snd_nxt len;
+  add_to_do tcb
+    (Send_segment
+       {
+         out_seq = entry.rtx_seq;
+         out_syn = false;
+         out_fin = fin;
+         out_rst = false;
+         out_psh = data <> None && Deq.is_empty tcb.queued;
+         out_ack = true;
+         out_data = data;
+         out_mss = None;
+         out_is_rtx = false;
+       });
+  Resend.track tcb entry ~now
+
+let may_send_fin tcb =
+  tcb.fin_pending && (not tcb.fin_sent) && tcb.queued_bytes = 0
+
+let rec segmentize (params : params) tcb ~now =
+  let usable = usable_window params tcb in
+  if tcb.queued_bytes > 0 then begin
+    let size = min (min tcb.queued_bytes tcb.snd_mss) usable in
+    if size = 0 then begin
+      (* window closed (or full): if nothing is in flight to provoke more
+         ACKs, arm the zero-window probe timer *)
+      if tcb.snd_wnd = 0 && Deq.is_empty tcb.rtx_q then
+        add_to_do tcb (Set_timer (Window_probe, Resend.rto params tcb))
+    end
+    else if
+      (* Nagle: while data is in flight, hold sub-MSS segments back *)
+      params.nagle && size < tcb.snd_mss && flight_size tcb > 0
+    then ()
+    else begin
+      match take_bytes tcb size with
+      | None -> ()
+      | Some data ->
+        let fin = may_send_fin tcb && 1 <= usable - Packet.length data in
+        if fin then tcb.fin_sent <- true;
+        tcb.bytes_out <- tcb.bytes_out + Packet.length data;
+        emit_segment params tcb ~now ~data:(Some data) ~fin;
+        segmentize params tcb ~now
+    end
+  end
+  else if may_send_fin tcb && usable >= 1 then begin
+    tcb.fin_sent <- true;
+    emit_segment params tcb ~now ~data:None ~fin:true
+  end
+
+let enqueue params tcb packet ~now =
+  tcb.queued <- Deq.push_back packet tcb.queued;
+  tcb.queued_bytes <- tcb.queued_bytes + Packet.length packet;
+  segmentize params tcb ~now
+
+let enqueue_fin params tcb ~now =
+  if not tcb.fin_pending then begin
+    tcb.fin_pending <- true;
+    segmentize params tcb ~now
+  end
+
+let probe params tcb ~now =
+  if tcb.snd_wnd = 0 && tcb.queued_bytes > 0 && Deq.is_empty tcb.rtx_q then begin
+    (* send one byte beyond the window to provoke an ACK *)
+    (match take_bytes tcb 1 with
+    | Some data ->
+      tcb.bytes_out <- tcb.bytes_out + 1;
+      emit_segment params tcb ~now ~data:(Some data) ~fin:false
+    | None -> ());
+    add_to_do tcb (Set_timer (Window_probe, Resend.rto params tcb))
+  end

@@ -1,0 +1,39 @@
+type t = int (* always in [0, 2^32) *)
+
+let mask = 0xFFFFFFFF
+
+let zero = 0
+
+let of_int n = n land mask
+
+let to_int s = s
+
+let add s n = (s + n) land mask
+
+let diff a b =
+  let d = (a - b) land mask in
+  if d >= 0x80000000 then d - 0x100000000 else d
+
+let lt a b = diff a b < 0
+
+let le a b = diff a b <= 0
+
+let gt a b = diff a b > 0
+
+let ge a b = diff a b >= 0
+
+let equal (a : t) (b : t) = a = b
+
+let in_window ~base ~size x =
+  if size <= 0 then false
+  else
+    let d = diff x base in
+    0 <= d && d < size
+
+let max a b = if ge a b then a else b
+
+let min a b = if le a b then a else b
+
+let to_string = string_of_int
+
+let pp fmt s = Format.pp_print_int fmt s

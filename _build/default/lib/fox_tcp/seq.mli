@@ -1,0 +1,43 @@
+(** TCP sequence-number arithmetic.
+
+    Sequence numbers are 32-bit quantities compared modulo 2{^32} (RFC 793
+    §3.3): [lt a b] means "a is earlier than b" provided the two are within
+    2{^31} of each other, which TCP's window rules guarantee.  Everything
+    in the state machine that touches a sequence number goes through this
+    module, so wraparound is handled in exactly one place. *)
+
+type t = private int
+
+val zero : t
+
+(** [of_int n] is [n mod 2^32]. *)
+val of_int : int -> t
+
+val to_int : t -> int
+
+(** [add s n] advances [s] by [n] (which may be negative), wrapping. *)
+val add : t -> int -> t
+
+(** [diff a b] is the signed circular distance a − b, in
+    [-2^31, 2^31). *)
+val diff : t -> t -> int
+
+(** Circular comparisons. *)
+
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+val equal : t -> t -> bool
+
+(** [in_window ~base ~size x] is true iff [x] lies in the half-open
+    circular interval [[base, base+size)]; false whenever [size <= 0]. *)
+val in_window : base:t -> size:int -> t -> bool
+
+(** [max a b] / [min a b] under the circular order. *)
+
+val max : t -> t -> t
+val min : t -> t -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

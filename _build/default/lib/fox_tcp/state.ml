@@ -1,0 +1,184 @@
+open Tcb
+
+let queue_rst tcb ~seq ~with_ack =
+  add_to_do tcb
+    (Send_segment
+       {
+         out_seq = seq;
+         out_syn = false;
+         out_fin = false;
+         out_rst = true;
+         out_psh = false;
+         out_ack = with_ack;
+         out_data = None;
+         out_mss = None;
+         out_is_rtx = false;
+       })
+
+let arm_user_timer (params : params) tcb =
+  if params.user_timeout_us > 0 then
+    add_to_do tcb (Set_timer (User_timeout, params.user_timeout_us))
+
+let queue_syn (params : params) tcb ~with_ack ~now =
+  let entry =
+    {
+      rtx_seq = tcb.snd_nxt;
+      rtx_len = 1;
+      rtx_syn = true;
+      rtx_fin = false;
+      rtx_ack = with_ack;
+      rtx_data = None;
+      rtx_mss = Some tcb.adv_mss;
+      first_sent_at = now;
+      sent_count = 1;
+    }
+  in
+  tcb.snd_nxt <- Seq.add tcb.snd_nxt 1;
+  add_to_do tcb
+    (Send_segment
+       {
+         out_seq = entry.rtx_seq;
+         out_syn = true;
+         out_fin = false;
+         out_rst = false;
+         out_psh = false;
+         out_ack = with_ack;
+         out_data = None;
+         out_mss = Some tcb.adv_mss;
+         out_is_rtx = false;
+       });
+  Resend.track tcb entry ~now;
+  ignore params
+
+let active_open (params : params) ~iss ~mss ~now =
+  let tcb = create_tcb_with_mss params ~iss ~mss in
+  queue_syn params tcb ~with_ack:false ~now;
+  arm_user_timer params tcb;
+  Syn_sent tcb
+
+let passive_open (params : params) ~iss ~mss ~syn ~now =
+  let h = syn.hdr in
+  let tcb = create_tcb_with_mss params ~iss ~mss in
+  tcb.irs <- h.Tcp_header.seq;
+  tcb.rcv_nxt <- Seq.add h.Tcp_header.seq 1;
+  tcb.snd_wnd <- h.Tcp_header.window;
+  tcb.snd_wl1 <- h.Tcp_header.seq;
+  tcb.snd_wl2 <- Seq.zero;
+  (match h.Tcp_header.mss with
+  | Some peer_mss -> tcb.snd_mss <- min tcb.snd_mss peer_mss
+  | None -> ());
+  queue_syn params tcb ~with_ack:true ~now;
+  arm_user_timer params tcb;
+  Syn_passive tcb
+
+let close (params : params) state ~now =
+  match state with
+  | Closed | Listen -> Closed
+  | Syn_sent tcb ->
+    (* nothing is established; delete quietly *)
+    add_to_do tcb Complete_close;
+    add_to_do tcb Delete_tcb;
+    Closed
+  | Syn_active tcb | Syn_passive tcb ->
+    Send.enqueue_fin params tcb ~now;
+    Fin_wait_1 tcb
+  | Estab tcb ->
+    Send.enqueue_fin params tcb ~now;
+    Fin_wait_1 tcb
+  | Close_wait tcb ->
+    Send.enqueue_fin params tcb ~now;
+    Last_ack tcb
+  | Fin_wait_1 _ | Fin_wait_2 _ | Closing _ | Last_ack _ | Time_wait _ ->
+    (* already closing; the user call is redundant *)
+    state
+
+let abort (_params : params) state =
+  match state with
+  | Closed | Listen -> Closed
+  | Syn_sent tcb ->
+    add_to_do tcb Delete_tcb;
+    Closed
+  | Syn_active tcb | Syn_passive tcb | Estab tcb | Fin_wait_1 tcb
+  | Fin_wait_2 tcb | Close_wait tcb | Closing tcb | Last_ack tcb ->
+    queue_rst tcb ~seq:tcb.snd_nxt ~with_ack:true;
+    add_to_do tcb Delete_tcb;
+    Closed
+  | Time_wait tcb ->
+    add_to_do tcb Delete_tcb;
+    Closed
+
+let give_up tcb ~reason =
+  add_to_do tcb (User_error reason);
+  add_to_do tcb Delete_tcb;
+  Closed
+
+let timer_expired (params : params) state kind ~now =
+  match tcb_of state with
+  | None -> state
+  | Some tcb -> (
+    match kind with
+    | Retransmit ->
+      if Resend.retransmit params tcb ~now then state
+      else give_up tcb ~reason:"retransmission limit exceeded"
+    | Delayed_ack ->
+      tcb.ack_timer_on <- false;
+      if tcb.ack_pending then begin
+        tcb.ack_pending <- false;
+        add_to_do tcb Send_ack
+      end;
+      state
+    | Time_wait -> (
+      match state with
+      | Time_wait tcb ->
+        add_to_do tcb Complete_close;
+        add_to_do tcb Delete_tcb;
+        Closed
+      | _ -> state)
+    | Window_probe ->
+      Send.probe params tcb ~now;
+      state
+    | Keepalive ->
+      (* RFC 1122 keepalive: if the connection has been idle for the whole
+         interval, probe with a sequence number the peer must re-ACK;
+         after [keepalive_probes] unanswered probes, give up.  Any
+         received segment resets [last_activity] and [probes_sent] (the
+         engine does that on every Process_data). *)
+      if not (synchronized state) then state
+      else if now - tcb.last_activity < params.keepalive_us then begin
+        (* traffic since the timer was set: just re-arm *)
+        add_to_do tcb (Set_timer (Keepalive, params.keepalive_us));
+        state
+      end
+      else if tcb.probes_sent >= params.keepalive_probes then
+        give_up tcb ~reason:"keepalive timeout"
+      else begin
+        tcb.probes_sent <- tcb.probes_sent + 1;
+        add_to_do tcb
+          (Send_segment
+             {
+               out_seq = Seq.add tcb.snd_nxt (-1);
+               out_syn = false;
+               out_fin = false;
+               out_rst = false;
+               out_psh = false;
+               out_ack = true;
+               out_data = None;
+               out_mss = None;
+               out_is_rtx = false;
+             });
+        add_to_do tcb (Set_timer (Keepalive, params.keepalive_us));
+        state
+      end
+    | User_timeout ->
+      (* "the length of time before hung operations fail": if anything has
+         been waiting for the peer for the whole period, give up;
+         otherwise re-arm. *)
+      if
+        (not (synchronized state))
+        || (not (Fox_basis.Deq.is_empty tcb.rtx_q))
+        || tcb.queued_bytes > 0
+      then give_up tcb ~reason:"user timeout"
+      else begin
+        arm_user_timer params tcb;
+        state
+      end)

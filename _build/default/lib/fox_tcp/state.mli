@@ -1,0 +1,36 @@
+(** Connection-level state manipulation.
+
+    This is the paper's [State] module: "the main state manipulations
+    required on connection open, close, or abort, and also when a timer
+    expires".  Like its siblings it is pure with respect to the outside
+    world — every externally visible consequence is a {!Tcb.tcp_action} on
+    the TCB's [to_do] queue, so each transition can be unit-tested by
+    inspecting the queue against what RFC 793 prescribes. *)
+
+(** [active_open params ~iss ~mss ~now] builds the SYN-SENT state of a
+    fresh active open: TCB created, SYN queued for transmission and
+    retransmission, user timer armed when configured. *)
+val active_open : Tcb.params -> iss:Seq.t -> mss:int -> now:int -> Tcb.tcp_state
+
+(** [passive_open params ~iss ~mss ~syn ~now] accepts an incoming SYN on a
+    listener: TCB initialised from the segment, SYN-ACK queued.  The
+    result is SYN-RECEIVED (passive flavour). *)
+val passive_open :
+  Tcb.params -> iss:Seq.t -> mss:int -> syn:Tcb.segment -> now:int ->
+  Tcb.tcp_state
+
+(** [close params state ~now] performs the user's graceful close: a FIN is
+    scheduled after any queued data, and the state advances per RFC 793
+    p. 60. *)
+val close : Tcb.params -> Tcb.tcp_state -> now:int -> Tcb.tcp_state
+
+(** [abort params state] resets the connection: an RST is queued when the
+    peer could have state, and the TCB is deleted. *)
+val abort : Tcb.params -> Tcb.tcp_state -> Tcb.tcp_state
+
+(** [timer_expired params state kind ~now] reacts to a timer: retransmit
+    with backoff (giving up after the configured budget), flush a delayed
+    ACK, finish TIME-WAIT, probe a zero window, or enforce the user
+    timeout. *)
+val timer_expired :
+  Tcb.params -> Tcb.tcp_state -> Tcb.timer_kind -> now:int -> Tcb.tcp_state

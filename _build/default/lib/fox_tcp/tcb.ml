@@ -1,0 +1,365 @@
+(** Transmission Control Blocks and TCP actions.
+
+    This is the paper's [Tcb] module (Figure 6): it defines the types with
+    which connection state is represented and basic operations on them, and
+    it is deliberately {e all data} — the state machine lives in {!State},
+    {!Receive}, {!Send} and {!Resend}, which makes each of them a function
+    from TCB to TCB that can be tested in isolation against the standard.
+
+    The central design decision (Section 4) is the [to_do] queue: timer
+    expirations and message receptions are asynchronous, but when they
+    occur they are {e synchronised} by placing a corresponding
+    {!tcp_action} on the connection's queue.  Once actions are on the
+    queue, behaviour is completely deterministic — the control structure is
+    "quasi-synchronous". *)
+
+open Fox_basis
+
+(** The timers a connection may run (executed by the engine through
+    {!Fox_sched.Timer}, exactly the Figure 11 mechanism). *)
+type timer_kind =
+  | Retransmit
+  | Delayed_ack
+  | Time_wait  (** the 2·MSL quiet period *)
+  | User_timeout  (** the paper's [user_timeout] functor parameter *)
+  | Window_probe  (** zero-window probing *)
+  | Keepalive  (** RFC 1122 §4.2.3.6 idle-connection probing *)
+
+let timer_kind_name = function
+  | Retransmit -> "retransmit"
+  | Delayed_ack -> "delayed-ack"
+  | Time_wait -> "time-wait"
+  | User_timeout -> "user-timeout"
+  | Window_probe -> "window-probe"
+  | Keepalive -> "keepalive"
+
+(** An internalised incoming segment: decoded header plus text. *)
+type segment = {
+  hdr : Tcp_header.t;
+  data : Packet.t;
+  arrived_at : int;  (** virtual time of internalisation *)
+}
+
+(** [seg_len s] is the sequence space the segment occupies (SYN and FIN
+    each count for one). *)
+let seg_len s =
+  Packet.length s.data
+  + (if s.hdr.Tcp_header.syn then 1 else 0)
+  + if s.hdr.Tcp_header.fin then 1 else 0
+
+(** An outgoing segment, produced by the state machine and externalised by
+    the engine (which fills in the current ACK and window at send time). *)
+type send_segment = {
+  out_seq : Seq.t;
+  out_syn : bool;
+  out_fin : bool;
+  out_rst : bool;
+  out_psh : bool;
+  out_ack : bool;  (** carry an ACK (everything after the first SYN does) *)
+  out_data : Packet.t option;
+  out_mss : int option;  (** announce our MSS (SYN segments) *)
+  out_is_rtx : bool;
+}
+
+(** The actions that may appear on a connection's [to_do] queue
+    (Figure 8). *)
+type tcp_action =
+  | Process_data of segment  (** run the receive DAG on a segment *)
+  | User_data of Packet.t  (** deliver text to the user's handler *)
+  | Send_segment of send_segment  (** externalise and transmit *)
+  | Send_ack  (** transmit a pure ACK at the current [rcv_nxt] *)
+  | Set_timer of timer_kind * int  (** arm (µs) *)
+  | Clear_timer of timer_kind
+  | Timer_expired of timer_kind  (** queued by the engine's timer threads *)
+  | Complete_open  (** unblock the opener; report Connected *)
+  | Complete_close  (** the close handshake finished *)
+  | Peer_close  (** the peer's FIN was consumed (EOF) *)
+  | Peer_reset  (** the peer reset the connection *)
+  | User_error of string
+  | Delete_tcb  (** remove the connection; free everything *)
+  | Log of string
+
+let action_name = function
+  | Process_data _ -> "process-data"
+  | User_data _ -> "user-data"
+  | Send_segment _ -> "send-segment"
+  | Send_ack -> "send-ack"
+  | Set_timer (k, _) -> "set-timer:" ^ timer_kind_name k
+  | Clear_timer k -> "clear-timer:" ^ timer_kind_name k
+  | Timer_expired k -> "timer-expired:" ^ timer_kind_name k
+  | Complete_open -> "complete-open"
+  | Complete_close -> "complete-close"
+  | Peer_close -> "peer-close"
+  | Peer_reset -> "peer-reset"
+  | User_error _ -> "user-error"
+  | Delete_tcb -> "delete-tcb"
+  | Log _ -> "log"
+
+(** One entry on the retransmission queue. *)
+type rtx_entry = {
+  rtx_seq : Seq.t;
+  rtx_len : int;  (** sequence space, SYN/FIN included *)
+  rtx_syn : bool;
+  rtx_fin : bool;
+  rtx_ack : bool;  (** carries an ACK (everything but the first SYN) *)
+  rtx_data : Packet.t option;
+  rtx_mss : int option;
+  mutable first_sent_at : int;
+  mutable sent_count : int;
+}
+
+(** Runtime protocol parameters.  In the paper these are functor
+    parameters of [Tcp] (Figure 4); the {!Tcp.Make} functor builds this
+    record from its [PARAMS] argument, and keeping it a plain record lets
+    the pure state-machine modules be exercised directly in unit tests. *)
+type params = {
+  initial_window : int;  (** receive window we advertise *)
+  nagle : bool;  (** coalesce small segments while data is in flight *)
+  congestion_control : bool;  (** slow start / congestion avoidance *)
+  fast_retransmit : bool;  (** retransmit on 3 duplicate ACKs *)
+  delayed_ack_us : int;  (** 0 = acknowledge immediately *)
+  rto_initial_us : int;
+  rto_min_us : int;
+  rto_max_us : int;
+  max_retransmits : int;  (** give up (Timed_out) after this many *)
+  time_wait_us : int;  (** 2·MSL *)
+  user_timeout_us : int;  (** 0 = no user timeout *)
+  prioritize_latency : bool;
+      (** the paper's suggested extension: "by replacing the current FIFO
+          with a priority queue, we could specify that particular actions,
+          e.g., actions which affect the packet latency, be executed with
+          higher priority" — when set, transmissions jump the queue *)
+  keepalive_us : int;
+      (** probe a connection idle this long (RFC 1122 §4.2.3.6); 0 = off *)
+  keepalive_probes : int;  (** unanswered probes before giving up *)
+}
+
+let default_params =
+  {
+    initial_window = 4096;
+    nagle = true;
+    congestion_control = true;
+    fast_retransmit = true;
+    delayed_ack_us = 200_000;
+    rto_initial_us = 1_000_000;
+    rto_min_us = 200_000;
+    rto_max_us = 64_000_000;
+    max_retransmits = 12;
+    time_wait_us = 60_000_000;
+    user_timeout_us = 0;
+    prioritize_latency = false;
+    keepalive_us = 0;
+    keepalive_probes = 5;
+  }
+
+(** The TCB proper (Figure 6's [tcp_tcb]). *)
+type tcp_tcb = {
+  iss : Seq.t;
+  mutable snd_una : Seq.t;
+  mutable snd_nxt : Seq.t;
+  mutable snd_wnd : int;
+  mutable snd_wl1 : Seq.t;
+  mutable snd_wl2 : Seq.t;
+  mutable irs : Seq.t;
+  mutable rcv_nxt : Seq.t;
+  mutable rcv_wnd : int;
+  mutable snd_mss : int;  (** segment ceiling (peer's MSS ∧ path) *)
+  adv_mss : int;  (** the MSS we announce on SYNs *)
+  (* --- send buffering: user data not yet segmentised --- *)
+  mutable queued : Packet.t Deq.t;
+  mutable queued_bytes : int;
+  mutable fin_pending : bool;
+  mutable fin_sent : bool;
+  mutable fin_acked : bool;
+  (* --- retransmission --- *)
+  mutable rtx_q : rtx_entry Deq.t;
+  mutable rtx_timer_on : bool;
+  (* --- out-of-order queue (Figure 6's [out_of_order]) --- *)
+  mutable out_of_order : segment list;  (** sorted by sequence number *)
+  (* --- the to_do queue (two bands when latency-prioritised) --- *)
+  mutable to_do : tcp_action Fifo.t;
+  mutable to_do_urgent : tcp_action Fifo.t;
+  prioritized : bool;
+  (* --- RTT estimation (Karn & Jacobson, via [Resend]) --- *)
+  mutable srtt_us : int;  (** -1 until the first sample *)
+  mutable rttvar_us : int;
+  mutable rto_us : int;
+  mutable backoff : int;
+  mutable timing : (Seq.t * int) option;  (** segment under RTT timing *)
+  (* --- congestion control --- *)
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable dup_acks : int;
+  (* --- delayed-ACK state --- *)
+  mutable ack_pending : bool;
+  mutable ack_timer_on : bool;
+  (* --- keepalive state --- *)
+  mutable last_activity : int;
+  mutable probes_sent : int;
+  (* --- statistics --- *)
+  mutable segs_out : int;
+  mutable segs_in : int;
+  mutable bytes_out : int;
+  mutable bytes_in : int;
+  mutable retransmissions : int;
+  mutable fast_path_hits : int;
+  mutable dup_segments : int;
+  mutable ooo_segments : int;
+}
+
+(** Connection states (Figure 6's [tcp_state]).  Each synchronised (and
+    half-synchronised) state carries its TCB; [Closed] and [Listen] have
+    none.  [Syn_active] is SYN-RECEIVED reached from an active open
+    (simultaneous open); [Syn_passive] is the ordinary passive one. *)
+type tcp_state =
+  | Closed
+  | Listen
+  | Syn_sent of tcp_tcb
+  | Syn_active of tcp_tcb
+  | Syn_passive of tcp_tcb
+  | Estab of tcp_tcb
+  | Fin_wait_1 of tcp_tcb
+  | Fin_wait_2 of tcp_tcb
+  | Close_wait of tcp_tcb
+  | Closing of tcp_tcb
+  | Last_ack of tcp_tcb
+  | Time_wait of tcp_tcb
+
+let state_name = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent _ -> "SYN-SENT"
+  | Syn_active _ -> "SYN-RECEIVED(active)"
+  | Syn_passive _ -> "SYN-RECEIVED(passive)"
+  | Estab _ -> "ESTABLISHED"
+  | Fin_wait_1 _ -> "FIN-WAIT-1"
+  | Fin_wait_2 _ -> "FIN-WAIT-2"
+  | Close_wait _ -> "CLOSE-WAIT"
+  | Closing _ -> "CLOSING"
+  | Last_ack _ -> "LAST-ACK"
+  | Time_wait _ -> "TIME-WAIT"
+
+let tcb_of = function
+  | Closed | Listen -> None
+  | Syn_sent tcb
+  | Syn_active tcb
+  | Syn_passive tcb
+  | Estab tcb
+  | Fin_wait_1 tcb
+  | Fin_wait_2 tcb
+  | Close_wait tcb
+  | Closing tcb
+  | Last_ack tcb
+  | Time_wait tcb ->
+    Some tcb
+
+(** [synchronized s] per RFC 793: both sides have seen each other's SYN. *)
+let synchronized = function
+  | Closed | Listen | Syn_sent _ | Syn_active _ | Syn_passive _ -> false
+  | Estab _ | Fin_wait_1 _ | Fin_wait_2 _ | Close_wait _ | Closing _
+  | Last_ack _ | Time_wait _ ->
+    true
+
+(** [create_tcb params ~iss] is a fresh TCB with empty queues and the
+    estimator in its initial state. *)
+let create_tcb (params : params) ~iss =
+  {
+    iss;
+    snd_una = iss;
+    snd_nxt = iss;
+    snd_wnd = 0;
+    snd_wl1 = Seq.zero;
+    snd_wl2 = Seq.zero;
+    irs = Seq.zero;
+    rcv_nxt = Seq.zero;
+    rcv_wnd = params.initial_window;
+    snd_mss = 536;
+    adv_mss = 536;
+    queued = Deq.empty;
+    queued_bytes = 0;
+    fin_pending = false;
+    fin_sent = false;
+    fin_acked = false;
+    rtx_q = Deq.empty;
+    rtx_timer_on = false;
+    out_of_order = [];
+    to_do = Fifo.empty;
+    to_do_urgent = Fifo.empty;
+    prioritized = params.prioritize_latency;
+    srtt_us = -1;
+    rttvar_us = 0;
+    rto_us = params.rto_initial_us;
+    backoff = 0;
+    timing = None;
+    cwnd = 2 * 536;
+    ssthresh = 65535;
+    dup_acks = 0;
+    ack_pending = false;
+    ack_timer_on = false;
+    last_activity = 0;
+    probes_sent = 0;
+    segs_out = 0;
+    segs_in = 0;
+    bytes_out = 0;
+    bytes_in = 0;
+    retransmissions = 0;
+    fast_path_hits = 0;
+    dup_segments = 0;
+    ooo_segments = 0;
+  }
+
+(** [create_tcb_with_mss params ~iss ~mss] also fixes both MSS fields
+    (connection setup knows the path MTU from the auxiliary structure). *)
+let create_tcb_with_mss params ~iss ~mss =
+  let tcb = create_tcb params ~iss in
+  tcb.snd_mss <- mss;
+  tcb.cwnd <- 2 * mss;
+  { tcb with adv_mss = mss }
+
+(** Actions that put a packet on the wire — the ones that "affect the
+    packet latency" and jump the queue under [prioritize_latency]. *)
+let latency_critical = function
+  | Send_segment _ | Send_ack -> true
+  | Process_data _ | User_data _ | Set_timer _ | Clear_timer _
+  | Timer_expired _ | Complete_open | Complete_close | Peer_close
+  | Peer_reset | User_error _ | Delete_tcb | Log _ ->
+    false
+
+(** [add_to_do tcb action] appends an action to the connection's queue —
+    the only way anything ever happens to a connection.  With
+    [prioritize_latency] set, wire-bound actions go to the urgent band
+    (FIFO within each band, so segment order is preserved). *)
+let add_to_do tcb action =
+  if tcb.prioritized && latency_critical action then
+    tcb.to_do_urgent <- Fifo.add action tcb.to_do_urgent
+  else tcb.to_do <- Fifo.add action tcb.to_do
+
+(** [next_to_do tcb] pops the front action, urgent band first. *)
+let next_to_do tcb =
+  match Fifo.next tcb.to_do_urgent with
+  | Some (action, rest) ->
+    tcb.to_do_urgent <- rest;
+    Some action
+  | None -> (
+    match Fifo.next tcb.to_do with
+    | None -> None
+    | Some (action, rest) ->
+      tcb.to_do <- rest;
+      Some action)
+
+(** [pending_actions tcb] lists the queue (urgent band first, as it would
+    drain), without draining it — for the per-module tests, which compare
+    produced actions against the standard's requirements. *)
+let pending_actions tcb = Fifo.to_list tcb.to_do_urgent @ Fifo.to_list tcb.to_do
+
+(** [flight_size tcb] is the sequence space sent and not yet
+    acknowledged. *)
+let flight_size tcb = Seq.diff tcb.snd_nxt tcb.snd_una
+
+(** Convenience for the tests: a compact rendering of a TCB's send-side
+    state. *)
+let pp fmt tcb =
+  Format.fprintf fmt
+    "una=%a nxt=%a wnd=%d cwnd=%d rcv_nxt=%a rcv_wnd=%d queued=%dB rtx=%d"
+    Seq.pp tcb.snd_una Seq.pp tcb.snd_nxt tcb.snd_wnd tcb.cwnd Seq.pp
+    tcb.rcv_nxt tcb.rcv_wnd tcb.queued_bytes (Deq.size tcb.rtx_q)

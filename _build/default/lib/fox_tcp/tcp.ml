@@ -1,0 +1,772 @@
+(** The TCP protocol: the functor of Figure 4 and the [Main] module.
+
+    [Make (Lower) (Aux) (Params)] assembles the pure state-machine modules
+    ({!Tcb}, {!State}, {!Receive}, {!Send}, {!Resend}, {!Action}) into a
+    protocol satisfying the generic signature:
+
+    {[
+      module Standard_tcp =
+        Tcp.Make (Ip) (Ip_aux) (Tcp.Default_params)
+      module Special_tcp =                     (* Figure 3's second stack *)
+        Tcp.Make (Eth) (Eth_aux)
+          (struct include Tcp.Default_params
+                  let compute_checksums = false end)
+    ]}
+
+    The control structure is the paper's {e quasi-synchronous} one
+    (Figure 7): network deliveries and timer expirations do nothing but
+    place an action on the connection's [to_do] queue and invoke the
+    drain loop; the thread that queued the action executes actions one at
+    a time until the queue is empty (nested invocations — e.g. a user
+    handler calling [send] from inside a data upcall — simply queue and
+    return, and the outer drain picks the new work up).  Given the order
+    in which actions enter the queue, everything that follows is
+    deterministic. *)
+
+open Fox_basis
+module Protocol = Fox_proto.Protocol
+module Status = Fox_proto.Status
+
+(** Static configuration — the functor parameters of Figure 4, plus the
+    RFC 1122-era knobs the benchmark harness ablates. *)
+module type PARAMS = sig
+  (** Advertised receive window, e.g. the benchmark's 4096. *)
+  val initial_window : int
+
+  (** Compute/verify the TCP checksum (Figure 3's [do_checksums]). *)
+  val compute_checksums : bool
+
+  (** Which checksum algorithm (the Figure 10 optimised one, or the basic
+      one the paper attributes to the x-kernel). *)
+  val checksum_alg : Fox_basis.Checksum.alg
+
+  (** Answer segments for unknown connections with RST.  The paper sets
+      this false to coexist with a host OS's own TCP; set it true on the
+      simulator. *)
+  val abort_unknown_connections : bool
+
+  (** The paper's [user_timeout]: µs before hung operations fail
+      (0 disables). *)
+  val user_timeout_us : int
+
+  val nagle : bool
+  val congestion_control : bool
+  val fast_retransmit : bool
+
+  (** Delayed-ACK holdoff (0 = acknowledge immediately). *)
+  val delayed_ack_us : int
+
+  val rto_initial_us : int
+  val rto_min_us : int
+  val rto_max_us : int
+  val max_retransmits : int
+
+  (** The 2·MSL TIME-WAIT hold. *)
+  val time_wait_us : int
+
+  (** Send-buffer bound: [send] blocks (cooperatively) while this many
+      bytes are already queued, letting flow control pace the sender. *)
+  val send_buffer_bytes : int
+
+  (** Record per-action events in an in-memory trace (the paper's
+      [do_traces]). *)
+  val do_traces : bool
+
+  (** The paper's suggested scheduler refinement: execute wire-bound
+      actions (segment and ACK transmissions) before everything else on
+      the to_do queue. *)
+  val prioritize_latency : bool
+
+  (** RFC 1122 keepalive: probe connections idle this long (0 = off). *)
+  val keepalive_us : int
+
+  (** Unanswered keepalive probes tolerated before [Timed_out]. *)
+  val keepalive_probes : int
+end
+
+module Default_params : PARAMS = struct
+  let initial_window = 4096
+  let compute_checksums = true
+  let checksum_alg = `Optimized
+  let abort_unknown_connections = true
+  let user_timeout_us = 0
+  let nagle = true
+  let congestion_control = true
+  let fast_retransmit = true
+  let delayed_ack_us = 200_000
+  let rto_initial_us = 1_000_000
+  let rto_min_us = 200_000
+  let rto_max_us = 64_000_000
+  let max_retransmits = 12
+  let time_wait_us = 60_000_000
+  let send_buffer_bytes = 65536
+  let do_traces = false
+  let prioritize_latency = false
+  let keepalive_us = 0
+  let keepalive_probes = 5
+end
+
+(** Instance-wide statistics. *)
+type stats = {
+  segs_in : int;
+  segs_out : int;
+  bad_segments : int;  (** failed internalisation (checksum, framing) *)
+  rsts_sent : int;
+  unknown_dropped : int;  (** segments for no connection, not answered *)
+  accepts : int;  (** passive opens completed into connections *)
+  active_conns : int;
+}
+
+(** Per-connection statistics, mostly straight out of the TCB. *)
+type conn_stats = {
+  state : string;
+  bytes_sent : int;
+  bytes_received : int;
+  segments_sent : int;
+  segments_received : int;
+  retransmissions : int;
+  fast_path_hits : int;
+  duplicate_segments : int;
+  out_of_order_segments : int;
+  srtt_us : int;
+  rto_us : int;
+  snd_wnd : int;
+  cwnd : int;
+}
+
+module Make
+    (Lower : Protocol.PROTOCOL
+               with type incoming_message = Packet.t
+                and type outgoing_message = Packet.t)
+    (Aux : Protocol.IP_AUX
+             with type lower_address = Lower.address
+              and type lower_pattern = Lower.address_pattern
+              and type lower_connection = Lower.connection)
+    (Params : PARAMS) : sig
+  (** [local_port = None] asks for an ephemeral port. *)
+  type address = { peer : Aux.host; port : int; local_port : int option }
+
+  type pattern = { local_port : int }
+
+  include
+    Protocol.PROTOCOL
+      with type address := address
+       and type address_pattern := pattern
+       and type incoming_message = Packet.t
+       and type outgoing_message = Packet.t
+
+  val create : Lower.t -> t
+
+  (** [close_sync conn] closes and blocks until the connection is fully
+      down (through TIME-WAIT if we close first). *)
+  val close_sync : connection -> unit
+
+  (** [state_of conn] is the RFC 793 state name, for tests and traces. *)
+  val state_of : connection -> string
+
+  val conn_stats : connection -> conn_stats
+
+  val stats : t -> stats
+
+  (** The event trace (empty unless [Params.do_traces]). *)
+  val trace : t -> Trace.t
+
+  (** Connection identity, for logging. *)
+  val endpoints : connection -> Aux.host * int * int
+      (** peer, local port, remote port *)
+end = struct
+  include Fox_proto.Common
+
+  let proto_number = 6
+
+  let runtime_params : Tcb.params =
+    {
+      Tcb.initial_window = Params.initial_window;
+      nagle = Params.nagle;
+      congestion_control = Params.congestion_control;
+      fast_retransmit = Params.fast_retransmit;
+      delayed_ack_us = Params.delayed_ack_us;
+      rto_initial_us = Params.rto_initial_us;
+      rto_min_us = Params.rto_min_us;
+      rto_max_us = Params.rto_max_us;
+      max_retransmits = Params.max_retransmits;
+      time_wait_us = Params.time_wait_us;
+      user_timeout_us = Params.user_timeout_us;
+      prioritize_latency = Params.prioritize_latency;
+      keepalive_us = Params.keepalive_us;
+      keepalive_probes = Params.keepalive_probes;
+    }
+
+  type address = { peer : Aux.host; port : int; local_port : int option }
+
+  type pattern = { local_port : int }
+
+  type incoming_message = Packet.t
+
+  type outgoing_message = Packet.t
+
+  type data_handler = incoming_message -> unit
+
+  type status_handler = Status.t -> unit
+
+  (* TCP header (up to 24 bytes with the MSS option) plus slack so user
+     buffers never reallocate on the fast path. *)
+  let tcp_headroom = 24
+
+  type connection = {
+    tcp : t;
+    host : Aux.host;
+    local_port : int;
+    remote_port : int;
+    lower : Lower.connection;
+    lower_send : Packet.t -> unit;
+    tcb : Tcb.tcp_tcb;
+    mutable state : Tcb.tcp_state;
+    mutable data : data_handler;
+    mutable status : status_handler;
+    mutable draining : bool;
+    mutable timers : (Tcb.timer_kind * Fox_sched.Timer.t) list;
+    open_mb : (unit, string) result Fox_sched.Cond.t;
+    close_mb : unit Fox_sched.Cond.t;
+    send_space : unit Fox_sched.Cond.t;
+    mutable open_done : bool;
+    mutable close_reason : Status.t option;
+    mutable dead : bool;
+  }
+
+  and listener = {
+    l_tcp : t;
+    l_port : int;
+    l_handler : handler;
+    mutable l_active : bool;
+  }
+
+  and handler = connection -> data_handler * status_handler
+
+  and t = {
+    lower_instance : Lower.t;
+    conns : (string * int * int, connection) Hashtbl.t;
+        (* (host, local port, remote port) *)
+    listeners : (int, listener) Hashtbl.t;
+    lower_conns : (string, Lower.connection) Hashtbl.t;
+    tracer : Trace.t;
+    mutable iss_salt : int;
+    mutable next_ephemeral : int;
+    mutable init_count : int;
+    mutable segs_in : int;
+    mutable segs_out : int;
+    mutable bad_segments : int;
+    mutable rsts_sent : int;
+    mutable unknown_dropped : int;
+    mutable accepts : int;
+  }
+
+  let key host local_port remote_port =
+    (Aux.to_string host, local_port, remote_port)
+
+  let endpoints conn = (conn.host, conn.local_port, conn.remote_port)
+
+  let state_of conn = Tcb.state_name conn.state
+
+  let trace t = t.tracer
+
+  let tracef conn fmt =
+    let t = conn.tcp in
+    if Params.do_traces then
+      Printf.ksprintf
+        (fun msg ->
+          Trace.add t.tracer ~time:(Fox_sched.Scheduler.now ())
+            (Printf.sprintf "%s:%d>%d %s" (Aux.to_string conn.host)
+               conn.local_port conn.remote_port msg))
+        fmt
+    else Printf.ksprintf ignore fmt
+
+  (* RFC 793-style clock-driven initial sequence number selection, salted
+     per connection so simultaneous opens differ. *)
+  let fresh_iss t =
+    t.iss_salt <- t.iss_salt + 1;
+    Seq.of_int ((Fox_sched.Scheduler.now () / 4) + (t.iss_salt * 64021))
+
+  let pseudo_for conn len =
+    if Params.compute_checksums then
+      Some (Aux.pseudo conn.lower ~proto:proto_number ~len)
+    else None
+
+  let allocate_internal conn len =
+    Packet.create
+      ~headroom:(tcp_headroom + Lower.headroom conn.lower)
+      ~tailroom:(Lower.tailroom conn.lower)
+      len
+
+  (* ---------------- externalisation ---------------- *)
+
+  let send_rst_on ~lconn ~lower_send ~src_port ~dst_port ~seq ~ack_opt =
+    let hdr =
+      { (Tcp_header.basic ~src_port ~dst_port) with
+        Tcp_header.seq;
+        rst = true;
+        ack_flag = ack_opt <> None;
+        ack = (match ack_opt with Some a -> a | None -> Seq.zero);
+      }
+    in
+    let pseudo_for len =
+      if Params.compute_checksums then
+        Some (Aux.pseudo lconn ~proto:proto_number ~len)
+      else None
+    in
+    Action.externalize ~alg:Params.checksum_alg ~pseudo_for ~hdr ~data:None
+      ~allocate:(fun len ->
+        Packet.create
+          ~headroom:(tcp_headroom + Lower.headroom lconn)
+          ~tailroom:(Lower.tailroom lconn) len)
+      ~send:lower_send ()
+
+  let externalize conn (ss : Tcb.send_segment) =
+    let tcb = conn.tcb in
+    let hdr =
+      {
+        Tcp_header.src_port = conn.local_port;
+        dst_port = conn.remote_port;
+        seq = ss.Tcb.out_seq;
+        ack = (if ss.Tcb.out_ack then tcb.Tcb.rcv_nxt else Seq.zero);
+        urg = false;
+        ack_flag = ss.Tcb.out_ack;
+        psh = ss.Tcb.out_psh;
+        rst = ss.Tcb.out_rst;
+        syn = ss.Tcb.out_syn;
+        fin = ss.Tcb.out_fin;
+        window = tcb.Tcb.rcv_wnd;
+        urgent = 0;
+        mss = ss.Tcb.out_mss;
+      }
+    in
+    if ss.Tcb.out_ack then tcb.Tcb.ack_pending <- false;
+    tcb.Tcb.segs_out <- tcb.Tcb.segs_out + 1;
+    conn.tcp.segs_out <- conn.tcp.segs_out + 1;
+    if ss.Tcb.out_rst then conn.tcp.rsts_sent <- conn.tcp.rsts_sent + 1;
+    Action.externalize ~alg:Params.checksum_alg
+      ~pseudo_for:(pseudo_for conn) ~hdr ~data:ss.Tcb.out_data
+      ~allocate:(allocate_internal conn) ~send:conn.lower_send ()
+
+  let send_pure_ack conn =
+    let tcb = conn.tcb in
+    tcb.Tcb.ack_pending <- false;
+    tcb.Tcb.segs_out <- tcb.Tcb.segs_out + 1;
+    conn.tcp.segs_out <- conn.tcp.segs_out + 1;
+    let hdr =
+      { (Tcp_header.basic ~src_port:conn.local_port ~dst_port:conn.remote_port) with
+        Tcp_header.seq = tcb.Tcb.snd_nxt;
+        ack = tcb.Tcb.rcv_nxt;
+        ack_flag = true;
+        window = tcb.Tcb.rcv_wnd;
+      }
+    in
+    Action.externalize ~alg:Params.checksum_alg
+      ~pseudo_for:(pseudo_for conn) ~hdr ~data:None
+      ~allocate:(allocate_internal conn) ~send:conn.lower_send ()
+
+  (* ---------------- timers (Figure 11 timers per kind) ---------------- *)
+
+  let clear_timer conn kind =
+    conn.timers <-
+      List.filter
+        (fun (k, timer) ->
+          if k = kind then begin
+            Fox_sched.Timer.clear timer;
+            false
+          end
+          else true)
+        conn.timers
+
+  let rec set_timer conn kind us =
+    clear_timer conn kind;
+    let timer =
+      Fox_sched.Timer.start
+        (fun () ->
+          if not conn.dead then begin
+            conn.timers <- List.filter (fun (k, _) -> k <> kind) conn.timers;
+            Tcb.add_to_do conn.tcb (Tcb.Timer_expired kind);
+            drain conn
+          end)
+        us
+    in
+    conn.timers <- (kind, timer) :: conn.timers
+
+  (* ---------------- teardown ---------------- *)
+
+  and delete_tcb conn =
+    if not conn.dead then begin
+      conn.dead <- true;
+      List.iter (fun (_, timer) -> Fox_sched.Timer.clear timer) conn.timers;
+      conn.timers <- [];
+      Hashtbl.remove conn.tcp.conns
+        (key conn.host conn.local_port conn.remote_port);
+      let reason = Option.value conn.close_reason ~default:Status.Closed in
+      if not conn.open_done then
+        Fox_sched.Cond.signal conn.open_mb
+          (Error (Status.to_string reason));
+      Fox_sched.Cond.broadcast conn.close_mb ();
+      Fox_sched.Cond.broadcast conn.send_space ();
+      conn.status reason
+    end
+
+  (* ---------------- the quasi-synchronous executor ---------------- *)
+
+  and execute conn action =
+    let tcb = conn.tcb in
+    let now = Fox_sched.Scheduler.now () in
+    if Params.do_traces then tracef conn "%s" (Tcb.action_name action);
+    match action with
+    | Tcb.Process_data seg ->
+      (* any segment from the peer is evidence of life *)
+      tcb.Tcb.last_activity <- now;
+      tcb.Tcb.probes_sent <- 0;
+      let handled =
+        match conn.state with
+        | Tcb.Estab _ ->
+          Receive.fast_path runtime_params tcb seg ~now
+        | _ -> false
+      in
+      if not handled then
+        conn.state <- Receive.process runtime_params conn.state seg ~now
+    | Tcb.User_data packet -> conn.data packet
+    | Tcb.Send_segment ss -> externalize conn ss
+    | Tcb.Send_ack -> send_pure_ack conn
+    | Tcb.Set_timer (kind, us) -> set_timer conn kind us
+    | Tcb.Clear_timer kind -> clear_timer conn kind
+    | Tcb.Timer_expired kind ->
+      conn.state <- State.timer_expired runtime_params conn.state kind ~now
+    | Tcb.Complete_open ->
+      if not conn.open_done then begin
+        conn.open_done <- true;
+        if Params.keepalive_us > 0 then begin
+          tcb.Tcb.last_activity <- now;
+          set_timer conn Tcb.Keepalive Params.keepalive_us
+        end;
+        Fox_sched.Cond.signal conn.open_mb (Ok ());
+        conn.status Status.Connected
+      end
+    | Tcb.Complete_close -> Fox_sched.Cond.broadcast conn.close_mb ()
+    | Tcb.Peer_close -> conn.status Status.Remote_close
+    | Tcb.Peer_reset -> conn.close_reason <- Some Status.Reset
+    | Tcb.User_error msg ->
+      if conn.close_reason = None then conn.close_reason <- Some Status.Timed_out;
+      tracef conn "error: %s" msg
+    | Tcb.Delete_tcb -> delete_tcb conn
+    | Tcb.Log msg -> tracef conn "%s" msg
+
+  and drain conn =
+    if not conn.draining then begin
+      conn.draining <- true;
+      Fun.protect
+        ~finally:(fun () -> conn.draining <- false)
+        (fun () ->
+          let rec loop () =
+            match Tcb.next_to_do conn.tcb with
+            | None -> ()
+            | Some action ->
+              execute conn action;
+              (* wake senders blocked on the buffer bound *)
+              if
+                conn.tcb.Tcb.queued_bytes < Params.send_buffer_bytes
+                && Fox_sched.Cond.waiters conn.send_space > 0
+              then Fox_sched.Cond.broadcast conn.send_space ();
+              loop ()
+          in
+          loop ())
+    end
+
+  (* ---------------- connection creation ---------------- *)
+
+  let install_connection t ~host ~local_port ~remote_port ~lower ~state
+      (handler : handler) =
+    let tcb =
+      match Tcb.tcb_of state with
+      | Some tcb -> tcb
+      | None -> invalid_arg "install_connection: state without tcb"
+    in
+    let conn =
+      {
+        tcp = t;
+        host;
+        local_port;
+        remote_port;
+        lower;
+        lower_send = Lower.prepare_send lower;
+        tcb;
+        state;
+        data = ignore;
+        status = ignore;
+        draining = false;
+        timers = [];
+        open_mb = Fox_sched.Cond.create ();
+        close_mb = Fox_sched.Cond.create ();
+        send_space = Fox_sched.Cond.create ();
+        open_done = false;
+        close_reason = None;
+        dead = false;
+      }
+    in
+    Hashtbl.replace t.conns (key host local_port remote_port) conn;
+    let data, status = handler conn in
+    conn.data <- data;
+    conn.status <- status;
+    conn
+
+  (* ---------------- demultiplexing ---------------- *)
+
+  let handle_unknown t lconn (hdr : Tcp_header.t) seg_text_len =
+    if Params.abort_unknown_connections && not hdr.Tcp_header.rst then begin
+      t.rsts_sent <- t.rsts_sent + 1;
+      let lower_send = Lower.prepare_send lconn in
+      if hdr.Tcp_header.ack_flag then
+        send_rst_on ~lconn ~lower_send ~src_port:hdr.Tcp_header.dst_port
+          ~dst_port:hdr.Tcp_header.src_port ~seq:hdr.Tcp_header.ack
+          ~ack_opt:None
+      else
+        send_rst_on ~lconn ~lower_send ~src_port:hdr.Tcp_header.dst_port
+          ~dst_port:hdr.Tcp_header.src_port ~seq:Seq.zero
+          ~ack_opt:
+            (Some
+               (Seq.add hdr.Tcp_header.seq
+                  (seg_text_len
+                  + (if hdr.Tcp_header.syn then 1 else 0)
+                  + if hdr.Tcp_header.fin then 1 else 0)))
+    end
+    else t.unknown_dropped <- t.unknown_dropped + 1
+
+  let accept t lconn (seg : Tcb.segment) listener =
+    let host = Aux.source lconn in
+    let hdr = seg.Tcb.hdr in
+    let mss = max 64 (Aux.mtu lconn - tcp_headroom) in
+    let now = Fox_sched.Scheduler.now () in
+    let state =
+      State.passive_open runtime_params ~iss:(fresh_iss t) ~mss ~syn:seg ~now
+    in
+    t.accepts <- t.accepts + 1;
+    let conn =
+      install_connection t ~host ~local_port:hdr.Tcp_header.dst_port
+        ~remote_port:hdr.Tcp_header.src_port ~lower:lconn ~state
+        listener.l_handler
+    in
+    drain conn
+
+  let receive t lconn packet =
+    let now = Fox_sched.Scheduler.now () in
+    let pseudo =
+      if Params.compute_checksums then
+        Some (Aux.pseudo lconn ~proto:proto_number ~len:(Packet.length packet))
+      else None
+    in
+    match Action.internalize ~alg:Params.checksum_alg ~pseudo packet ~now with
+    | Error _ -> t.bad_segments <- t.bad_segments + 1
+    | Ok seg -> (
+      t.segs_in <- t.segs_in + 1;
+      let hdr = seg.Tcb.hdr in
+      let host = Aux.source lconn in
+      match
+        Hashtbl.find_opt t.conns
+          (key host hdr.Tcp_header.dst_port hdr.Tcp_header.src_port)
+      with
+      | Some conn when not conn.dead ->
+        conn.tcb.Tcb.segs_in <- conn.tcb.Tcb.segs_in + 1;
+        Tcb.add_to_do conn.tcb (Tcb.Process_data seg);
+        drain conn
+      | _ -> (
+        match Hashtbl.find_opt t.listeners hdr.Tcp_header.dst_port with
+        | Some l
+          when l.l_active && hdr.Tcp_header.syn
+               && (not hdr.Tcp_header.ack_flag)
+               && not hdr.Tcp_header.rst ->
+          accept t lconn seg l
+        | _ -> handle_unknown t lconn hdr (Packet.length seg.Tcb.data)))
+
+  (* ---------------- lower-layer sessions ---------------- *)
+
+  let lower_conn_for t host =
+    let k = Aux.to_string host in
+    match Hashtbl.find_opt t.lower_conns k with
+    | Some lconn -> lconn
+    | None ->
+      let lconn =
+        Lower.connect t.lower_instance
+          (Aux.lower_address ~proto:proto_number host)
+          (fun lconn -> ((fun packet -> receive t lconn packet), ignore))
+      in
+      Hashtbl.replace t.lower_conns k lconn;
+      lconn
+
+  (* ---------------- PROTOCOL operations ---------------- *)
+
+  let ephemeral t ~host ~remote_port =
+    let rec pick attempts =
+      if attempts > 16384 then raise (Connection_failed "tcp: no free port");
+      let port = 49152 + (t.next_ephemeral land 0x3FFF) in
+      t.next_ephemeral <- t.next_ephemeral + 1;
+      if
+        Hashtbl.mem t.conns (key host port remote_port)
+        || Hashtbl.mem t.listeners port
+      then pick (attempts + 1)
+      else port
+    in
+    pick 0
+
+  let connect t { peer; port = remote_port; local_port } handler =
+    let local_port =
+      match local_port with
+      | Some p -> p
+      | None -> ephemeral t ~host:peer ~remote_port
+    in
+    if Hashtbl.mem t.conns (key peer local_port remote_port) then
+      raise
+        (Connection_failed
+           (Printf.sprintf "tcp: %s:%d from port %d already open"
+              (Aux.to_string peer) remote_port local_port));
+    let lconn = lower_conn_for t peer in
+    let mss = max 64 (Aux.mtu lconn - tcp_headroom) in
+    let now = Fox_sched.Scheduler.now () in
+    let state = State.active_open runtime_params ~iss:(fresh_iss t) ~mss ~now in
+    let conn =
+      install_connection t ~host:peer ~local_port ~remote_port ~lower:lconn
+        ~state handler
+    in
+    drain conn;
+    match Fox_sched.Cond.wait conn.open_mb with
+    | Ok () -> conn
+    | Error msg ->
+      raise (Connection_failed ("tcp open failed: " ^ msg))
+
+  let start_passive t ({ local_port } : pattern) handler =
+    if Hashtbl.mem t.listeners local_port then
+      raise
+        (Connection_failed
+           (Printf.sprintf "tcp port %d already has a listener" local_port));
+    let l =
+      { l_tcp = t; l_port = local_port; l_handler = handler; l_active = true }
+    in
+    Hashtbl.replace t.listeners local_port l;
+    l
+
+  let stop_passive l =
+    l.l_active <- false;
+    Hashtbl.remove l.l_tcp.listeners l.l_port
+
+  let send conn packet =
+    if conn.dead then raise (Send_failed "tcp connection closed");
+    (* flow-control the caller against the send buffer bound *)
+    while
+      (not conn.dead)
+      && conn.tcb.Tcb.queued_bytes >= Params.send_buffer_bytes
+    do
+      Fox_sched.Cond.wait conn.send_space
+    done;
+    if conn.dead then raise (Send_failed "tcp connection closed");
+    Send.enqueue runtime_params conn.tcb packet
+      ~now:(Fox_sched.Scheduler.now ());
+    drain conn
+
+  let prepare_send conn = send conn
+
+  let close conn =
+    if not conn.dead then begin
+      conn.state <-
+        State.close runtime_params conn.state ~now:(Fox_sched.Scheduler.now ());
+      drain conn
+    end
+
+  let close_sync conn =
+    close conn;
+    if not conn.dead then Fox_sched.Cond.wait conn.close_mb
+
+  let abort conn =
+    if not conn.dead then begin
+      conn.close_reason <- Some Status.Aborted;
+      conn.state <- State.abort runtime_params conn.state;
+      drain conn
+    end
+
+  let initialize t =
+    if t.init_count = 0 then ignore (Lower.initialize t.lower_instance);
+    t.init_count <- t.init_count + 1;
+    t.init_count
+
+  let finalize t =
+    if t.init_count > 0 then t.init_count <- t.init_count - 1;
+    if t.init_count = 0 then begin
+      Hashtbl.iter (fun _ l -> l.l_active <- false) t.listeners;
+      Hashtbl.reset t.listeners;
+      let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+      List.iter abort conns;
+      ignore (Lower.finalize t.lower_instance)
+    end;
+    t.init_count
+
+  let max_packet_size conn = conn.tcb.Tcb.snd_mss
+
+  let headroom conn = tcp_headroom + Lower.headroom conn.lower
+
+  let tailroom conn = Lower.tailroom conn.lower
+
+  let allocate_send conn len =
+    Packet.create ~headroom:(headroom conn) ~tailroom:(tailroom conn) len
+
+  let conn_stats conn =
+    let tcb = conn.tcb in
+    {
+      state = Tcb.state_name conn.state;
+      bytes_sent = tcb.Tcb.bytes_out;
+      bytes_received = tcb.Tcb.bytes_in;
+      segments_sent = tcb.Tcb.segs_out;
+      segments_received = tcb.Tcb.segs_in;
+      retransmissions = tcb.Tcb.retransmissions;
+      fast_path_hits = tcb.Tcb.fast_path_hits;
+      duplicate_segments = tcb.Tcb.dup_segments;
+      out_of_order_segments = tcb.Tcb.ooo_segments;
+      srtt_us = tcb.Tcb.srtt_us;
+      rto_us = tcb.Tcb.rto_us;
+      snd_wnd = tcb.Tcb.snd_wnd;
+      cwnd = tcb.Tcb.cwnd;
+    }
+
+  let stats t =
+    {
+      segs_in = t.segs_in;
+      segs_out = t.segs_out;
+      bad_segments = t.bad_segments;
+      rsts_sent = t.rsts_sent;
+      unknown_dropped = t.unknown_dropped;
+      accepts = t.accepts;
+      active_conns = Hashtbl.length t.conns;
+    }
+
+  let pp_address fmt { peer; port; local_port } =
+    Format.fprintf fmt "%s:%d%s" (Aux.to_string peer) port
+      (match local_port with
+      | Some p -> Printf.sprintf " (from :%d)" p
+      | None -> "")
+
+  let create lower =
+    let t =
+      {
+        lower_instance = lower;
+        conns = Hashtbl.create 64;
+        listeners = Hashtbl.create 8;
+        lower_conns = Hashtbl.create 8;
+        tracer = Trace.create 4096;
+        iss_salt = 0;
+        next_ephemeral = 0;
+        init_count = 0;
+        segs_in = 0;
+        segs_out = 0;
+        bad_segments = 0;
+        rsts_sent = 0;
+        unknown_dropped = 0;
+        accepts = 0;
+      }
+    in
+    ignore
+      (Lower.start_passive lower
+         (Aux.default_pattern ~proto:proto_number)
+         (fun lconn -> ((fun packet -> receive t lconn packet), ignore)));
+    t
+end

@@ -1,0 +1,148 @@
+open Fox_basis
+
+let min_length = 20
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : Seq.t;
+  ack : Seq.t;
+  urg : bool;
+  ack_flag : bool;
+  psh : bool;
+  rst : bool;
+  syn : bool;
+  fin : bool;
+  window : int;
+  urgent : int;
+  mss : int option;
+}
+
+let basic ~src_port ~dst_port =
+  {
+    src_port;
+    dst_port;
+    seq = Seq.zero;
+    ack = Seq.zero;
+    urg = false;
+    ack_flag = false;
+    psh = false;
+    rst = false;
+    syn = false;
+    fin = false;
+    window = 0;
+    urgent = 0;
+    mss = None;
+  }
+
+let header_length hdr = min_length + (match hdr.mss with Some _ -> 4 | None -> 0)
+
+let flags_byte hdr =
+  (if hdr.urg then 0x20 else 0)
+  lor (if hdr.ack_flag then 0x10 else 0)
+  lor (if hdr.psh then 0x08 else 0)
+  lor (if hdr.rst then 0x04 else 0)
+  lor (if hdr.syn then 0x02 else 0)
+  lor if hdr.fin then 0x01 else 0
+
+let encode ?(alg = `Optimized) ~pseudo hdr p =
+  let hlen = header_length hdr in
+  Packet.push_header p hlen;
+  Packet.set_u16 p 0 hdr.src_port;
+  Packet.set_u16 p 2 hdr.dst_port;
+  Packet.set_u32 p 4 (Seq.to_int hdr.seq);
+  Packet.set_u32 p 8 (Seq.to_int hdr.ack);
+  let data_offset_words = hlen / 4 in
+  Packet.set_u8 p 12 (data_offset_words lsl 4);
+  Packet.set_u8 p 13 (flags_byte hdr);
+  Packet.set_u16 p 14 hdr.window;
+  Packet.set_u16 p 16 0 (* checksum *);
+  Packet.set_u16 p 18 hdr.urgent;
+  (match hdr.mss with
+  | Some mss ->
+    Packet.set_u8 p 20 2;
+    Packet.set_u8 p 21 4;
+    Packet.set_u16 p 22 mss
+  | None -> ());
+  match pseudo with
+  | None -> ()
+  | Some acc ->
+    let acc =
+      Checksum.add_bytes ~alg acc (Packet.buffer p) (Packet.offset p)
+        (Packet.length p)
+    in
+    Packet.set_u16 p 16 (Checksum.checksum_of acc)
+
+type error = Too_short | Bad_offset | Bad_checksum
+
+let decode_options p hlen =
+  (* Scan the option bytes for an MSS; skip everything else. *)
+  let rec scan i mss =
+    if i >= hlen then mss
+    else
+      match Packet.get_u8 p i with
+      | 0 -> mss (* end of options *)
+      | 1 -> scan (i + 1) mss (* nop *)
+      | kind ->
+        if i + 1 >= hlen then mss
+        else
+          let len = Packet.get_u8 p (i + 1) in
+          if len < 2 || i + len > hlen then mss
+          else if kind = 2 && len = 4 then
+            scan (i + len) (Some (Packet.get_u16 p (i + 2)))
+          else scan (i + len) mss
+  in
+  scan min_length None
+
+let decode ?(alg = `Optimized) ~pseudo p =
+  if Packet.length p < min_length then Error Too_short
+  else begin
+    let hlen = Packet.get_u8 p 12 lsr 4 * 4 in
+    if hlen < min_length || hlen > Packet.length p then Error Bad_offset
+    else begin
+      let checksum_ok =
+        match pseudo with
+        | None -> true
+        | Some acc ->
+          Checksum.valid
+            (Checksum.add_bytes ~alg acc (Packet.buffer p) (Packet.offset p)
+               (Packet.length p))
+      in
+      if not checksum_ok then Error Bad_checksum
+      else begin
+        let flags = Packet.get_u8 p 13 in
+        let hdr =
+          {
+            src_port = Packet.get_u16 p 0;
+            dst_port = Packet.get_u16 p 2;
+            seq = Seq.of_int (Packet.get_u32 p 4);
+            ack = Seq.of_int (Packet.get_u32 p 8);
+            urg = flags land 0x20 <> 0;
+            ack_flag = flags land 0x10 <> 0;
+            psh = flags land 0x08 <> 0;
+            rst = flags land 0x04 <> 0;
+            syn = flags land 0x02 <> 0;
+            fin = flags land 0x01 <> 0;
+            window = Packet.get_u16 p 14;
+            urgent = Packet.get_u16 p 18;
+            mss = decode_options p hlen;
+          }
+        in
+        Packet.pull_header p hlen;
+        Ok hdr
+      end
+    end
+  end
+
+let error_to_string = function
+  | Too_short -> "too short"
+  | Bad_offset -> "bad data offset"
+  | Bad_checksum -> "bad checksum"
+
+let pp fmt hdr =
+  let flag c b = if b then c else "" in
+  Format.fprintf fmt "%d > %d [%s%s%s%s%s%s] seq=%a ack=%a win=%d%s" hdr.src_port
+    hdr.dst_port (flag "S" hdr.syn) (flag "F" hdr.fin) (flag "R" hdr.rst)
+    (flag "P" hdr.psh) (flag "." hdr.ack_flag) (flag "U" hdr.urg) Seq.pp hdr.seq
+    Seq.pp hdr.ack hdr.window
+    (match hdr.mss with Some m -> Printf.sprintf " mss=%d" m | None -> "")

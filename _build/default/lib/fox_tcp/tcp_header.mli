@@ -1,0 +1,61 @@
+(** TCP segment header encoding and decoding (RFC 793 §3.1).
+
+    The only option generated is Maximum Segment Size (on SYN segments);
+    unknown options are skipped on decode, as RFC 1122 requires.  The
+    checksum covers the pseudo-header, header and text and is computed by
+    {!Fox_basis.Checksum} — with the optimised Figure 10 algorithm by
+    default. *)
+
+val min_length : int
+(** 20 bytes, an option-less header. *)
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : Seq.t;
+  ack : Seq.t;  (** meaningful only when [ack_flag] *)
+  urg : bool;
+  ack_flag : bool;
+  psh : bool;
+  rst : bool;
+  syn : bool;
+  fin : bool;
+  window : int;
+  urgent : int;
+  mss : int option;  (** the MSS option, if present *)
+}
+
+(** [basic ~src_port ~dst_port] is a header template with all flags clear
+    and zero sequence numbers — convenient for building segments field by
+    field. *)
+val basic : src_port:int -> dst_port:int -> t
+
+(** [header_length hdr] is the encoded size, options included. *)
+val header_length : t -> int
+
+(** [encode ~pseudo hdr p] pushes the header in front of [p]'s window.
+    When [pseudo] is given (pre-loaded with the pseudo-header for
+    [header_length hdr + old length of p] bytes), the checksum field is
+    computed over pseudo-header + header + text with the given algorithm;
+    otherwise it is left zero. *)
+val encode :
+  ?alg:Fox_basis.Checksum.alg ->
+  pseudo:Fox_basis.Checksum.acc option ->
+  t ->
+  Fox_basis.Packet.t ->
+  unit
+
+type error = Too_short | Bad_offset | Bad_checksum
+
+(** [decode ~pseudo p] reads, verifies and strips a header, leaving the
+    segment text in [p]'s window. *)
+val decode :
+  ?alg:Fox_basis.Checksum.alg ->
+  pseudo:Fox_basis.Checksum.acc option ->
+  Fox_basis.Packet.t ->
+  (t, error) result
+
+val error_to_string : error -> string
+
+(** Render like a tcpdump line, for traces. *)
+val pp : Format.formatter -> t -> unit

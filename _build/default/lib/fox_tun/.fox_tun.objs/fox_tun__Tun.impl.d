@@ -1,0 +1,1 @@
+lib/fox_tun/tun.ml: Bytes Fox_basis Fox_dev Fox_sched Obj Packet Printf Sys Unix

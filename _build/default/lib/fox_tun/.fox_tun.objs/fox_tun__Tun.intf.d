@@ -1,0 +1,1 @@
+lib/fox_tun/tun.mli: Fox_dev

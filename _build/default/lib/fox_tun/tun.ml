@@ -1,0 +1,109 @@
+open Fox_basis
+
+external tun_open : string -> int * string = "fox_tun_open"
+
+type t = {
+  fd : Unix.file_descr;
+  name : string;
+  inbox : Packet.t Fox_sched.Cond.t;
+  mutable handler : (Packet.t -> unit) option;
+  read_buf : Bytes.t;
+  mutable rx_frames : int;
+  mutable tx_frames : int;
+  mutable closed : bool;
+}
+
+let open_tap ?(name = "") () =
+  let fd_int, assigned = tun_open name in
+  let fd : Unix.file_descr = Obj.magic (fd_int : int) in
+  Unix.set_nonblock fd;
+  {
+    fd;
+    name = assigned;
+    inbox = Fox_sched.Cond.create ();
+    handler = None;
+    read_buf = Bytes.create 65536;
+    rx_frames = 0;
+    tx_frames = 0;
+    closed = false;
+  }
+
+let name t = t.name
+
+let sh cmd =
+  if Sys.command cmd <> 0 then failwith ("fox_tun: command failed: " ^ cmd)
+
+let configure t ~ip ~prefix =
+  sh (Printf.sprintf "ip addr add %s/%d dev %s" ip prefix t.name);
+  sh (Printf.sprintf "ip link set %s up" t.name)
+
+let transmit t packet =
+  if not t.closed then begin
+    t.tx_frames <- t.tx_frames + 1;
+    let len = Packet.length packet in
+    let buf = Bytes.create len in
+    Packet.blit packet 0 buf 0 len;
+    (* a TAP write takes a whole frame or nothing; EAGAIN means the kernel
+       queue is full, in which case the frame is simply lost — exactly an
+       Ethernet drop, which the protocols above recover from *)
+    try ignore (Unix.write t.fd buf 0 len)
+    with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  end
+
+let port t =
+  {
+    Fox_dev.Link.transmit = (fun packet -> transmit t packet);
+    set_receive = (fun handler -> t.handler <- Some handler);
+  }
+
+(* The delivery thread: runs inside the scheduler, so the device handler
+   (and all the protocol processing it triggers) executes in a proper
+   thread context where scheduler effects are available. *)
+let start t =
+  Fox_sched.Scheduler.fork (fun () ->
+      let rec deliver () =
+        let frame = Fox_sched.Cond.wait t.inbox in
+        (match t.handler with Some h -> h frame | None -> ());
+        deliver ()
+      in
+      deliver ())
+
+(* Drain every frame currently readable; called with the fd known (or
+   hoped) readable.  Runs outside any thread: only resumer-based
+   signalling is allowed here, no scheduler effects. *)
+let drain_readable t =
+  let rec go () =
+    match Unix.read t.fd t.read_buf 0 (Bytes.length t.read_buf) with
+    | 0 -> ()
+    | n ->
+      t.rx_frames <- t.rx_frames + 1;
+      let frame = Packet.create n in
+      Packet.blit_from_bytes t.read_buf 0 frame 0 n;
+      Fox_sched.Cond.signal t.inbox frame;
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  in
+  go ()
+
+let pump t ~timeout_us =
+  if not t.closed then begin
+    let timeout = float_of_int (max 0 timeout_us) /. 1e6 in
+    match Unix.select [ t.fd ] [] [] timeout with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> drain_readable t
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  end
+
+let idle_hook t until =
+  let timeout_us =
+    match until with Some us -> min us 20_000 | None -> 20_000
+  in
+  pump t ~timeout_us
+
+let stats t = (t.rx_frames, t.tx_frames)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Unix.close t.fd
+  end

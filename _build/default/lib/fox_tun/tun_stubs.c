@@ -1,0 +1,51 @@
+/* Minimal TAP-device support: open /dev/net/tun and attach to a (possibly
+   kernel-named) interface in TAP mode without packet information, which is
+   the raw-Ethernet-frame framing the Fox Net device layer expects.
+
+   This is the only C in the repository; everything protocol-side stays in
+   OCaml, as in the paper, and this stub merely replaces the Mach IPC the
+   paper used to reach its Ethernet device. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <stdio.h>
+#include <sys/ioctl.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <linux/if.h>
+#include <linux/if_tun.h>
+#endif
+
+CAMLprim value fox_tun_open(value vname)
+{
+  CAMLparam1(vname);
+  CAMLlocal1(result);
+#ifdef __linux__
+  struct ifreq ifr;
+  int fd = open("/dev/net/tun", O_RDWR);
+  if (fd < 0) caml_failwith("fox_tun: cannot open /dev/net/tun");
+  memset(&ifr, 0, sizeof(ifr));
+  ifr.ifr_flags = IFF_TAP | IFF_NO_PI;
+  strncpy(ifr.ifr_name, String_val(vname), IFNAMSIZ - 1);
+  if (ioctl(fd, TUNSETIFF, &ifr) < 0) {
+    int e = errno;
+    char msg[128];
+    close(fd);
+    snprintf(msg, sizeof(msg), "fox_tun: TUNSETIFF failed (errno %d)", e);
+    caml_failwith(msg);
+  }
+  result = caml_alloc_tuple(2);
+  Store_field(result, 0, Val_int(fd));
+  Store_field(result, 1, caml_copy_string(ifr.ifr_name));
+  CAMLreturn(result);
+#else
+  caml_failwith("fox_tun: TAP devices are only supported on Linux");
+#endif
+}

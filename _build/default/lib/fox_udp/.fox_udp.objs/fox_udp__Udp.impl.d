@@ -1,0 +1,1 @@
+lib/fox_udp/udp.ml: Format Fox_basis Fox_proto Hashtbl List Packet Printf Udp_header

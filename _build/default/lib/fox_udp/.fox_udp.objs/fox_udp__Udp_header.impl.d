@@ -1,0 +1,1 @@
+lib/fox_udp/udp_header.ml: Checksum Fox_basis Packet

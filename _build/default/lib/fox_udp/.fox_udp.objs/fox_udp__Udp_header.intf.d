@@ -1,0 +1,1 @@
+lib/fox_udp/udp_header.mli: Fox_basis

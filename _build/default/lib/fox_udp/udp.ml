@@ -1,0 +1,292 @@
+(** The UDP protocol layer.
+
+    [Make (Lower) (Aux) (Params)] mirrors the paper's Udp functor: like
+    TCP, it takes the lower protocol {e and} an auxiliary [IP_AUX]
+    structure (Figure 5) supplying the address-dependent pieces — the
+    pseudo-header checksum, host hashing/printing and lower-layer address
+    construction — so the same UDP runs over IP or directly over Ethernet.
+
+    A UDP {e connection} is a fully specified
+    (peer host, peer port, local port) triple; a passive open accepts any
+    datagram to a local port and materialises the connection for its
+    sender, after which replies flow back over it. *)
+
+open Fox_basis
+module Protocol = Fox_proto.Protocol
+
+type stats = {
+  datagrams_sent : int;
+  datagrams_received : int;
+  rx_bad_header : int;
+  rx_no_port : int;  (** datagrams to ports nobody listens on *)
+}
+
+module type PARAMS = sig
+  (** Compute checksums on send and verify them on receive. *)
+  val compute_checksums : bool
+end
+
+module Make
+    (Lower : Protocol.PROTOCOL
+               with type incoming_message = Packet.t
+                and type outgoing_message = Packet.t)
+    (Aux : Protocol.IP_AUX
+             with type lower_address = Lower.address
+              and type lower_pattern = Lower.address_pattern
+              and type lower_connection = Lower.connection)
+    (Params : PARAMS) : sig
+  type address = { peer : Aux.host; peer_port : int; local_port : int option }
+
+  type pattern = { local_port : int }
+
+  include
+    Protocol.PROTOCOL
+      with type address := address
+       and type address_pattern := pattern
+       and type incoming_message = Packet.t
+       and type outgoing_message = Packet.t
+
+  val create : Lower.t -> t
+
+  val peer_of : connection -> Aux.host * int
+
+  val local_port_of : connection -> int
+
+  val stats : t -> stats
+end = struct
+  include Fox_proto.Common
+
+  let proto_number = 17
+
+  type address = { peer : Aux.host; peer_port : int; local_port : int option }
+
+  type pattern = { local_port : int }
+
+  type incoming_message = Packet.t
+
+  type outgoing_message = Packet.t
+
+  type data_handler = incoming_message -> unit
+
+  type status_handler = Fox_proto.Status.t -> unit
+
+  type connection = {
+    udp : t;
+    host : Aux.host;
+    peer_port : int;
+    local_port : int;
+    lower : Lower.connection;
+    mutable data : data_handler;
+    mutable status : status_handler;
+    mutable alive : bool;
+  }
+
+  and listener = {
+    l_udp : t;
+    l_port : int;
+    l_handler : handler;
+    mutable l_active : bool;
+  }
+
+  and handler = connection -> data_handler * status_handler
+
+  and t = {
+    lower_instance : Lower.t;
+    conns : (string * int * int, connection) Hashtbl.t;
+        (* (host, peer port, local port) *)
+    listeners : (int, listener) Hashtbl.t;
+    lower_conns : (string, Lower.connection) Hashtbl.t;
+    mutable next_ephemeral : int;
+    mutable init_count : int;
+    mutable datagrams_sent : int;
+    mutable datagrams_received : int;
+    mutable rx_bad_header : int;
+    mutable rx_no_port : int;
+  }
+
+  let key host peer_port local_port = (Aux.to_string host, peer_port, local_port)
+
+  let peer_of conn = (conn.host, conn.peer_port)
+
+  let local_port_of conn = conn.local_port
+
+  (* ---------------- receive ---------------- *)
+
+  let install_connection t ~host ~peer_port ~local_port ~lower (handler : handler)
+      =
+    let conn =
+      { udp = t; host; peer_port; local_port; lower; data = ignore;
+        status = ignore; alive = true }
+    in
+    Hashtbl.replace t.conns (key host peer_port local_port) conn;
+    let data, status = handler conn in
+    conn.data <- data;
+    conn.status <- status;
+    conn.status Fox_proto.Status.Connected;
+    conn
+
+  let receive t lconn packet =
+    let pseudo =
+      if Params.compute_checksums then
+        Some (Aux.pseudo lconn ~proto:proto_number ~len:(Packet.length packet))
+      else None
+    in
+    match Udp_header.decode ~pseudo packet with
+    | Error _ -> t.rx_bad_header <- t.rx_bad_header + 1
+    | Ok hdr -> (
+      let host = Aux.source lconn in
+      match
+        Hashtbl.find_opt t.conns (key host hdr.src_port hdr.dst_port)
+      with
+      | Some conn ->
+        t.datagrams_received <- t.datagrams_received + 1;
+        conn.data packet
+      | None -> (
+        match Hashtbl.find_opt t.listeners hdr.dst_port with
+        | Some l when l.l_active ->
+          let conn =
+            install_connection t ~host ~peer_port:hdr.src_port
+              ~local_port:hdr.dst_port ~lower:lconn l.l_handler
+          in
+          t.datagrams_received <- t.datagrams_received + 1;
+          conn.data packet
+        | Some _ | None -> t.rx_no_port <- t.rx_no_port + 1))
+
+  let lower_conn_for t host =
+    let k = Aux.to_string host in
+    match Hashtbl.find_opt t.lower_conns k with
+    | Some lconn -> lconn
+    | None ->
+      let lconn =
+        Lower.connect t.lower_instance
+          (Aux.lower_address ~proto:proto_number host)
+          (fun lconn -> ((fun packet -> receive t lconn packet), ignore))
+      in
+      Hashtbl.replace t.lower_conns k lconn;
+      lconn
+
+  (* ---------------- PROTOCOL operations ---------------- *)
+
+  let ephemeral t =
+    (* skip ports in use; 16k ports is plenty for a simulation *)
+    let rec pick attempts =
+      if attempts > 16384 then raise (Connection_failed "udp: no free port");
+      let port = 49152 + (t.next_ephemeral land 0x3FFF) in
+      t.next_ephemeral <- t.next_ephemeral + 1;
+      if Hashtbl.mem t.listeners port then pick (attempts + 1) else port
+    in
+    pick 0
+
+  let connect t { peer; peer_port; local_port } handler =
+    let local_port = match local_port with Some p -> p | None -> ephemeral t in
+    match Hashtbl.find_opt t.conns (key peer peer_port local_port) with
+    | Some conn -> conn
+    | None ->
+      let lower = lower_conn_for t peer in
+      install_connection t ~host:peer ~peer_port ~local_port ~lower handler
+
+  let start_passive t ({ local_port } : pattern) handler =
+    if Hashtbl.mem t.listeners local_port then
+      raise
+        (Connection_failed
+           (Printf.sprintf "udp port %d already has a listener" local_port));
+    let l =
+      { l_udp = t; l_port = local_port; l_handler = handler; l_active = true }
+    in
+    Hashtbl.replace t.listeners local_port l;
+    l
+
+  let stop_passive l =
+    l.l_active <- false;
+    Hashtbl.remove l.l_udp.listeners l.l_port
+
+  let send conn packet =
+    if not conn.alive then raise (Send_failed "udp connection closed");
+    let t = conn.udp in
+    let pseudo =
+      if Params.compute_checksums then
+        Some
+          (Aux.pseudo conn.lower ~proto:proto_number
+             ~len:(Packet.length packet + Udp_header.length))
+      else None
+    in
+    Udp_header.encode ~pseudo
+      { Udp_header.src_port = conn.local_port; dst_port = conn.peer_port;
+        checksum = 0 }
+      packet;
+    t.datagrams_sent <- t.datagrams_sent + 1;
+    Lower.send conn.lower packet
+
+  let prepare_send conn packet = send conn packet
+
+  let teardown reason conn =
+    if conn.alive then begin
+      conn.alive <- false;
+      Hashtbl.remove conn.udp.conns (key conn.host conn.peer_port conn.local_port);
+      conn.status reason
+    end
+
+  let close conn = teardown Fox_proto.Status.Closed conn
+
+  let abort conn = teardown Fox_proto.Status.Aborted conn
+
+  let initialize t =
+    if t.init_count = 0 then ignore (Lower.initialize t.lower_instance);
+    t.init_count <- t.init_count + 1;
+    t.init_count
+
+  let finalize t =
+    if t.init_count > 0 then t.init_count <- t.init_count - 1;
+    if t.init_count = 0 then begin
+      Hashtbl.iter (fun _ l -> l.l_active <- false) t.listeners;
+      Hashtbl.reset t.listeners;
+      let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+      List.iter (teardown Fox_proto.Status.Aborted) conns;
+      ignore (Lower.finalize t.lower_instance)
+    end;
+    t.init_count
+
+  let max_packet_size conn = Aux.mtu conn.lower - Udp_header.length
+
+  let headroom conn = Udp_header.length + Lower.headroom conn.lower
+
+  let tailroom conn = Lower.tailroom conn.lower
+
+  let allocate_send conn len =
+    Packet.create ~headroom:(headroom conn) ~tailroom:(tailroom conn) len
+
+  let stats t =
+    {
+      datagrams_sent = t.datagrams_sent;
+      datagrams_received = t.datagrams_received;
+      rx_bad_header = t.rx_bad_header;
+      rx_no_port = t.rx_no_port;
+    }
+
+  let pp_address fmt { peer; peer_port; local_port } =
+    Format.fprintf fmt "%s:%d%s" (Aux.to_string peer) peer_port
+      (match local_port with
+      | Some p -> Printf.sprintf " (from :%d)" p
+      | None -> "")
+
+  let create lower =
+    let t =
+      {
+        lower_instance = lower;
+        conns = Hashtbl.create 32;
+        listeners = Hashtbl.create 8;
+        lower_conns = Hashtbl.create 8;
+        next_ephemeral = 0;
+        init_count = 0;
+        datagrams_sent = 0;
+        datagrams_received = 0;
+        rx_bad_header = 0;
+        rx_no_port = 0;
+      }
+    in
+    ignore
+      (Lower.start_passive lower
+         (Aux.default_pattern ~proto:proto_number)
+         (fun lconn -> ((fun packet -> receive t lconn packet), ignore)));
+    t
+end

@@ -1,0 +1,1 @@
+test/test_basis.ml: Alcotest Bytes Char Checksum Copy Counters Crc32 Deq Fifo Fox_basis Heap Int List Packet Printf QCheck2 QCheck_alcotest Rng String Trace Wire Word

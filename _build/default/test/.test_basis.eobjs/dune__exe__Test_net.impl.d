@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Bytes Char Filename Fox_arp Fox_basis Fox_dev Fox_eth Fox_ip Fox_proto Fox_sched Fun List Option Packet Printf QCheck2 QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Cond Counters Cpu Fox_basis Fox_sched List QCheck2 QCheck_alcotest Scheduler Timer Unix

@@ -1,0 +1,1 @@
+test/test_stack.ml: Alcotest Buffer Char Counters Fox_basis Fox_dev Fox_eth Fox_ip Fox_proto Fox_sched Fox_stack List Packet String

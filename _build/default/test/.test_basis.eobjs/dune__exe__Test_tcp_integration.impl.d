@@ -1,0 +1,1 @@
+test/test_tcp_integration.ml: Alcotest Buffer Char Fox_arp Fox_basis Fox_dev Fox_eth Fox_ip Fox_proto Fox_sched Fox_tcp Fun List Option Packet QCheck2 QCheck_alcotest String

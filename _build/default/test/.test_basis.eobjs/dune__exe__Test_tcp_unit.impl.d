@@ -1,0 +1,1 @@
+test/test_tcp_unit.ml: Alcotest Checksum Fox_basis Fox_tcp List Option Packet QCheck2 QCheck_alcotest Receive Resend Send Seq State String Tcb Tcp_header

@@ -1,0 +1,1 @@
+test/test_tun.ml: Alcotest Buffer Bytes Fox_basis Fox_dev Fox_eth Fox_ip Fox_proto Fox_sched Fox_stack Fox_tun Fun Lazy List Packet String Unix

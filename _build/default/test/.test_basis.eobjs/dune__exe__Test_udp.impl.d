@@ -1,0 +1,1 @@
+test/test_udp.ml: Alcotest Char Fox_arp Fox_basis Fox_dev Fox_eth Fox_ip Fox_sched Fox_udp Fun List Packet QCheck2 QCheck_alcotest String

@@ -1,0 +1,644 @@
+(* Unit and property tests for Fox_basis: the FOX_BASIS utility kit. *)
+
+open Fox_basis
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Fifo                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fifo_basic () =
+  let q = Fifo.empty in
+  Alcotest.(check bool) "empty" true (Fifo.is_empty q);
+  let q = Fifo.add 1 (Fifo.add 2 (Fifo.add 3 Fifo.empty)) in
+  Alcotest.(check int) "size" 3 (Fifo.size q);
+  Alcotest.(check (option int)) "peek" (Some 3) (Fifo.peek q);
+  match Fifo.next q with
+  | Some (3, q') ->
+    Alcotest.(check (list int)) "rest" [ 2; 1 ] (Fifo.to_list q')
+  | _ -> Alcotest.fail "expected 3 at front"
+
+let test_fifo_filter () =
+  let q = Fifo.of_list [ 1; 2; 3; 4; 5 ] in
+  let evens = Fifo.filter (fun x -> x mod 2 = 0) q in
+  Alcotest.(check (list int)) "filter" [ 2; 4 ] (Fifo.to_list evens);
+  Alcotest.(check bool) "exists" true (Fifo.exists (fun x -> x = 5) q);
+  Alcotest.(check bool) "not exists" false (Fifo.exists (fun x -> x = 9) q)
+
+let fifo_order =
+  qtest "fifo: to_list (of_list xs) = xs" QCheck2.Gen.(list int) (fun xs ->
+      Fifo.to_list (Fifo.of_list xs) = xs)
+
+let fifo_size =
+  qtest "fifo: size = length" QCheck2.Gen.(list int) (fun xs ->
+      Fifo.size (Fifo.of_list xs) = List.length xs)
+
+let fifo_fold =
+  qtest "fifo: fold = List.fold_left" QCheck2.Gen.(list int) (fun xs ->
+      Fifo.fold (fun acc x -> x :: acc) [] (Fifo.of_list xs)
+      = List.fold_left (fun acc x -> x :: acc) [] xs)
+
+(* Model-based: a random sequence of add/next matches a list model. *)
+let fifo_model =
+  qtest "fifo: model" QCheck2.Gen.(list (pair bool int)) (fun ops ->
+      let q = ref Fifo.empty and model = ref [] in
+      List.for_all
+        (fun (is_add, x) ->
+          if is_add then begin
+            q := Fifo.add x !q;
+            model := !model @ [ x ];
+            true
+          end
+          else
+            match (Fifo.next !q, !model) with
+            | None, [] -> true
+            | Some (y, q'), m :: rest ->
+              q := q';
+              model := rest;
+              y = m
+            | _ -> false)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Deq                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_deq_basic () =
+  let d = Deq.of_list [ 1; 2; 3 ] in
+  Alcotest.(check (option int)) "front" (Some 1) (Deq.peek_front d);
+  Alcotest.(check (option int)) "back" (Some 3) (Deq.peek_back d);
+  let d = Deq.push_front 0 d in
+  let d = Deq.push_back 4 d in
+  Alcotest.(check (list int)) "order" [ 0; 1; 2; 3; 4 ] (Deq.to_list d)
+
+(* Model-based deque: ops 0=push_front 1=push_back 2=pop_front 3=pop_back *)
+let deq_model =
+  qtest "deq: model" QCheck2.Gen.(list (pair (int_bound 3) int)) (fun ops ->
+      let d = ref Deq.empty and model = ref [] in
+      List.for_all
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+            d := Deq.push_front x !d;
+            model := x :: !model;
+            true
+          | 1 ->
+            d := Deq.push_back x !d;
+            model := !model @ [ x ];
+            true
+          | 2 -> (
+            match (Deq.pop_front !d, !model) with
+            | None, [] -> true
+            | Some (y, d'), m :: rest ->
+              d := d';
+              model := rest;
+              y = m
+            | _ -> false)
+          | _ -> (
+            match (Deq.pop_back !d, List.rev !model) with
+            | None, [] -> true
+            | Some (y, d'), m :: rest ->
+              d := d';
+              model := List.rev rest;
+              y = m
+            | _ -> false))
+        ops)
+
+let deq_size =
+  qtest "deq: size" QCheck2.Gen.(list int) (fun xs ->
+      Deq.size (Deq.of_list xs) = List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.add h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "size" 5 (Heap.size h);
+  let rec drain acc =
+    match Heap.pop_min h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 3; 4; 5 ] (drain [])
+
+let test_heap_fifo_ties () =
+  (* Equal keys must pop in insertion order (scheduler determinism). *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  List.iter (Heap.add h) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  let labels = ref [] in
+  let rec drain () =
+    match Heap.pop_min h with
+    | None -> ()
+    | Some (_, l) ->
+      labels := l :: !labels;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "tie order" [ "z"; "a"; "b"; "c" ]
+    (List.rev !labels)
+
+let heap_sorts =
+  qtest "heap: drains sorted" QCheck2.Gen.(list int) (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.add h) xs;
+      let rec drain acc =
+        match Heap.pop_min h with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let heap_peek =
+  qtest "heap: peek = min" QCheck2.Gen.(list int) (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.add h) xs;
+      match Heap.peek_min h with
+      | None -> xs = []
+      | Some m -> m = List.fold_left min (List.hd xs) xs)
+
+(* ------------------------------------------------------------------ *)
+(* Word                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_word_basic () =
+  Alcotest.(check int) "u16 max" 0xFFFF Word.U16.max_value;
+  Alcotest.(check int) "u32 wrap add" 0 Word.U32.(add max_value one);
+  Alcotest.(check int) "u32 wrap sub" Word.U32.max_value Word.U32.(sub zero one);
+  Alcotest.(check int) "u8 of_int" 0x34 (Word.U8.of_int 0x1234);
+  Alcotest.(check string) "hex" "0x0000beef" (Word.U32.to_hex 0xBEEF);
+  Alcotest.(check int) "shl overflow" 0 (Word.U16.shift_left 1 16);
+  Alcotest.(check int) "shr" 0x12 (Word.U16.shift_right 0x1234 8);
+  Alcotest.(check int) "lognot" 0xFFFF0000 (Word.U32.lognot 0xFFFF)
+
+let word_add_assoc =
+  qtest "u32: add wraps like mod 2^32"
+    QCheck2.Gen.(pair (int_bound 0x3FFFFFFF) (int_bound 0x3FFFFFFF))
+    (fun (a, b) ->
+      let open Word.U32 in
+      add (of_int a) (of_int b) = (a + b) land 0xFFFFFFFF)
+
+let word_logic_laws =
+  qtest "words: de morgan and shift laws"
+    QCheck2.Gen.(pair (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (a, b) ->
+      let open Word.U16 in
+      lognot (logand a b) = logor (lognot a) (lognot b)
+      && lognot (logor a b) = logand (lognot a) (lognot b)
+      && shift_left a 3 = of_int (a * 8)
+      && shift_right (shift_left a 4) 4 = logand a 0x0FFF)
+
+let word_sub_inverse =
+  qtest "u32: sub inverts add"
+    QCheck2.Gen.(pair nat nat)
+    (fun (a, b) ->
+      let open Word.U32 in
+      sub (add (of_int a) (of_int b)) (of_int b) = of_int a)
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_roundtrip () =
+  let b = Bytes.make 16 '\000' in
+  Wire.set_u16 b 0 0xBEEF;
+  Wire.set_u32 b 4 0xDEADBEEF;
+  Wire.set_u8 b 5 0x7F;
+  Alcotest.(check int) "u16" 0xBEEF (Wire.get_u16 b 0);
+  Alcotest.(check int) "u32 (overwritten byte)" 0xDE7FBEEF (Wire.get_u32 b 4);
+  Alcotest.(check int) "byte order" 0xDE (Wire.get_u8 b 4)
+
+let wire_u16_roundtrip =
+  qtest "wire: u16 round-trip" QCheck2.Gen.(int_bound 0xFFFF) (fun v ->
+      let b = Bytes.make 4 '\000' in
+      Wire.set_u16 b 1 v;
+      Wire.get_u16 b 1 = v)
+
+let wire_u32_roundtrip =
+  qtest "wire: u32 round-trip" QCheck2.Gen.(int_bound 0x3FFFFFFF) (fun v ->
+      let b = Bytes.make 8 '\000' in
+      let v = v lxor 0xC0000001 in
+      Wire.set_u32 b 3 v;
+      Wire.get_u32 b 3 = v land 0xFFFFFFFF)
+
+(* ------------------------------------------------------------------ *)
+(* Packet                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_packet_headroom () =
+  let p = Packet.of_string ~headroom:8 "payload" in
+  Alcotest.(check int) "len" 7 (Packet.length p);
+  Packet.push_header p 4;
+  Packet.set_u32 p 0 0xCAFEF00D;
+  Alcotest.(check int) "len+hdr" 11 (Packet.length p);
+  Packet.pull_header p 4;
+  Alcotest.(check string) "payload intact" "payload" (Packet.to_string p)
+
+let test_packet_realloc () =
+  let before = Packet.reallocations () in
+  let p = Packet.of_string ~headroom:2 "x" in
+  Packet.push_header p 10;
+  Alcotest.(check int) "realloc counted" (before + 1) (Packet.reallocations ());
+  Alcotest.(check int) "len" 11 (Packet.length p);
+  Packet.pull_header p 10;
+  Alcotest.(check string) "contents survive" "x" (Packet.to_string p)
+
+let test_packet_bounds () =
+  let p = Packet.create 4 in
+  Alcotest.check_raises "oob get" (Invalid_argument
+    "Packet: access at 2 width 4 beyond length 4") (fun () ->
+      ignore (Packet.get_u32 p 2));
+  Alcotest.check_raises "bad trim" (Invalid_argument "Packet.trim") (fun () ->
+      Packet.trim p 5)
+
+let test_packet_append_sub () =
+  let a = Packet.of_string "abc" and b = Packet.of_string "defg" in
+  let c = Packet.append a b in
+  Alcotest.(check string) "append" "abcdefg" (Packet.to_string c);
+  Alcotest.(check string) "sub" "cde" (Packet.to_string (Packet.sub c 2 3))
+
+let packet_push_pull =
+  qtest "packet: push then pull is identity"
+    QCheck2.Gen.(pair (string_size (int_range 0 64)) (int_bound 32))
+    (fun (s, n) ->
+      let p = Packet.of_string ~headroom:8 s in
+      Packet.push_header p n;
+      Packet.pull_header p n;
+      Packet.to_string p = s)
+
+let test_packet_tailroom () =
+  let p = Packet.of_string ~tailroom:8 "body" in
+  Alcotest.(check int) "tailroom" 8 (Packet.tailroom p);
+  Packet.push_trailer p 4;
+  Packet.set_u32 p (Packet.length p - 4) 0xAABBCCDD;
+  Alcotest.(check int) "grew" 8 (Packet.length p);
+  Packet.pull_trailer p 4;
+  Alcotest.(check string) "body intact" "body" (Packet.to_string p);
+  (* trailer beyond tailroom reallocates *)
+  let before = Packet.reallocations () in
+  Packet.push_trailer p 16;
+  Alcotest.(check int) "realloc" (before + 1) (Packet.reallocations ());
+  Packet.pull_trailer p 16;
+  Alcotest.(check string) "still intact" "body" (Packet.to_string p)
+
+let test_packet_save_restore () =
+  let p = Packet.of_string ~headroom:8 ~tailroom:4 "payload" in
+  let saved = Packet.save p in
+  Packet.push_header p 8;
+  Packet.set_u32 p 0 0xDEADBEEF;
+  Packet.push_trailer p 4;
+  Packet.restore p saved;
+  Alcotest.(check string) "window restored" "payload" (Packet.to_string p);
+  (* restore is correct even across a reallocation *)
+  let saved = Packet.save p in
+  Packet.push_header p 100 (* forces a fresh buffer *);
+  Packet.restore p saved;
+  Alcotest.(check string) "restored across realloc" "payload"
+    (Packet.to_string p)
+
+let packet_save_restore_prop =
+  qtest "packet: save/restore is an identity under pushes"
+    QCheck2.Gen.(
+      tup4 (string_size (int_range 0 64)) (int_bound 40) (int_bound 20)
+        (int_bound 20))
+    (fun (s, headroom, push_h, push_t) ->
+      let p = Packet.of_string ~headroom ~tailroom:4 s in
+      let saved = Packet.save p in
+      Packet.push_header p push_h;
+      Packet.push_trailer p push_t;
+      Packet.restore p saved;
+      Packet.to_string p = s)
+
+(* ------------------------------------------------------------------ *)
+(* Checksum                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bytes_gen = QCheck2.Gen.(string_size (int_range 0 257))
+
+let test_checksum_rfc1071 () =
+  (* The worked example from RFC 1071 §3. *)
+  let b = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  let sum = Checksum.(finish (add_bytes zero b 0 8)) in
+  Alcotest.(check int) "rfc1071 sum" 0xddf2 sum
+
+let test_checksum_zero_len () =
+  Alcotest.(check int) "empty" 0xFFFF (Checksum.checksum (Bytes.create 0) 0 0)
+
+let checksum_opt_eq_ref =
+  qtest "checksum: optimized = reference" bytes_gen (fun s ->
+      let b = Bytes.of_string s in
+      Checksum.checksum ~alg:`Optimized b 0 (Bytes.length b)
+      = Checksum.reference b 0 (Bytes.length b))
+
+let checksum_basic_eq_ref =
+  qtest "checksum: basic = reference" bytes_gen (fun s ->
+      let b = Bytes.of_string s in
+      Checksum.checksum ~alg:`Basic b 0 (Bytes.length b)
+      = Checksum.reference b 0 (Bytes.length b))
+
+let checksum_offset =
+  qtest "checksum: offsets agree with reference"
+    QCheck2.Gen.(pair bytes_gen (int_bound 7))
+    (fun (s, off) ->
+      let b = Bytes.of_string s in
+      let off = min off (Bytes.length b) in
+      let len = Bytes.length b - off in
+      Checksum.checksum b off len = Checksum.reference b off len)
+
+let checksum_split =
+  qtest "checksum: split accumulation = whole"
+    QCheck2.Gen.(pair bytes_gen nat)
+    (fun (s, k) ->
+      let b = Bytes.of_string s in
+      let n = Bytes.length b in
+      let k = if n = 0 then 0 else k mod (n + 1) in
+      let whole = Checksum.(checksum_of (add_bytes zero b 0 n)) in
+      let acc = Checksum.(add_bytes zero b 0 k) in
+      let acc = Checksum.add_bytes acc b k (n - k) in
+      Checksum.checksum_of acc = whole)
+
+let checksum_verify =
+  qtest "checksum: message + own checksum verifies" bytes_gen (fun s ->
+      (* Build message || checksum-field and check [valid]. *)
+      let b = Bytes.of_string s in
+      let n = Bytes.length b in
+      let ck = Checksum.checksum b 0 n in
+      let acc = Checksum.(add_bytes zero b 0 n) in
+      (* checksum field conceptually occupies an aligned 16-bit slot *)
+      let acc =
+        if n land 1 = 0 then Checksum.add_u16 acc ck
+        else
+          (* realign: append padding byte then the field *)
+          let tail = Bytes.make 3 '\000' in
+          Wire.set_u16 tail 1 ck;
+          Checksum.add_bytes acc tail 0 3
+      in
+      ignore acc;
+      (* For even lengths validity must hold exactly. *)
+      n land 1 = 1 || Checksum.valid acc)
+
+let checksum_adjust =
+  qtest "checksum: RFC1624 incremental update"
+    QCheck2.Gen.(triple bytes_gen (int_bound 0xFFFF) nat)
+    (fun (s, neww, pos) ->
+      let b = Bytes.of_string s in
+      let n = Bytes.length b land lnot 1 in
+      n < 2
+      ||
+      let pos = pos mod (n / 2) * 2 in
+      let old_ck = Checksum.checksum b 0 n in
+      let old_u16 = Wire.get_u16 b pos in
+      Wire.set_u16 b pos neww;
+      let expect = Checksum.checksum b 0 n in
+      Checksum.adjust ~checksum:old_ck ~old_u16 ~new_u16:neww = expect)
+
+let test_checksum_odd_parity_add_u16 () =
+  let b = Bytes.of_string "x" in
+  let acc = Checksum.(add_bytes zero b 0 1) in
+  Alcotest.check_raises "add_u16 at odd parity"
+    (Invalid_argument "Checksum.add_u16: odd parity") (fun () ->
+      ignore (Checksum.add_u16 acc 0x1234))
+
+let checksum_adjust_chain =
+  qtest "checksum: chained incremental updates"
+    QCheck2.Gen.(pair (string_size (int_range 2 64)) (list_size (int_range 1 8) (int_bound 0xFFFF)))
+    (fun (s, values) ->
+      let n = String.length s land lnot 1 in
+      n < 2
+      ||
+      let b = Bytes.of_string s in
+      let ck = ref (Checksum.checksum b 0 n) in
+      List.iter
+        (fun v ->
+          let old = Wire.get_u16 b 0 in
+          Wire.set_u16 b 0 v;
+          ck := Checksum.adjust ~checksum:!ck ~old_u16:old ~new_u16:v)
+        values;
+      !ck = Checksum.checksum b 0 n)
+
+let test_checksum_pseudo () =
+  (* Pseudo-header accumulation matches summing the equivalent bytes. *)
+  let acc = Checksum.pseudo_ipv4 ~src:0x0A000001 ~dst:0x0A000002 ~proto:6 ~len:20 in
+  let b = Bytes.create 12 in
+  Wire.set_u32 b 0 0x0A000001;
+  Wire.set_u32 b 4 0x0A000002;
+  Wire.set_u16 b 8 6;
+  Wire.set_u16 b 10 20;
+  let acc' = Checksum.(add_bytes zero b 0 12) in
+  Alcotest.(check int) "pseudo" (Checksum.finish acc') (Checksum.finish acc)
+
+(* ------------------------------------------------------------------ *)
+(* Copy                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let copy_agree impl_name impl =
+  qtest
+    (Printf.sprintf "copy: %s = blit" impl_name)
+    QCheck2.Gen.(pair (string_size (int_range 0 200)) (int_bound 8))
+    (fun (s, doff) ->
+      let src = Bytes.of_string s in
+      let n = Bytes.length src in
+      let d1 = Bytes.make (n + 16) 'x' and d2 = Bytes.make (n + 16) 'x' in
+      Copy.copy impl src 0 d1 doff n;
+      Copy.blit src 0 d2 doff n;
+      Bytes.equal d1 d2)
+
+let test_copy_exact () =
+  let src = Bytes.of_string "hello world, this is a copy test!" in
+  List.iter
+    (fun (_, impl) ->
+      let dst = Bytes.make (Bytes.length src) ' ' in
+      Copy.copy impl src 0 dst 0 (Bytes.length src);
+      Alcotest.(check bytes) "copy" src dst)
+    Copy.all
+
+(* ------------------------------------------------------------------ *)
+(* Crc32                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_vectors () =
+  Alcotest.(check int) "check value" 0xCBF43926 (Crc32.digest_string "123456789");
+  Alcotest.(check int) "empty" 0 (Crc32.digest_string "");
+  Alcotest.(check int) "a" 0xE8B7BE43 (Crc32.digest_string "a")
+
+let crc32_streaming =
+  qtest "crc32: streaming = one-shot"
+    QCheck2.Gen.(pair (string_size (int_range 0 128)) nat)
+    (fun (s, k) ->
+      let b = Bytes.of_string s in
+      let n = Bytes.length b in
+      let k = if n = 0 then 0 else k mod (n + 1) in
+      let stream =
+        Crc32.finish (Crc32.update (Crc32.update Crc32.init b 0 k) b k (n - k))
+      in
+      stream = Crc32.digest b 0 n)
+
+let crc32_detects_change =
+  qtest "crc32: flips change digest"
+    QCheck2.Gen.(pair (string_size (int_range 1 64)) nat)
+    (fun (s, pos) ->
+      let b = Bytes.of_string s in
+      let pos = pos mod Bytes.length b in
+      let before = Crc32.digest b 0 (Bytes.length b) in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+      Crc32.digest b 0 (Bytes.length b) <> before)
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters () =
+  let c = Counters.create ~update_overhead_us:15 () in
+  Counters.add c "tcp" 100;
+  Counters.add c "tcp" 50;
+  Counters.add c "ip" 30;
+  Alcotest.(check int) "total" 150 (Counters.total c "tcp");
+  Alcotest.(check int) "updates" 2 (Counters.updates c "tcp");
+  Alcotest.(check int) "grand" 180 (Counters.grand_total c);
+  Alcotest.(check int) "overhead" 45 (Counters.overhead_estimate c);
+  let clock = ref 0 in
+  let tick () =
+    clock := !clock + 7;
+    !clock
+  in
+  let x = Counters.time c "timed" tick (fun () -> 42) in
+  Alcotest.(check int) "timed result" 42 x;
+  Alcotest.(check int) "timed charge" 7 (Counters.total c "timed");
+  Counters.reset c;
+  Alcotest.(check int) "reset" 0 (Counters.grand_total c)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.int a 1000000 <> Rng.int c 1000000 then differs := true
+  done;
+  Alcotest.(check bool) "different seed differs" true !differs
+
+let rng_float_range =
+  qtest "rng: float in [0,1)" QCheck2.Gen.nat (fun seed ->
+      let r = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let f = Rng.float r in
+        if f < 0.0 || f >= 1.0 then ok := false
+      done;
+      !ok)
+
+let rng_bool_bias =
+  qtest ~count:20 "rng: bool 0.1 is rare-ish" QCheck2.Gen.nat (fun seed ->
+      let r = Rng.create seed in
+      let hits = ref 0 in
+      for _ = 1 to 1000 do
+        if Rng.bool r 0.1 then incr hits
+      done;
+      !hits > 20 && !hits < 250)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_ring () =
+  let t = Trace.create 3 in
+  Trace.add t ~time:1 "a";
+  Trace.add t ~time:2 "b";
+  Trace.add t ~time:3 "c";
+  Trace.add t ~time:4 "d";
+  Alcotest.(check int) "size" 3 (Trace.size t);
+  Alcotest.(check int) "dropped" 1 (Trace.dropped t);
+  Alcotest.(check (list string)) "kept newest"
+    [ "b"; "c"; "d" ]
+    (List.map snd (Trace.events t));
+  Trace.addf t ~time:5 "n=%d" 9;
+  Alcotest.(check (list string)) "addf"
+    [ "c"; "d"; "n=9" ]
+    (List.map snd (Trace.events t))
+
+let () =
+  Alcotest.run "fox_basis"
+    [
+      ( "fifo",
+        [
+          Alcotest.test_case "basic" `Quick test_fifo_basic;
+          Alcotest.test_case "filter/exists" `Quick test_fifo_filter;
+          fifo_order;
+          fifo_size;
+          fifo_fold;
+          fifo_model;
+        ] );
+      ( "deq",
+        [ Alcotest.test_case "basic" `Quick test_deq_basic; deq_model; deq_size ]
+      );
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          heap_sorts;
+          heap_peek;
+        ] );
+      ( "word",
+        [
+          Alcotest.test_case "basic" `Quick test_word_basic;
+          word_add_assoc;
+          word_logic_laws;
+          word_sub_inverse;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          wire_u16_roundtrip;
+          wire_u32_roundtrip;
+        ] );
+      ( "packet",
+        [
+          Alcotest.test_case "headroom" `Quick test_packet_headroom;
+          Alcotest.test_case "realloc" `Quick test_packet_realloc;
+          Alcotest.test_case "bounds" `Quick test_packet_bounds;
+          Alcotest.test_case "append/sub" `Quick test_packet_append_sub;
+          Alcotest.test_case "tailroom" `Quick test_packet_tailroom;
+          Alcotest.test_case "save/restore" `Quick test_packet_save_restore;
+          packet_push_pull;
+          packet_save_restore_prop;
+        ] );
+      ( "checksum",
+        [
+          Alcotest.test_case "rfc1071 example" `Quick test_checksum_rfc1071;
+          Alcotest.test_case "zero length" `Quick test_checksum_zero_len;
+          Alcotest.test_case "pseudo header" `Quick test_checksum_pseudo;
+          Alcotest.test_case "odd parity add_u16" `Quick
+            test_checksum_odd_parity_add_u16;
+          checksum_adjust_chain;
+          checksum_opt_eq_ref;
+          checksum_basic_eq_ref;
+          checksum_offset;
+          checksum_split;
+          checksum_verify;
+          checksum_adjust;
+        ] );
+      ( "copy",
+        Alcotest.test_case "exact" `Quick test_copy_exact
+        :: List.map (fun (name, impl) -> copy_agree name impl) Copy.all );
+      ( "crc32",
+        [
+          Alcotest.test_case "vectors" `Quick test_crc32_vectors;
+          crc32_streaming;
+          crc32_detects_change;
+        ] );
+      ("counters", [ Alcotest.test_case "accumulate" `Quick test_counters ]);
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          rng_float_range;
+          rng_bool_bias;
+        ] );
+      ("trace", [ Alcotest.test_case "ring" `Quick test_trace_ring ]);
+    ]

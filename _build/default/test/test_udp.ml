@@ -1,0 +1,231 @@
+(* UDP over the full stack: datagram exchange, demultiplexing, checksums,
+   fragmentation of large datagrams, and the checksum-opt-out. *)
+
+open Fox_basis
+module Scheduler = Fox_sched.Scheduler
+module Link = Fox_dev.Link
+module Netem = Fox_dev.Netem
+module Device = Fox_dev.Device
+module Mac = Fox_eth.Mac
+module Ipv4_addr = Fox_ip.Ipv4_addr
+module Route = Fox_ip.Route
+
+module Eth = Fox_eth.Eth.Standard
+module Arp = Fox_arp.Arp.Make (Eth)
+module Ip = Fox_ip.Ip.Make (Arp) (Fox_ip.Ip.Default_params)
+module Ip_aux = Fox_ip.Ip_aux.Make (Ip)
+
+module Udp =
+  Fox_udp.Udp.Make (Ip) (Ip_aux)
+    (struct
+      let compute_checksums = true
+    end)
+
+module Udp_nock =
+  Fox_udp.Udp.Make (Ip) (Ip_aux)
+    (struct
+      let compute_checksums = false
+    end)
+
+let ip_of = Ipv4_addr.of_string
+
+let make_host link index ~mac ~addr =
+  let dev = Device.create (Link.port link index) in
+  let eth = Eth.create dev ~mac:(Mac.of_string mac) in
+  let arp = Arp.create eth ~local_ip:addr () in
+  let ip =
+    Ip.create arp
+      { Ip.local_ip = addr;
+        route = Route.local ~network:(ip_of "10.0.0.0") ~prefix:24;
+        lower_address = Fun.id; lower_pattern = () }
+  in
+  (arp, Udp.create ip)
+
+let two_hosts ?(netem = Netem.ethernet_10mbps) ?(static_arp = false) () =
+  let link = Link.point_to_point netem in
+  let arp_a, ua = make_host link 0 ~mac:"02:00:00:00:00:01" ~addr:(ip_of "10.0.0.1") in
+  let arp_b, ub = make_host link 1 ~mac:"02:00:00:00:00:02" ~addr:(ip_of "10.0.0.2") in
+  if static_arp then begin
+    (* a fully corrupting wire breaks ARP itself; pin the entries *)
+    Arp.add_static arp_a (ip_of "10.0.0.2") (Mac.of_string "02:00:00:00:00:02");
+    Arp.add_static arp_b (ip_of "10.0.0.1") (Mac.of_string "02:00:00:00:00:01")
+  end;
+  (ua, ub)
+
+let send_string conn s =
+  let p = Udp.allocate_send conn (String.length s) in
+  Packet.blit_from_string s 0 p 0 (String.length s);
+  Udp.send conn p
+
+let test_udp_end_to_end () =
+  let ua, ub = two_hosts () in
+  let got = ref [] in
+  let _ =
+    Scheduler.run (fun () ->
+        ignore
+          (Udp.start_passive ub { Udp.local_port = 53 } (fun _ ->
+               ((fun p -> got := Packet.to_string p :: !got), ignore)));
+        let conn =
+          Udp.connect ua
+            { Udp.peer = ip_of "10.0.0.2"; peer_port = 53; local_port = None }
+            (fun _ -> (ignore, ignore))
+        in
+        send_string conn "query-1";
+        send_string conn "query-2")
+  in
+  Alcotest.(check (list string)) "delivered in order" [ "query-1"; "query-2" ]
+    (List.rev !got);
+  Alcotest.(check int) "sent count" 2 (Udp.stats ua).Fox_udp.Udp.datagrams_sent;
+  Alcotest.(check int) "recv count" 2 (Udp.stats ub).Fox_udp.Udp.datagrams_received
+
+let test_udp_reply_path () =
+  let ua, ub = two_hosts () in
+  let reply = ref "" in
+  let _ =
+    Scheduler.run (fun () ->
+        ignore
+          (Udp.start_passive ub { Udp.local_port = 53 } (fun conn ->
+               ( (fun p ->
+                   let r = Udp.allocate_send conn (Packet.length p + 4) in
+                   Packet.blit_from_string "re: " 0 r 0 4;
+                   Packet.blit p 0 (Packet.buffer r) (Packet.offset r + 4)
+                     (Packet.length p);
+                   Udp.send conn r),
+                 ignore )));
+        let conn =
+          Udp.connect ua
+            { Udp.peer = ip_of "10.0.0.2"; peer_port = 53;
+              local_port = Some 9000 }
+            (fun _ -> ((fun p -> reply := Packet.to_string p), ignore))
+        in
+        send_string conn "hello")
+  in
+  Alcotest.(check string) "reply routed to the client port" "re: hello" !reply
+
+let test_udp_port_demux () =
+  let ua, ub = two_hosts () in
+  let a = ref [] and b = ref [] in
+  let _ =
+    Scheduler.run (fun () ->
+        ignore
+          (Udp.start_passive ub { Udp.local_port = 1000 } (fun _ ->
+               ((fun p -> a := Packet.to_string p :: !a), ignore)));
+        ignore
+          (Udp.start_passive ub { Udp.local_port = 2000 } (fun _ ->
+               ((fun p -> b := Packet.to_string p :: !b), ignore)));
+        let c1 =
+          Udp.connect ua
+            { Udp.peer = ip_of "10.0.0.2"; peer_port = 1000; local_port = None }
+            (fun _ -> (ignore, ignore))
+        in
+        let c2 =
+          Udp.connect ua
+            { Udp.peer = ip_of "10.0.0.2"; peer_port = 2000; local_port = None }
+            (fun _ -> (ignore, ignore))
+        in
+        send_string c1 "to-1000";
+        send_string c2 "to-2000")
+  in
+  Alcotest.(check (list string)) "port 1000" [ "to-1000" ] !a;
+  Alcotest.(check (list string)) "port 2000" [ "to-2000" ] !b
+
+let test_udp_no_listener_dropped () =
+  let ua, ub = two_hosts () in
+  let _ =
+    Scheduler.run (fun () ->
+        let conn =
+          Udp.connect ua
+            { Udp.peer = ip_of "10.0.0.2"; peer_port = 4444; local_port = None }
+            (fun _ -> (ignore, ignore))
+        in
+        send_string conn "into the void")
+  in
+  Alcotest.(check int) "counted as no-port" 1
+    (Udp.stats ub).Fox_udp.Udp.rx_no_port
+
+let test_udp_large_datagram_fragments () =
+  let ua, ub = two_hosts () in
+  let payload = String.init 5000 (fun i -> Char.chr (i * 7 land 0xff)) in
+  let got = ref "" in
+  let _ =
+    Scheduler.run (fun () ->
+        ignore
+          (Udp.start_passive ub { Udp.local_port = 53 } (fun _ ->
+               ((fun p -> got := Packet.to_string p), ignore)));
+        let conn =
+          Udp.connect ua
+            { Udp.peer = ip_of "10.0.0.2"; peer_port = 53; local_port = None }
+            (fun _ -> (ignore, ignore))
+        in
+        send_string conn payload)
+  in
+  Alcotest.(check int) "reassembled length" 5000 (String.length !got);
+  Alcotest.(check bool) "intact" true (!got = payload)
+
+let test_udp_checksum_rejects_corruption () =
+  (* no CRC at the Ethernet layer here, so the UDP checksum is the only
+     protection; corrupt frames must be dropped, not delivered *)
+  let netem = Netem.adverse ~corrupt:1.0 ~seed:3 Netem.ethernet_10mbps in
+  let ua, ub = two_hosts ~netem ~static_arp:true () in
+  let delivered = ref [] in
+  let _ =
+    Scheduler.run (fun () ->
+        ignore
+          (Udp.start_passive ub { Udp.local_port = 53 } (fun _ ->
+               ((fun p -> delivered := Packet.to_string p :: !delivered), ignore)));
+        let conn =
+          Udp.connect ua
+            { Udp.peer = ip_of "10.0.0.2"; peer_port = 53; local_port = None }
+            (fun _ -> (ignore, ignore))
+        in
+        for _ = 1 to 50 do
+          send_string conn (String.make 100 'x')
+        done)
+  in
+  (* a flip in the Ethernet header can leave the datagram intact (and it
+     is then properly delivered); a flip anywhere the checksums cover must
+     never surface — so everything delivered must be byte-perfect, and the
+     flips that hit the body must have suppressed some datagrams *)
+  Alcotest.(check bool) "only intact data delivered" true
+    (List.for_all (fun s -> s = String.make 100 'x') !delivered);
+  Alcotest.(check bool) "most corrupt datagrams suppressed" true
+    (List.length !delivered < 50)
+
+let udp_random_payloads =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:30 ~name:"udp: random payloads round-trip"
+       QCheck2.Gen.(list_size (int_range 1 8) (string_size (int_range 0 1400)))
+       (fun payloads ->
+         let ua, ub = two_hosts () in
+         let got = ref [] in
+         let _ =
+           Scheduler.run (fun () ->
+               ignore
+                 (Udp.start_passive ub { Udp.local_port = 53 } (fun _ ->
+                      ((fun p -> got := Packet.to_string p :: !got), ignore)));
+               let conn =
+                 Udp.connect ua
+                   { Udp.peer = ip_of "10.0.0.2"; peer_port = 53;
+                     local_port = None }
+                   (fun _ -> (ignore, ignore))
+               in
+               List.iter (send_string conn) payloads)
+         in
+         List.rev !got = payloads))
+
+let () =
+  Alcotest.run "fox_udp"
+    [
+      ( "udp",
+        [
+          Alcotest.test_case "end to end" `Quick test_udp_end_to_end;
+          Alcotest.test_case "reply path" `Quick test_udp_reply_path;
+          Alcotest.test_case "port demux" `Quick test_udp_port_demux;
+          Alcotest.test_case "no listener" `Quick test_udp_no_listener_dropped;
+          Alcotest.test_case "fragmentation" `Quick
+            test_udp_large_datagram_fragments;
+          Alcotest.test_case "checksum vs corruption" `Quick
+            test_udp_checksum_rejects_corruption;
+          udp_random_payloads;
+        ] );
+    ]
