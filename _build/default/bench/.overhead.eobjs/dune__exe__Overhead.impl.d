@@ -1,0 +1,1 @@
+bench/overhead.ml: Fox_check Fox_stack Fun Printf Sys

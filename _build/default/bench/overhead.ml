@@ -1,0 +1,45 @@
+(* Measures what the TCB invariant checker costs: the same 1 MB transfer
+   on the simulated network, once with the executor's check hook empty
+   (the production configuration — one [!hook] match per drained action)
+   and once with [Fox_check.Tcb_invariants] installed, validating the
+   full TCB after every executed action as the tests do.
+
+     dune exec bench/overhead.exe
+
+   Prints per-transfer CPU time for both configurations, the number of
+   checks performed, and the relative overhead.  Results go into
+   EXPERIMENTS.md. *)
+
+module Experiments = Fox_stack.Experiments
+module Network = Fox_stack.Network
+module Tcb_invariants = Fox_check.Tcb_invariants
+
+let bytes = 1_000_000
+
+let reps = 20
+
+let run_once () =
+  let _, sender, receiver = Network.pair ~engine:Network.Fox () in
+  ignore (Experiments.Fox_run.transfer ~sender ~receiver ~bytes ())
+
+(* CPU seconds for [reps] transfers, after one warmup *)
+let measure () =
+  run_once ();
+  let t0 = Sys.time () in
+  for _ = 1 to reps do
+    run_once ()
+  done;
+  (Sys.time () -. t0) /. float_of_int reps
+
+let () =
+  let off = measure () in
+  Tcb_invariants.checks_performed := 0;
+  Tcb_invariants.install ();
+  let on = Fun.protect ~finally:Tcb_invariants.uninstall measure in
+  let checks = !Tcb_invariants.checks_performed / (reps + 1) in
+  Printf.printf "1 MB transfer, %d reps (CPU time per transfer):\n" reps;
+  Printf.printf "  hook empty (production):  %8.2f ms\n" (off *. 1e3);
+  Printf.printf "  invariants installed:     %8.2f ms   (%d checks/transfer)\n"
+    (on *. 1e3) checks;
+  Printf.printf "  overhead:                 %8.1f %%\n"
+    (100.0 *. ((on /. off) -. 1.0))

@@ -4,6 +4,7 @@
      foxnet ping     [--count N] [--size N] [--loss P]
      foxnet rtt      [--decstation] [--baseline]
      foxnet table1 / foxnet table2
+     foxnet fuzz     [--seed N] [--iters K] [--verbose]
 
    Everything runs in-process on the simulated Ethernet under virtual
    time; see examples/ for narrated versions of the same scenarios. *)
@@ -115,6 +116,32 @@ let table2 () =
       Printf.printf "%-22s %8.1f %9.1f\n" name pct rpct)
     sender
 
+(* ---------------- fuzz (differential, deterministic) ---------------- *)
+
+let fuzz seed iters verbose =
+  let module Fuzz = Fox_check.Fuzz in
+  let checked = ref 0 in
+  let failures =
+    Fuzz.run_seeds
+      ~log:(fun v ->
+        incr checked;
+        if verbose then
+          Printf.printf "seed %d: %s\n%!" v.Fuzz.schedule.Fuzz.seed
+            (if v.Fuzz.problems = [] then "ok"
+             else String.concat "; " v.Fuzz.problems)
+        else if !checked mod 50 = 0 then
+          Printf.printf "%d/%d schedules checked\n%!" !checked iters)
+      ~seed ~iters ()
+  in
+  match failures with
+  | [] ->
+    Printf.printf "fuzz: %d schedules ok (seeds %d..%d)\n" iters seed
+      (seed + iters - 1)
+  | fs ->
+    List.iter (fun f -> print_endline f.Fuzz.report) fs;
+    Printf.printf "fuzz: %d of %d schedules FAILED\n" (List.length fs) iters;
+    exit 1
+
 (* ---------------- cmdliner plumbing ---------------- *)
 
 let bytes = Arg.(value & opt int 1_000_000 & info [ "bytes"; "b" ] ~doc:"Bytes.")
@@ -156,10 +183,25 @@ let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce the paper's Table 2")
     Term.(const table2 $ const ())
 
+let iters =
+  Arg.(value & opt int 200 & info [ "iters"; "k" ] ~doc:"Schedules to run.")
+
+let verbose =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every schedule.")
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzz: run seeded event schedules through the \
+          structured and the monolithic TCP over a fault-injecting stack \
+          and compare the outcomes")
+    Term.(const fuzz $ seed $ iters $ verbose)
+
 let () =
   exit
     (Cmd.eval
        (Cmd.group
           (Cmd.info "foxnet" ~version:"1.0"
              ~doc:"The Fox Net structured TCP/IP stack, simulated")
-          [ transfer_cmd; ping_cmd; rtt_cmd; table1_cmd; table2_cmd ]))
+          [ transfer_cmd; ping_cmd; rtt_cmd; table1_cmd; table2_cmd; fuzz_cmd ]))

@@ -201,6 +201,9 @@ end = struct
     mutable segs_out : int;
     mutable bad_segments : int;
     mutable rsts_sent : int;
+    (* retransmissions of connections already removed from [conns], so
+       [stats] stays accurate after teardown *)
+    mutable dead_retransmissions : int;
   }
 
   let key host lp rp = (Aux.to_string host, lp, rp)
@@ -240,14 +243,17 @@ end = struct
         Some (Aux.pseudo conn.lower ~proto:proto_number ~len)
       else None
     in
-    (* x-kernel-style basic checksum *)
-    Fox_tcp.Action.externalize ~alg:`Basic ~pseudo_for ~hdr ~data
-      ~allocate:(fun len ->
-        Packet.create
-          ~headroom:(24 + Lower.headroom conn.lower)
-          ~tailroom:(Lower.tailroom conn.lower)
-          len)
-      ~send:conn.lower_send ()
+    (* x-kernel-style basic checksum.  A lower-layer refusal is treated
+       like a lost packet: the retransmit timer recovers. *)
+    try
+      Fox_tcp.Action.externalize ~alg:`Basic ~pseudo_for ~hdr ~data
+        ~allocate:(fun len ->
+          Packet.create
+            ~headroom:(24 + Lower.headroom conn.lower)
+            ~tailroom:(Lower.tailroom conn.lower)
+            len)
+        ~send:conn.lower_send ()
+    with Send_failed _ -> ()
 
   let current_rto conn =
     clamp Params.rto_min_us Params.rto_max_us (conn.rto lsl conn.backoff)
@@ -267,6 +273,8 @@ end = struct
       | Some timer -> Fox_sched.Timer.clear timer
       | None -> ());
       Hashtbl.remove conn.t.conns (key conn.host conn.local_port conn.remote_port);
+      conn.t.dead_retransmissions <-
+        conn.t.dead_retransmissions + conn.retransmissions;
       if not conn.open_done then
         Fox_sched.Cond.signal conn.open_mb (Error (Status.to_string reason));
       Fox_sched.Cond.broadcast conn.send_space ();
@@ -671,11 +679,14 @@ end = struct
         Some (Aux.pseudo lconn ~proto:proto_number ~len)
       else None
     in
-    Fox_tcp.Action.externalize ~alg:`Basic ~pseudo_for ~hdr:rst_hdr ~data:None
-      ~allocate:(fun len ->
-        Packet.create ~headroom:(24 + Lower.headroom lconn)
-          ~tailroom:(Lower.tailroom lconn) len)
-      ~send:lower_send ()
+    try
+      Fox_tcp.Action.externalize ~alg:`Basic ~pseudo_for ~hdr:rst_hdr
+        ~data:None
+        ~allocate:(fun len ->
+          Packet.create ~headroom:(24 + Lower.headroom lconn)
+            ~tailroom:(Lower.tailroom lconn) len)
+        ~send:lower_send ()
+    with Send_failed _ -> ()
 
   let receive t lconn packet =
     let pseudo =
@@ -825,7 +836,9 @@ end = struct
       bad_segments = t.bad_segments;
       rsts_sent = t.rsts_sent;
       retransmissions =
-        Hashtbl.fold (fun _ c acc -> acc + c.retransmissions) t.conns 0;
+        Hashtbl.fold
+          (fun _ c acc -> acc + c.retransmissions)
+          t.conns t.dead_retransmissions;
     }
 
   let pp_address fmt { peer; port; local_port } =
@@ -848,6 +861,7 @@ end = struct
         segs_out = 0;
         bad_segments = 0;
         rsts_sent = 0;
+        dead_retransmissions = 0;
       }
     in
     ignore

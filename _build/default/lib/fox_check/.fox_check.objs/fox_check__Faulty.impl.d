@@ -1,0 +1,1 @@
+lib/fox_check/faulty.ml: Fox_basis Fox_proto Packet Rng

@@ -1,0 +1,1 @@
+lib/fox_check/tcb_invariants.ml: Check_hook Deq Fox_basis Fox_tcp List Printf Seq String Tcb Tcp_header

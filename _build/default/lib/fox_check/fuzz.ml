@@ -1,0 +1,555 @@
+(** The differential fuzz driver.
+
+    A seeded generator produces {e event schedules} — payload chunks with
+    inter-send delays, an adverse {!Fox_dev.Netem} preset, fault rates for
+    two {!Faulty} layers (below Ethernet's IP client and below TCP), and a
+    final user event (close or abort).  Each schedule runs twice under
+    virtual time, once through the structured TCP
+    ([Tcp(Faulty(Ip(Faulty(Eth)))))] and once through the monolithic
+    baseline over the same faulty composition, with
+    {!Tcb_invariants.check} installed for the structured run.  The two
+    executions must deliver the same byte stream and end in compatible
+    states; a schedule that does not is reported with its seed and a
+    replayable, minimized event trace.
+
+    Everything — payload bytes, link randomness, fault decisions — derives
+    from the schedule seed, so a failure reproduces byte-for-byte from
+    [foxnet fuzz --seed N --iters 1]. *)
+
+open Fox_basis
+module Scheduler = Fox_sched.Scheduler
+module Link = Fox_dev.Link
+module Netem = Fox_dev.Netem
+module Device = Fox_dev.Device
+module Mac = Fox_eth.Mac
+module Ipv4_addr = Fox_ip.Ipv4_addr
+module Route = Fox_ip.Route
+module Status = Fox_proto.Status
+
+(* ------------------------------------------------------------------ *)
+(* The faulty stack: Tcp(Faulty(Ip(Faulty(Eth))))                     *)
+(* ------------------------------------------------------------------ *)
+
+module Eth = Fox_eth.Eth.Standard
+module Feth = Faulty.Make (Eth)
+module Ip = Fox_ip.Ip.Make (Feth) (Fox_ip.Ip.Default_params)
+module Ip_aux = Fox_ip.Ip_aux.Make (Ip)
+module Fip = Faulty.Make (Ip)
+module Faux = Fip.Lift_aux (Ip_aux)
+
+(* Short TIME-WAIT and RTO floors keep each schedule's virtual span small;
+   the machinery exercised is the same. *)
+module Tcp_params : Fox_tcp.Tcp.PARAMS = struct
+  include Fox_tcp.Tcp.Default_params
+
+  let time_wait_us = 1_000_000
+  let rto_min_us = 50_000
+  let rto_initial_us = 200_000
+end
+
+module Baseline_params : Fox_baseline.Tcp_monolithic.PARAMS = struct
+  include Fox_baseline.Tcp_monolithic.Default_params
+
+  let time_wait_us = 1_000_000
+  let rto_min_us = 50_000
+  let rto_initial_us = 200_000
+end
+
+module Tcp = Fox_tcp.Tcp.Make (Fip) (Faux) (Tcp_params)
+module Baseline = Fox_baseline.Tcp_monolithic.Make (Fip) (Faux) (Baseline_params)
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type user_event = Close | Abort
+
+type schedule = {
+  seed : int;
+  chunks : int list;  (** payload sizes, sent in order *)
+  delay_us : int;  (** inter-chunk user delay *)
+  loss : float;
+  duplicate : float;
+  reorder : float;
+  corrupt : float;
+  eth_drop : float;  (** silent drop below Ethernet clients *)
+  ip_drop : float;  (** silent drop below TCP *)
+  ip_fail : float;  (** [Send_failed] below TCP *)
+  connect_fail : int;  (** transient lower connect failures (client) *)
+  finale : user_event;
+}
+
+let pp_user_event = function Close -> "close" | Abort -> "abort"
+
+let pp_schedule fmt s =
+  Format.fprintf fmt
+    "{seed=%d; chunks=[%s]; delay=%dus; loss=%.3f; dup=%.3f; reorder=%.3f; \
+     corrupt=%.3f; eth_drop=%.3f; ip_drop=%.3f; ip_fail=%.3f; \
+     connect_fail=%d; finale=%s}"
+    s.seed
+    (String.concat ";" (List.map string_of_int s.chunks))
+    s.delay_us s.loss s.duplicate s.reorder s.corrupt s.eth_drop s.ip_drop
+    s.ip_fail s.connect_fail (pp_user_event s.finale)
+
+let schedule_to_string s = Format.asprintf "%a" pp_schedule s
+
+(* Small preset palettes: most schedules are mostly benign so the
+   differential oracle stays strict, with enough adversity mixed in to
+   reach the recovery paths. *)
+let generate ~seed =
+  let rng = Rng.create (seed * 2654435761) in
+  let pick a = a.(Rng.int rng (Array.length a)) in
+  let n_chunks = 1 + Rng.int rng 6 in
+  {
+    seed;
+    chunks = List.init n_chunks (fun _ -> 1 + Rng.int rng 2500);
+    delay_us = Rng.int rng 5_000;
+    loss = pick [| 0.0; 0.0; 0.0; 0.02; 0.05; 0.1 |];
+    duplicate = pick [| 0.0; 0.0; 0.02 |];
+    reorder = pick [| 0.0; 0.0; 0.1 |];
+    corrupt = pick [| 0.0; 0.0; 0.02 |];
+    eth_drop = pick [| 0.0; 0.0; 0.05 |];
+    ip_drop = pick [| 0.0; 0.0; 0.05 |];
+    ip_fail = pick [| 0.0; 0.0; 0.05 |];
+    connect_fail = (if Rng.bool rng 0.1 then 1 else 0);
+    finale = (if Rng.bool rng 0.15 then Abort else Close);
+  }
+
+(* The payload is a pure function of the schedule seed, shared by both
+   engine runs. *)
+let payload_of s =
+  let total = List.fold_left ( + ) 0 s.chunks in
+  Bytes.to_string (Rng.bytes (Rng.create (s.seed lxor 0x5eed)) total)
+
+let netem_of s =
+  Netem.adverse ~loss:s.loss ~duplicate:s.duplicate ~reorder:s.reorder
+    ~corrupt:s.corrupt ~seed:(s.seed lxor 0x11ce)
+    Netem.ethernet_10mbps
+
+(* ------------------------------------------------------------------ *)
+(* Hosts                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type fuzz_host = { addr : Ipv4_addr.t; fip : Fip.t }
+
+let mac_of addr =
+  Mac.of_string
+    (Printf.sprintf "02:00:00:00:00:%02x" (Ipv4_addr.to_int addr land 0xff))
+
+(* No ARP in this stack: IP next hops map to MACs statically, so the
+   [Faulty] layer under IP sits directly on Ethernet. *)
+let make_host link index ~addr ~eth_cfg ~ip_cfg =
+  let dev = Device.create (Link.port link index) in
+  let eth = Eth.create dev ~mac:(mac_of addr) in
+  let feth = Feth.create eth eth_cfg in
+  let ip =
+    Ip.create feth
+      {
+        Ip.local_ip = addr;
+        route = Route.local ~network:(Ipv4_addr.of_string "10.0.0.0") ~prefix:24;
+        lower_address =
+          (fun next_hop ->
+            { Fox_eth.Eth.dest = mac_of next_hop;
+              proto = Fox_eth.Frame.ethertype_ipv4 });
+        lower_pattern = { Fox_eth.Eth.match_proto = Fox_eth.Frame.ethertype_ipv4 };
+      }
+  in
+  { addr; fip = Fip.create ip ip_cfg }
+
+let hosts_for s ~engine_salt =
+  let link = Link.point_to_point (netem_of s) in
+  let cfg seed' ~connect_fail ~allow_fail =
+    {
+      Faulty.rng = Rng.create seed';
+      allocate_fail = 0.0;
+      send_fail = (if allow_fail then s.ip_fail else 0.0);
+      send_drop = (if allow_fail then s.ip_drop else s.eth_drop);
+      connect_fail;
+      finalize_abort = false;
+    }
+  in
+  let salt = (s.seed * 31) + engine_salt in
+  let a =
+    make_host link 0
+      ~addr:(Ipv4_addr.of_string "10.0.0.1")
+      ~eth_cfg:(cfg (salt lxor 0xe1) ~connect_fail:0 ~allow_fail:false)
+      ~ip_cfg:(cfg (salt lxor 0x1a) ~connect_fail:s.connect_fail ~allow_fail:true)
+  in
+  let b =
+    make_host link 1
+      ~addr:(Ipv4_addr.of_string "10.0.0.2")
+      ~eth_cfg:(cfg (salt lxor 0xe2) ~connect_fail:0 ~allow_fail:false)
+      ~ip_cfg:(cfg (salt lxor 0x1b) ~connect_fail:0 ~allow_fail:true)
+  in
+  (a, b)
+
+(* ------------------------------------------------------------------ *)
+(* Engines                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The two TCPs behind one face, like [Experiments.ENGINE] but over the
+   faulty stack. *)
+module type ENGINE = sig
+  type t
+
+  type connection
+
+  val name : string
+
+  val create : Fip.t -> t
+
+  val listen :
+    t ->
+    port:int ->
+    on_data:(Packet.t -> unit) ->
+    on_status:(Status.t -> unit) ->
+    unit
+
+  val connect :
+    t -> peer:Ipv4_addr.t -> port:int -> on_status:(Status.t -> unit) ->
+    connection
+
+  val send_string : connection -> string -> unit
+
+  val close : connection -> unit
+
+  val abort : connection -> unit
+
+  val stats_line : t -> string
+end
+
+module Fox_engine : ENGINE with type t = Tcp.t = struct
+  type t = Tcp.t
+
+  type connection = Tcp.connection
+
+  let name = "fox"
+
+  let create = Tcp.create
+
+  let listen t ~port ~on_data ~on_status =
+    ignore
+      (Tcp.start_passive t { Tcp.local_port = port } (fun _conn ->
+           (on_data, on_status)))
+
+  let connect t ~peer ~port ~on_status =
+    Tcp.connect t
+      { Tcp.peer; port; local_port = None }
+      (fun _conn -> (ignore, on_status))
+
+  let send_string conn str =
+    let p = Tcp.allocate_send conn (String.length str) in
+    Packet.blit_from_string str 0 p 0 (String.length str);
+    Tcp.send conn p
+
+  let close = Tcp.close
+
+  let abort = Tcp.abort
+
+  let stats_line t =
+    let s = Tcp.stats t in
+    Printf.sprintf "segs_in=%d segs_out=%d rsts=%d send_failures=%d conns=%d"
+      s.Fox_tcp.Tcp.segs_in s.Fox_tcp.Tcp.segs_out s.Fox_tcp.Tcp.rsts_sent
+      s.Fox_tcp.Tcp.wire_send_failures s.Fox_tcp.Tcp.active_conns
+end
+
+module Baseline_engine : ENGINE with type t = Baseline.t = struct
+  type t = Baseline.t
+
+  type connection = Baseline.connection
+
+  let name = "baseline"
+
+  let create = Baseline.create
+
+  let listen t ~port ~on_data ~on_status =
+    ignore
+      (Baseline.start_passive t { Baseline.local_port = port } (fun _conn ->
+           (on_data, on_status)))
+
+  let connect t ~peer ~port ~on_status =
+    Baseline.connect t
+      { Baseline.peer; port; local_port = None }
+      (fun _conn -> (ignore, on_status))
+
+  let send_string conn str =
+    let p = Baseline.allocate_send conn (String.length str) in
+    Packet.blit_from_string str 0 p 0 (String.length str);
+    Baseline.send conn p
+
+  let close = Baseline.close
+
+  let abort = Baseline.abort
+
+  let stats_line t =
+    let s = Baseline.stats t in
+    Printf.sprintf "segs_in=%d segs_out=%d rsts=%d rtx=%d"
+      s.Fox_baseline.Tcp_monolithic.segs_in
+      s.Fox_baseline.Tcp_monolithic.segs_out
+      s.Fox_baseline.Tcp_monolithic.rsts_sent
+      s.Fox_baseline.Tcp_monolithic.retransmissions
+end
+
+(* ------------------------------------------------------------------ *)
+(* One run                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type run_result = {
+  delivered : string;  (** bytes the server's handler received, in order *)
+  connect_failed : bool;  (** the (retried) active open never completed *)
+  end_time : int;  (** virtual time at quiescence *)
+  invariant_faults : string list;  (** structured engine only *)
+  events : string list;  (** deterministic event log, oldest first *)
+}
+
+let port = 7777
+
+let run_engine (type t) (module E : ENGINE with type t = t) s ~engine_salt
+    ~with_invariants =
+  let payload = payload_of s in
+  let a, b = hosts_for s ~engine_salt in
+  let delivered = Buffer.create (String.length payload) in
+  let events = ref [] in
+  let event fmt =
+    Printf.ksprintf
+      (fun msg ->
+        events := Printf.sprintf "t=%d %s" (Scheduler.now ()) msg :: !events)
+      fmt
+  in
+  let connect_failed = ref false in
+  let faults = ref [] in
+  if with_invariants then
+    Tcb_invariants.install
+      ~on_violation:(fun info msgs ->
+        faults :=
+          !faults
+          @ List.map
+              (Printf.sprintf "t=%d after %s: %s"
+                 info.Fox_tcp.Check_hook.now
+                 (Fox_tcp.Tcb.action_name info.Fox_tcp.Check_hook.action))
+              msgs)
+      ();
+  let server_t = E.create b.fip in
+  let client_t = E.create a.fip in
+  let stats =
+    Fun.protect
+      ~finally:(fun () -> if with_invariants then Tcb_invariants.uninstall ())
+      (fun () ->
+        Scheduler.run (fun () ->
+            E.listen server_t ~port
+              ~on_data:(fun packet ->
+                Buffer.add_string delivered (Packet.to_string packet))
+              ~on_status:(fun status ->
+                event "server status %s" (Status.to_string status));
+            let conn =
+              let attempt () =
+                E.connect client_t ~peer:b.addr ~port ~on_status:(fun status ->
+                    event "client status %s" (Status.to_string status))
+              in
+              match attempt () with
+              | conn -> Some conn
+              | exception Fox_proto.Common.Connection_failed msg ->
+                event "connect failed (%s), retrying" msg;
+                (* the injected failure is transient: one retry *)
+                Scheduler.sleep 10_000;
+                (match attempt () with
+                | conn -> Some conn
+                | exception Fox_proto.Common.Connection_failed msg ->
+                  event "connect failed again (%s)" msg;
+                  connect_failed := true;
+                  None)
+            in
+            match conn with
+            | None -> ()
+            | Some conn ->
+              let offset = ref 0 in
+              List.iteri
+                (fun i size ->
+                  Scheduler.sleep s.delay_us;
+                  let chunk = String.sub payload !offset size in
+                  offset := !offset + size;
+                  match E.send_string conn chunk with
+                  | () -> event "sent chunk %d (%dB)" i size
+                  | exception Fox_proto.Common.Send_failed msg ->
+                    event "send of chunk %d failed (%s)" i msg)
+                s.chunks;
+              Scheduler.sleep s.delay_us;
+              (match s.finale with
+              | Close ->
+                event "user close";
+                E.close conn
+              | Abort ->
+                event "user abort";
+                E.abort conn);
+              event "client finale issued"))
+  in
+  let end_time = stats.Scheduler.end_time in
+  {
+    delivered = Buffer.contents delivered;
+    connect_failed = !connect_failed;
+    end_time;
+    invariant_faults = !faults;
+    events =
+      List.rev
+        (Printf.sprintf "t=%d quiescent; client %s; server %s" end_time
+           (E.stats_line client_t) (E.stats_line server_t)
+        :: !events);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Differential verdict                                               *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = {
+  schedule : schedule;
+  problems : string list;  (** empty = schedule passed *)
+  trace : string;  (** deterministic, byte-for-byte reproducible *)
+}
+
+let is_prefix p whole =
+  String.length p <= String.length whole
+  && String.equal p (String.sub whole 0 (String.length p))
+
+(** [check_schedule s] runs [s] through both engines and returns the
+    differential verdict plus the combined event trace. *)
+let check_schedule s =
+  let fox =
+    run_engine (module Fox_engine) s ~engine_salt:1 ~with_invariants:true
+  in
+  let base =
+    run_engine (module Baseline_engine) s ~engine_salt:2 ~with_invariants:false
+  in
+  let payload = payload_of s in
+  let problems = ref [] in
+  let problem fmt =
+    Printf.ksprintf (fun msg -> problems := msg :: !problems) fmt
+  in
+  List.iter
+    (fun f -> problem "invariant violation: %s" f)
+    fox.invariant_faults;
+  if fox.connect_failed <> base.connect_failed then
+    problem "connect outcomes diverge: fox=%b baseline=%b" fox.connect_failed
+      base.connect_failed;
+  if not (fox.connect_failed || base.connect_failed) then begin
+    match s.finale with
+    | Close ->
+      (* a graceful close after reliable sends must deliver everything *)
+      if not (String.equal fox.delivered payload) then
+        problem "fox delivered %d of %d bytes (or wrong bytes)"
+          (String.length fox.delivered)
+          (String.length payload);
+      if not (String.equal base.delivered payload) then
+        problem "baseline delivered %d of %d bytes (or wrong bytes)"
+          (String.length base.delivered)
+          (String.length payload)
+    | Abort ->
+      (* an abort may cut the stream anywhere, but never corrupt it *)
+      if not (is_prefix fox.delivered payload) then
+        problem "fox delivered bytes that are not a payload prefix";
+      if not (is_prefix base.delivered payload) then
+        problem "baseline delivered bytes that are not a payload prefix"
+  end;
+  let trace =
+    String.concat "\n"
+      (("schedule " ^ schedule_to_string s)
+      :: (List.map (fun e -> "[fox] " ^ e) fox.events
+         @ List.map (fun e -> "[baseline] " ^ e) base.events
+         @ [
+             Printf.sprintf "delivered fox=%dB(%s) baseline=%dB(%s)"
+               (String.length fox.delivered)
+               (Digest.to_hex (Digest.string fox.delivered))
+               (String.length base.delivered)
+               (Digest.to_hex (Digest.string base.delivered));
+           ]))
+  in
+  { schedule = s; problems = List.rev !problems; trace }
+
+(* ------------------------------------------------------------------ *)
+(* Minimization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Greedy shrink: drop or halve chunks and zero fault knobs while the
+   schedule still fails, within a bounded number of re-runs. *)
+let minimize s0 =
+  let fails s = (check_schedule s).problems <> [] in
+  let candidates s =
+    let n = List.length s.chunks in
+    let drop_chunk i = List.filteri (fun j _ -> j <> i) s.chunks in
+    let halve_chunk i =
+      List.mapi (fun j c -> if j = i then max 1 (c / 2) else c) s.chunks
+    in
+    List.concat
+      [
+        (if n > 1 then List.init n (fun i -> { s with chunks = drop_chunk i })
+         else []);
+        List.filteri
+          (fun i _ -> List.nth s.chunks i > 64)
+          (List.init n (fun i -> { s with chunks = halve_chunk i }));
+        (if s.loss > 0.0 then [ { s with loss = 0.0 } ] else []);
+        (if s.duplicate > 0.0 then [ { s with duplicate = 0.0 } ] else []);
+        (if s.reorder > 0.0 then [ { s with reorder = 0.0 } ] else []);
+        (if s.corrupt > 0.0 then [ { s with corrupt = 0.0 } ] else []);
+        (if s.eth_drop > 0.0 then [ { s with eth_drop = 0.0 } ] else []);
+        (if s.ip_drop > 0.0 then [ { s with ip_drop = 0.0 } ] else []);
+        (if s.ip_fail > 0.0 then [ { s with ip_fail = 0.0 } ] else []);
+        (if s.connect_fail > 0 then [ { s with connect_fail = 0 } ] else []);
+        (if s.delay_us > 0 then [ { s with delay_us = 0 } ] else []);
+      ]
+  in
+  let budget = ref 40 in
+  let rec go s =
+    let rec try_candidates = function
+      | [] -> s
+      | c :: rest ->
+        if !budget <= 0 then s
+        else begin
+          decr budget;
+          if fails c then go c else try_candidates rest
+        end
+    in
+    try_candidates (candidates s)
+  in
+  go s0
+
+(* ------------------------------------------------------------------ *)
+(* The driver                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type failure = { seed : int; minimized : schedule; report : string }
+
+(** [run_seeds ~seed ~iters ()] fuzzes schedules for seeds
+    [seed .. seed+iters-1] and returns the failures, each with a
+    minimized, replayable schedule.  [log] observes every verdict. *)
+let run_seeds ?(log = fun _ -> ()) ~seed ~iters () =
+  let failures = ref [] in
+  for i = 0 to iters - 1 do
+    let s = generate ~seed:(seed + i) in
+    let v = check_schedule s in
+    log v;
+    if v.problems <> [] then begin
+      let minimized = minimize s in
+      let mv = check_schedule minimized in
+      let mv, minimized =
+        (* minimization is best-effort: fall back to the original *)
+        if mv.problems <> [] then (mv, minimized) else (v, s)
+      in
+      let report =
+        String.concat "\n"
+          ([ Printf.sprintf "seed %d FAILED:" s.seed ]
+          @ List.map (fun p -> "  " ^ p) v.problems
+          @ [
+              "replay: foxnet fuzz --seed "
+              ^ string_of_int s.seed ^ " --iters 1";
+              "minimized schedule: " ^ schedule_to_string minimized;
+              "minimized trace:";
+              mv.trace;
+            ])
+      in
+      failures := { seed = s.seed; minimized; report } :: !failures
+    end
+  done;
+  List.rev !failures
+
+(** [trace_of_seed ~seed] is the full deterministic event trace for one
+    generated schedule — identical across runs for the same seed. *)
+let trace_of_seed ~seed = (check_schedule (generate ~seed)).trace

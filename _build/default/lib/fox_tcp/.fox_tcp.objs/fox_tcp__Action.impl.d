@@ -1,1 +1,1 @@
-lib/fox_tcp/action.ml: Fox_basis Packet Tcb Tcp_header
+lib/fox_tcp/action.ml: Fox_basis Fun Packet Tcb Tcp_header

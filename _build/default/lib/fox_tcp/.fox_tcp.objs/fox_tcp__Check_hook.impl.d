@@ -1,0 +1,1 @@
+lib/fox_tcp/check_hook.ml: Tcb

@@ -9,11 +9,17 @@ let externalize ?alg ~pseudo_for ~hdr ~data ~allocate ~send () =
   let hlen = Tcp_header.header_length hdr in
   match data with
   | Some packet ->
+    (* The header is pushed onto the caller's packet in place, and that
+       packet may sit on the retransmission queue: restore it even when
+       [send] raises, or the next retransmission would re-encode a header
+       on top of the old one and carry it as 20 extra bytes of data. *)
     let saved = Packet.save packet in
-    let pseudo = pseudo_for (hlen + Packet.length packet) in
-    Tcp_header.encode ?alg ~pseudo hdr packet;
-    send packet;
-    Packet.restore packet saved
+    Fun.protect
+      ~finally:(fun () -> Packet.restore packet saved)
+      (fun () ->
+        let pseudo = pseudo_for (hlen + Packet.length packet) in
+        Tcp_header.encode ?alg ~pseudo hdr packet;
+        send packet)
   | None ->
     let packet = allocate 0 in
     let pseudo = pseudo_for hlen in

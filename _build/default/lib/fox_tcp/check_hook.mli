@@ -1,0 +1,28 @@
+(** An optional observation hook on the quasi-synchronous executor.
+
+    {!Tcp.Make}'s drain loop consults {!hook} after every executed
+    {!Tcb.tcp_action} and, when a function is installed, hands it a
+    snapshot of the step.  Production configurations leave the hook empty
+    and pay one reference read per action; test configurations install
+    [Fox_check.Tcb_invariants.check] (or any other checker) to validate
+    the TCB after every single step of every connection. *)
+
+(** Everything a checker needs about one executed action. *)
+type info = {
+  tcb : Tcb.tcp_tcb;  (** the connection's TCB, after the action ran *)
+  before : Tcb.tcp_state;  (** RFC 793 state before the action *)
+  after : Tcb.tcp_state;  (** RFC 793 state after the action *)
+  action : Tcb.tcp_action;  (** the action that was executed *)
+  pending : Tcb.tcp_action list;  (** to_do contents after the action *)
+  armed : Tcb.timer_kind list;  (** timers actually running (host side) *)
+  now : int;  (** virtual time, microseconds *)
+  dead : bool;  (** the connection was deleted (TCB is history) *)
+}
+
+(** The installed checker, if any.  Read by the executor once per drained
+    action. *)
+val hook : (info -> unit) option ref
+
+val install : (info -> unit) -> unit
+
+val uninstall : unit -> unit

@@ -197,10 +197,14 @@ let process_ack_common (params : params) tcb seg ~now =
         Seq.lt tcb.snd_wl1 h.Tcp_header.seq
         || (Seq.equal tcb.snd_wl1 h.Tcp_header.seq && Seq.le tcb.snd_wl2 ack)
       then begin
+        let changed = h.Tcp_header.window <> tcb.snd_wnd in
         let opening = h.Tcp_header.window > tcb.snd_wnd in
         tcb.snd_wnd <- h.Tcp_header.window;
         tcb.snd_wl1 <- h.Tcp_header.seq;
         tcb.snd_wl2 <- ack;
+        (* A window update is not a duplicate ACK (RFC 5681): end the
+           current dup-ACK episode so the next loss can reach three again. *)
+        if changed then tcb.dup_acks <- 0;
         if opening then add_to_do tcb (Clear_timer Window_probe)
       end;
       Send.segmentize params tcb ~now;

@@ -34,7 +34,7 @@ let clear_rtx_timer tcb =
     add_to_do tcb (Clear_timer Retransmit)
   end
 
-let track tcb entry ~now =
+let track (params : params) tcb entry ~now =
   entry.first_sent_at <- now;
   tcb.rtx_q <- Deq.push_back entry tcb.rtx_q;
   (* Karn: time one segment at a time, never a retransmission. *)
@@ -42,10 +42,7 @@ let track tcb entry ~now =
   | None when entry.sent_count = 1 ->
     tcb.timing <- Some (Seq.add entry.rtx_seq entry.rtx_len, now)
   | _ -> ());
-  if not tcb.rtx_timer_on then begin
-    tcb.rtx_timer_on <- true;
-    add_to_do tcb (Set_timer (Retransmit, tcb.rto_us lsl tcb.backoff))
-  end
+  set_rtx_timer params tcb
 
 (* Grow cwnd on new data acknowledged: exponentially below ssthresh (slow
    start), by one MSS per window above it (congestion avoidance). *)

@@ -11,11 +11,13 @@
     of TCP exclusively by queuing {!Tcb.tcp_action}s — nothing here sends a
     packet or touches a real timer. *)
 
-(** [track tcb entry ~now] appends a freshly sent segment to the
+(** [track params tcb entry ~now] appends a freshly sent segment to the
     retransmission queue, starts RTT timing for it when no segment is being
     timed (Karn's rule times at most one, and never a retransmission), and
-    queues [Set_timer Retransmit] if the timer is not running. *)
-val track : Tcb.tcp_tcb -> Tcb.rtx_entry -> now:int -> unit
+    queues [Set_timer Retransmit] if the timer is not running.  The timeout
+    always goes through {!rto} so the configured RTO min/max bounds apply
+    even under heavy backoff. *)
+val track : Tcb.params -> Tcb.tcp_tcb -> Tcb.rtx_entry -> now:int -> unit
 
 (** [process_ack params tcb ~ack ~now] handles an acceptable ACK: drops
     covered entries from the queue, takes an RTT sample if the timed

@@ -29,7 +29,7 @@ let take_bytes tcb budget =
       Some head
     end
 
-let emit_segment (_params : params) tcb ~now ~data ~fin =
+let emit_segment (params : params) tcb ~now ~data ~fin =
   let len = (match data with Some d -> Packet.length d | None -> 0)
             + if fin then 1 else 0 in
   let entry =
@@ -59,7 +59,7 @@ let emit_segment (_params : params) tcb ~now ~data ~fin =
          out_mss = None;
          out_is_rtx = false;
        });
-  Resend.track tcb entry ~now
+  Resend.track params tcb entry ~now
 
 let may_send_fin tcb =
   tcb.fin_pending && (not tcb.fin_sent) && tcb.queued_bytes = 0

@@ -47,8 +47,7 @@ let queue_syn (params : params) tcb ~with_ack ~now =
          out_mss = Some tcb.adv_mss;
          out_is_rtx = false;
        });
-  Resend.track tcb entry ~now;
-  ignore params
+  Resend.track params tcb entry ~now
 
 let active_open (params : params) ~iss ~mss ~now =
   let tcb = create_tcb_with_mss params ~iss ~mss in

@@ -115,6 +115,9 @@ type stats = {
   unknown_dropped : int;  (** segments for no connection, not answered *)
   accepts : int;  (** passive opens completed into connections *)
   active_conns : int;
+  wire_send_failures : int;
+      (** sends refused by the lower layer ([Send_failed]); the segment is
+          left to the retransmission machinery *)
 }
 
 (** Per-connection statistics, mostly straight out of the TCB. *)
@@ -259,6 +262,7 @@ end = struct
     mutable rsts_sent : int;
     mutable unknown_dropped : int;
     mutable accepts : int;
+    mutable wire_send_failures : int;
   }
 
   let key host local_port remote_port =
@@ -430,8 +434,20 @@ end = struct
       if not handled then
         conn.state <- Receive.process runtime_params conn.state seg ~now
     | Tcb.User_data packet -> conn.data packet
-    | Tcb.Send_segment ss -> externalize conn ss
-    | Tcb.Send_ack -> send_pure_ack conn
+    (* A lower layer may refuse the send ([Send_failed], e.g. an injected
+       fault or a torn-down session).  The segment is already on the
+       retransmit queue, so treat the refusal like a lost packet rather
+       than letting it unwind the drain loop. *)
+    | Tcb.Send_segment ss -> (
+      try externalize conn ss
+      with Send_failed msg ->
+        conn.tcp.wire_send_failures <- conn.tcp.wire_send_failures + 1;
+        tracef conn "lower send failed: %s" msg)
+    | Tcb.Send_ack -> (
+      try send_pure_ack conn
+      with Send_failed msg ->
+        conn.tcp.wire_send_failures <- conn.tcp.wire_send_failures + 1;
+        tracef conn "lower send failed: %s" msg)
     | Tcb.Set_timer (kind, us) -> set_timer conn kind us
     | Tcb.Clear_timer kind -> clear_timer conn kind
     | Tcb.Timer_expired kind ->
@@ -465,7 +481,22 @@ end = struct
             match Tcb.next_to_do conn.tcb with
             | None -> ()
             | Some action ->
-              execute conn action;
+              (match !Check_hook.hook with
+              | None -> execute conn action
+              | Some check ->
+                let before = conn.state in
+                execute conn action;
+                check
+                  {
+                    Check_hook.tcb = conn.tcb;
+                    before;
+                    after = conn.state;
+                    action;
+                    pending = Tcb.pending_actions conn.tcb;
+                    armed = List.map fst conn.timers;
+                    now = Fox_sched.Scheduler.now ();
+                    dead = conn.dead;
+                  });
               (* wake senders blocked on the buffer bound *)
               if
                 conn.tcb.Tcb.queued_bytes < Params.send_buffer_bytes
@@ -519,19 +550,23 @@ end = struct
     if Params.abort_unknown_connections && not hdr.Tcp_header.rst then begin
       t.rsts_sent <- t.rsts_sent + 1;
       let lower_send = Lower.prepare_send lconn in
-      if hdr.Tcp_header.ack_flag then
+      try
+        if hdr.Tcp_header.ack_flag then
         send_rst_on ~lconn ~lower_send ~src_port:hdr.Tcp_header.dst_port
           ~dst_port:hdr.Tcp_header.src_port ~seq:hdr.Tcp_header.ack
           ~ack_opt:None
-      else
-        send_rst_on ~lconn ~lower_send ~src_port:hdr.Tcp_header.dst_port
-          ~dst_port:hdr.Tcp_header.src_port ~seq:Seq.zero
-          ~ack_opt:
-            (Some
-               (Seq.add hdr.Tcp_header.seq
-                  (seg_text_len
-                  + (if hdr.Tcp_header.syn then 1 else 0)
-                  + if hdr.Tcp_header.fin then 1 else 0)))
+        else
+          send_rst_on ~lconn ~lower_send ~src_port:hdr.Tcp_header.dst_port
+            ~dst_port:hdr.Tcp_header.src_port ~seq:Seq.zero
+            ~ack_opt:
+              (Some
+                 (Seq.add hdr.Tcp_header.seq
+                    (seg_text_len
+                    + (if hdr.Tcp_header.syn then 1 else 0)
+                    + if hdr.Tcp_header.fin then 1 else 0)))
+      with Send_failed _ ->
+        (* an unanswerable RST is no worse than no RST *)
+        t.wire_send_failures <- t.wire_send_failures + 1
     end
     else t.unknown_dropped <- t.unknown_dropped + 1
 
@@ -737,6 +772,7 @@ end = struct
       unknown_dropped = t.unknown_dropped;
       accepts = t.accepts;
       active_conns = Hashtbl.length t.conns;
+      wire_send_failures = t.wire_send_failures;
     }
 
   let pp_address fmt { peer; port; local_port } =
@@ -762,6 +798,7 @@ end = struct
         rsts_sent = 0;
         unknown_dropped = 0;
         accepts = 0;
+        wire_send_failures = 0;
       }
     in
     ignore

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Buffer Format Fox_basis Fox_check Fox_proto Fox_sched Fox_tcp Fun List Packet Printf Rng String

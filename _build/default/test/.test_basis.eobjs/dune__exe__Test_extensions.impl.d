@@ -1,1 +1,1 @@
-test/test_extensions.ml: Alcotest Buffer Char Fox_basis Fox_dev Fox_proto Fox_sched Fox_stack Fox_tcp Fun List Packet QCheck2 QCheck_alcotest Seq State String Tcb
+test/test_extensions.ml: Alcotest Buffer Char Fox_basis Fox_dev Fox_proto Fox_sched Fox_stack Fox_tcp Fun List Packet Printf QCheck2 QCheck_alcotest Seq State String Tcb

@@ -413,6 +413,76 @@ let test_keepalive_detects_dead_peer () =
   Alcotest.(check bool) "keepalive detected the dead peer" true
     (List.mem Fox_proto.Status.Timed_out !client_status)
 
+let test_keepalive_counts_unanswered_probes () =
+  let open Fox_tcp in
+  let params =
+    { Tcb.default_params with keepalive_us = 1000; keepalive_probes = 3 }
+  in
+  let tcb = Tcb.create_tcb_with_mss params ~iss:(Seq.of_int 100) ~mss:1000 in
+  tcb.Tcb.snd_una <- Seq.of_int 101;
+  tcb.Tcb.snd_nxt <- Seq.of_int 101;
+  tcb.Tcb.rcv_nxt <- Seq.of_int 501;
+  tcb.Tcb.last_activity <- 0;
+  let drain () =
+    let rec go () = match Tcb.next_to_do tcb with Some _ -> go () | None -> () in
+    go ()
+  in
+  let state = ref (Tcb.Estab tcb) in
+  (* each unanswered expiry sends one probe and counts it *)
+  for i = 1 to 3 do
+    state := State.timer_expired params !state Tcb.Keepalive ~now:(2000 * i);
+    drain ();
+    Alcotest.(check int)
+      (Printf.sprintf "probe %d counted" i)
+      i tcb.Tcb.probes_sent;
+    Alcotest.(check string) "still alive within budget" "ESTABLISHED"
+      (Tcb.state_name !state)
+  done;
+  (* the budget is exhausted: the next expiry gives up *)
+  state := State.timer_expired params !state Tcb.Keepalive ~now:8000;
+  Alcotest.(check string) "budget exhausted kills the connection" "CLOSED"
+    (Tcb.state_name !state);
+  (* whereas an answer in between resets the count: a fresh tcb probed
+     once, then activity, probes again from one *)
+  let tcb2 = Tcb.create_tcb_with_mss params ~iss:(Seq.of_int 100) ~mss:1000 in
+  tcb2.Tcb.rcv_nxt <- Seq.of_int 501;
+  tcb2.Tcb.last_activity <- 0;
+  ignore (State.timer_expired params (Tcb.Estab tcb2) Tcb.Keepalive ~now:2000);
+  Alcotest.(check int) "one probe out" 1 tcb2.Tcb.probes_sent;
+  (* the engine resets the counter on every received segment *)
+  tcb2.Tcb.probes_sent <- 0;
+  tcb2.Tcb.last_activity <- 2500;
+  ignore (State.timer_expired params (Tcb.Estab tcb2) Tcb.Keepalive ~now:3000);
+  Alcotest.(check int) "answered probe restarts the budget" 0
+    tcb2.Tcb.probes_sent
+
+(* The stock [Stack.Tcp_keepalive] instantiation (30 s probes, default
+   budget of 5) end-to-end: a silently-vanished peer is detected. *)
+let test_stack_keepalive_detects_dead_peer () =
+  let _, a, b = Network.pair ~engine:Network.Bare () in
+  let ta = Stack.Tcp_keepalive.create a.Network.metered_ip in
+  let tb = Stack.Tcp_keepalive.create b.Network.metered_ip in
+  let client_status = ref [] in
+  let _ =
+    Scheduler.run (fun () ->
+        ignore
+          (Stack.Tcp_keepalive.start_passive tb
+             { Stack.Tcp_keepalive.local_port = 80 } (fun _ ->
+               (ignore, ignore)));
+        ignore
+          (Stack.Tcp_keepalive.connect ta
+             { Stack.Tcp_keepalive.peer = b.Network.addr;
+               port = 80;
+               local_port = None }
+             (fun _ -> (ignore, fun s -> client_status := s :: !client_status)));
+        Scheduler.sleep 1_000_000;
+        Fox_dev.Device.down b.Network.dev;
+        (* 30 s idle + 5 unanswered probes at 30 s each, plus slack *)
+        Scheduler.sleep 400_000_000)
+  in
+  Alcotest.(check bool) "30 s keepalive detected the dead peer" true
+    (List.mem Fox_proto.Status.Timed_out !client_status)
+
 let test_keepalive_live_peer_survives () =
   let _, a, b = Network.pair ~engine:Network.Bare () in
   let ta = Tcp_ka.create a.Network.metered_ip in
@@ -600,8 +670,12 @@ let () =
             test_keepalive_probe_unit;
           Alcotest.test_case "recent activity re-arms" `Quick
             test_keepalive_recent_activity_rearms_quietly;
+          Alcotest.test_case "unanswered probes counted" `Quick
+            test_keepalive_counts_unanswered_probes;
           Alcotest.test_case "detects dead peer" `Quick
             test_keepalive_detects_dead_peer;
+          Alcotest.test_case "stack instantiation detects dead peer" `Quick
+            test_stack_keepalive_detects_dead_peer;
           Alcotest.test_case "live peer survives" `Quick
             test_keepalive_live_peer_survives;
         ] );

@@ -402,6 +402,114 @@ let test_zero_window_arms_probe () =
     Alcotest.failf "unexpected: %s"
       (String.concat "," (List.map Tcb.action_name actions))
 
+(* Zero-window persistence: the probe byte rides the retransmission
+   machinery, so a lost probe is recovered by the RTO like any segment. *)
+let test_window_probe_lost_then_retransmitted () =
+  let tcb = estab_tcb () in
+  tcb.Tcb.snd_wnd <- 0;
+  Send.enqueue params tcb (Packet.of_string "stuck") ~now:0;
+  ignore (drain_actions tcb);
+  Send.probe params tcb ~now:0;
+  (match drain_actions tcb with
+  | [ Tcb.Send_segment ss; Tcb.Set_timer (Tcb.Retransmit, _);
+      Tcb.Set_timer (Tcb.Window_probe, _) ] ->
+    Alcotest.(check string) "probe carries the first byte" "s"
+      (match ss.Tcb.out_data with Some d -> Packet.to_string d | None -> "")
+  | actions ->
+    Alcotest.failf "unexpected probe actions: %s"
+      (String.concat "," (List.map Tcb.action_name actions)));
+  (* the probe is lost: the retransmit timer resends the same byte *)
+  Alcotest.(check bool) "retransmit accepted" true
+    (Resend.retransmit params tcb ~now:(Resend.rto params tcb));
+  (match sent_segments tcb with
+  | [ ss ] ->
+    Alcotest.(check bool) "marked as retransmission" true ss.Tcb.out_is_rtx;
+    Alcotest.(check string) "same probe byte" "s"
+      (match ss.Tcb.out_data with Some d -> Packet.to_string d | None -> "")
+  | l -> Alcotest.failf "expected 1 rtx segment, got %d" (List.length l));
+  (* the peer finally acknowledges the probe and opens its window *)
+  let seg = mk_segment ~seq:5001 ~ack:(Some 1002) ~window:8192 () in
+  let state = Receive.process params (Tcb.Estab tcb) seg ~now:500_000 in
+  Alcotest.(check string) "still established" "ESTABLISHED"
+    (Tcb.state_name state);
+  let actions = drain_actions tcb in
+  Alcotest.(check bool) "probe timer cleared" true
+    (List.mem "clear-timer:window-probe"
+       (List.map Tcb.action_name actions));
+  let rest =
+    String.concat ""
+      (List.filter_map
+         (function
+           | Tcb.Send_segment ss -> Option.map Packet.to_string ss.Tcb.out_data
+           | _ -> None)
+         actions)
+  in
+  Alcotest.(check string) "remaining bytes flow exactly once" "tuck" rest;
+  Alcotest.(check int) "stream fully sent" 1006 (Seq.to_int tcb.Tcb.snd_nxt)
+
+let test_window_opens_while_probe_in_flight () =
+  let tcb = estab_tcb () in
+  tcb.Tcb.snd_wnd <- 0;
+  Send.enqueue params tcb (Packet.of_string "stuck") ~now:0;
+  ignore (drain_actions tcb);
+  Send.probe params tcb ~now:0;
+  ignore (drain_actions tcb);
+  (* a stale dup-ack episode is pending when the update lands *)
+  tcb.Tcb.dup_acks <- 2;
+  (* window opens while the probe is still unacknowledged: the update
+     acks nothing new (ack = snd_una) but must clear the probe timer,
+     end the dup-ack episode, and release the queued data *)
+  let seg = mk_segment ~seq:5001 ~ack:(Some 1001) ~window:8192 () in
+  let state = Receive.process params (Tcb.Estab tcb) seg ~now:1000 in
+  Alcotest.(check string) "still established" "ESTABLISHED"
+    (Tcb.state_name state);
+  let actions = drain_actions tcb in
+  Alcotest.(check bool) "probe timer cleared" true
+    (List.mem "clear-timer:window-probe"
+       (List.map Tcb.action_name actions));
+  Alcotest.(check int) "dup-ack episode ended by the window update" 0
+    tcb.Tcb.dup_acks;
+  let rest =
+    String.concat ""
+      (List.filter_map
+         (function
+           | Tcb.Send_segment ss -> Option.map Packet.to_string ss.Tcb.out_data
+           | _ -> None)
+         actions)
+  in
+  Alcotest.(check string) "queued data released behind the probe" "tuck" rest
+
+(* Back-to-back loss episodes: a window update between them must reset
+   the duplicate-ACK counter, or the second episode can never reach the
+   three duplicates that trigger fast retransmit (the counter only fires
+   on exactly three). *)
+let test_window_update_resets_dup_ack_episode () =
+  let p = { params with congestion_control = false } in
+  let tcb = estab_tcb ~params:p () in
+  tcb.Tcb.cwnd <- 1 lsl 20;
+  Send.enqueue p tcb (Packet.of_string (String.make 4000 'x')) ~now:0;
+  ignore (drain_actions tcb);
+  let dup_ack ~ack ~window =
+    let seg = mk_segment ~seq:5001 ~ack:(Some ack) ~window () in
+    ignore (Receive.process p (Tcb.Estab tcb) seg ~now:0)
+  in
+  (* episode one: three duplicates trigger fast retransmit *)
+  dup_ack ~ack:1001 ~window:8192;
+  dup_ack ~ack:1001 ~window:8192;
+  dup_ack ~ack:1001 ~window:8192;
+  Alcotest.(check bool) "first fast retransmit fired" true
+    (List.exists (fun ss -> ss.Tcb.out_is_rtx) (sent_segments tcb));
+  (* mid-recovery, a pure window update arrives (no ack progress) *)
+  dup_ack ~ack:1001 ~window:4096;
+  ignore (drain_actions tcb);
+  Alcotest.(check int) "episode ended by the update" 0 tcb.Tcb.dup_acks;
+  (* episode two: three fresh duplicates must trigger again *)
+  dup_ack ~ack:1001 ~window:4096;
+  dup_ack ~ack:1001 ~window:4096;
+  dup_ack ~ack:1001 ~window:4096;
+  Alcotest.(check bool) "second fast retransmit fired" true
+    (List.exists (fun ss -> ss.Tcb.out_is_rtx) (sent_segments tcb))
+
 let send_total_preserved =
   qtest "send: segmentation preserves bytes and order"
     QCheck2.Gen.(list_size (int_range 1 10) (string_size (int_range 1 2000)))
@@ -972,6 +1080,12 @@ let () =
             test_fin_piggybacks_on_last_segment;
           Alcotest.test_case "zero window probe" `Quick
             test_zero_window_arms_probe;
+          Alcotest.test_case "probe lost then retransmitted" `Quick
+            test_window_probe_lost_then_retransmitted;
+          Alcotest.test_case "window opens mid-probe" `Quick
+            test_window_opens_while_probe_in_flight;
+          Alcotest.test_case "dup-ack episodes reset on update" `Quick
+            test_window_update_resets_dup_ack_episode;
           send_total_preserved;
         ] );
       ( "resend",
