@@ -1,1 +1,1 @@
-bench/overhead.ml: Fox_check Fox_stack Fun Printf Sys
+bench/overhead.ml: Fox_check Fox_obs Fox_stack Fun Printf Sys

@@ -5,6 +5,8 @@
      foxnet rtt      [--decstation] [--baseline]
      foxnet table1 / foxnet table2
      foxnet fuzz     [--seed N] [--iters K] [--verbose]
+     foxnet stat     [--bytes N] [--loss P] [--interval MS]
+     foxnet trace    [--bytes N] [--loss P] [--last N] [--pcap]
 
    Everything runs in-process on the simulated Ethernet under virtual
    time; see examples/ for narrated versions of the same scenarios. *)
@@ -142,6 +144,81 @@ let fuzz seed iters verbose =
     Printf.printf "fuzz: %d of %d schedules FAILED\n" (List.length fs) iters;
     exit 1
 
+(* ---------------- stat (live TCB snapshots) ---------------- *)
+
+module Bus = Fox_obs.Bus
+module Stats = Fox_tcp.Stats
+
+let stat bytes loss seed interval_ms =
+  let _, sender, receiver =
+    Network.pair ~engine:Network.Fox ~netem:(netem_of loss seed) ()
+  in
+  Bus.enable ();
+  (* the sampler runs inside the transfer's scheduler, photographing every
+     live TCB on both hosts at each virtual-time tick *)
+  let during finished =
+    while not (finished ()) do
+      Scheduler.sleep (interval_ms * 1000);
+      List.iter
+        (fun host ->
+          List.iter
+            (fun s -> print_endline (Stats.to_string s))
+            (Fox_stack.Stack.Tcp.snapshots (Network.fox_tcp host)))
+        [ sender; receiver ]
+    done
+  in
+  let result = Experiments.Fox_run.transfer ~during ~sender ~receiver ~bytes () in
+  print_endline "-- final (from the bus stats-provider registry):";
+  List.iter (fun (_id, line) -> print_endline line) (Bus.stats_snapshots ());
+  Printf.printf "%d bytes in %.3f s (virtual) = %.3f Mb/s; %d segments, %d rtx\n"
+    result.Experiments.bytes
+    (float_of_int result.Experiments.elapsed_us /. 1e6)
+    result.Experiments.throughput_mbps result.Experiments.sender_segments
+    result.Experiments.retransmissions
+
+(* ---------------- trace (flight recorder dump) ---------------- *)
+
+let trace bytes loss seed last pcap =
+  let pcap_prefix = if pcap then Some "foxnet-trace" else None in
+  let _, sender, receiver =
+    Network.pair ~engine:Network.Fox ~netem:(netem_of loss seed) ?pcap_prefix ()
+  in
+  Bus.enable ();
+  let result = Experiments.Fox_run.transfer ~sender ~receiver ~bytes () in
+  Bus.disable ();
+  let tail label lines =
+    let n = List.length lines in
+    if n > last then
+      Printf.printf "%s... %d earlier events elided (--last %d)\n" label
+        (n - last) last;
+    List.iter
+      (fun l -> print_endline (label ^ l))
+      (if n <= last then lines
+       else List.filteri (fun i _ -> i >= n - last) lines)
+  in
+  print_endline "-- global ring:";
+  tail "" (Bus.dump ());
+  Printf.printf "-- %d events emitted, %d dropped from the ring\n"
+    (Bus.emitted ()) (Bus.dropped ());
+  List.iter
+    (fun id ->
+      Printf.printf "-- connection %s:\n" id;
+      tail "  " (Bus.dump_conn id))
+    (Bus.conn_ids ());
+  List.iter
+    (fun (_name, h) ->
+      Printf.printf "-- histogram %s\n" (Fox_obs.Histogram.to_string h))
+    (Bus.histograms ());
+  if pcap then begin
+    Network.close_pcap sender;
+    Network.close_pcap receiver;
+    print_endline "pcap written: foxnet-trace-0.pcap, foxnet-trace-1.pcap"
+  end;
+  Printf.printf "%d bytes in %.3f s (virtual) = %.3f Mb/s\n"
+    result.Experiments.bytes
+    (float_of_int result.Experiments.elapsed_us /. 1e6)
+    result.Experiments.throughput_mbps
+
 (* ---------------- cmdliner plumbing ---------------- *)
 
 let bytes = Arg.(value & opt int 1_000_000 & info [ "bytes"; "b" ] ~doc:"Bytes.")
@@ -189,6 +266,40 @@ let iters =
 let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every schedule.")
 
+let interval =
+  Arg.(
+    value & opt int 50
+    & info [ "interval"; "i" ] ~doc:"Sample interval (virtual ms).")
+
+let last =
+  Arg.(
+    value & opt int 40
+    & info [ "last"; "n" ] ~doc:"Show only the last N events of each ring.")
+
+let pcap_flag =
+  Arg.(
+    value & flag
+    & info [ "pcap" ]
+        ~doc:"Also capture both hosts' frames to foxnet-trace-{0,1}.pcap.")
+
+let stat_cmd =
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "Run a loopback transfer and periodically print per-connection \
+          TCP statistics snapshots (state, windows, cwnd, srtt/rto, \
+          retransmissions)")
+    Term.(const stat $ bytes $ loss $ seed $ interval)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a loopback transfer with the flight recorder on and dump \
+          the cross-layer event rings, per-connection traces, and probe \
+          histograms")
+    Term.(const trace $ bytes $ loss $ seed $ last $ pcap_flag)
+
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
@@ -204,4 +315,7 @@ let () =
        (Cmd.group
           (Cmd.info "foxnet" ~version:"1.0"
              ~doc:"The Fox Net structured TCP/IP stack, simulated")
-          [ transfer_cmd; ping_cmd; rtt_cmd; table1_cmd; table2_cmd; fuzz_cmd ]))
+          [
+            transfer_cmd; ping_cmd; rtt_cmd; table1_cmd; table2_cmd; fuzz_cmd;
+            stat_cmd; trace_cmd;
+          ]))

@@ -89,7 +89,8 @@ let () =
         lower_pattern = ();
       }
   in
-  let mip = Stack.Metered_ip.create ip Fox_proto.Meter.silent in
+  let pip = Stack.Probed_ip.create ip ~name:"ip.tap" () in
+  let mip = Stack.Metered_ip.create pip Fox_proto.Meter.silent in
   let icmp = Stack.Icmp.create ip in
   let tcp = Stack.Tcp.create mip in
 

@@ -1,1 +1,1 @@
-lib/fox_baseline/tcp_monolithic.ml: Deq Format Fox_basis Fox_proto Fox_sched Fox_tcp Hashtbl List Packet Printf
+lib/fox_baseline/tcp_monolithic.ml: Buffer Deq Format Fox_basis Fox_obs Fox_proto Fox_sched Fox_tcp Hashtbl List Packet Printf

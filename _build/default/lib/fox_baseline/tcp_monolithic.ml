@@ -33,6 +33,7 @@ module Protocol = Fox_proto.Protocol
 module Status = Fox_proto.Status
 module Seq = Fox_tcp.Seq
 module Tcp_header = Fox_tcp.Tcp_header
+module Bus = Fox_obs.Bus
 
 module type PARAMS = sig
   val initial_window : int
@@ -208,6 +209,11 @@ end = struct
 
   let key host lp rp = (Aux.to_string host, lp, rp)
 
+  (* Flight-recorder identity, built only when the bus is live. *)
+  let obs_id conn =
+    Printf.sprintf "%s:%d>%d" (Aux.to_string conn.host) conn.local_port
+      conn.remote_port
+
   let state_of conn = state_name conn.st
 
   let retransmissions_of conn = conn.retransmissions
@@ -238,6 +244,19 @@ end = struct
     in
     conn.t.segs_out <- conn.t.segs_out + 1;
     if rst then conn.t.rsts_sent <- conn.t.rsts_sent + 1;
+    if !Bus.live then begin
+      let b = Buffer.create 4 in
+      if syn then Buffer.add_char b 'S';
+      if fin then Buffer.add_char b 'F';
+      if rst then Buffer.add_char b 'R';
+      if ack then Buffer.add_char b 'A';
+      Bus.emit ~layer:"baseline" ~conn:(obs_id conn)
+        (Bus.Send
+           {
+             bytes = (match data with Some p -> Packet.length p | None -> 0);
+             flags = Buffer.contents b;
+           })
+    end;
     let pseudo_for len =
       if Params.compute_checksums then
         Some (Aux.pseudo conn.lower ~proto:proto_number ~len)
@@ -267,6 +286,9 @@ end = struct
 
   let teardown conn reason =
     if conn.st <> DEAD then begin
+      if !Bus.live then
+        Bus.emit ~layer:"baseline" ~conn:(obs_id conn)
+          (Bus.Note ("teardown: " ^ Status.to_string reason));
       conn.st <- DEAD;
       stop_rtx_timer conn;
       (match conn.wait_timer with
@@ -302,6 +324,11 @@ end = struct
           e.e_sends <- e.e_sends + 1;
           conn.retransmissions <- conn.retransmissions + 1;
           conn.backoff <- min (conn.backoff + 1) 16;
+          if !Bus.live then
+            Bus.emit ~layer:"baseline" ~conn:(obs_id conn)
+              (Bus.Retransmit
+                 { seq = Seq.to_int e.e_seq; len = e.e_len;
+                   backoff = conn.backoff });
           (* Karn *)
           conn.timing <- None;
           transmit conn ~seq:e.e_seq ~syn:e.e_syn ~fin:e.e_fin ~rst:false
@@ -429,7 +456,10 @@ end = struct
       if offset < len then begin
         let fresh = if offset = 0 then data else Packet.sub data offset (len - offset) in
         conn.rcv_nxt <- Seq.add seq len;
-        conn.data fresh
+        conn.data fresh;
+        if !Bus.live then
+          Bus.emit ~layer:"baseline" ~conn:(obs_id conn)
+            (Bus.Deliver { bytes = Packet.length fresh })
       end;
       if h.Tcp_header.fin && Seq.equal conn.rcv_nxt (Seq.add seq len) then begin
         conn.rcv_nxt <- Seq.add conn.rcv_nxt 1;

@@ -1,1 +1,1 @@
-lib/fox_basis/counters.ml: Hashtbl List String
+lib/fox_basis/counters.ml: Fun Hashtbl List String

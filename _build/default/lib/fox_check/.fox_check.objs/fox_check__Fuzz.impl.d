@@ -1,1 +1,1 @@
-lib/fox_check/fuzz.ml: Array Buffer Bytes Digest Faulty Format Fox_baseline Fox_basis Fox_dev Fox_eth Fox_ip Fox_proto Fox_sched Fox_tcp Fun List Packet Printf Rng String Tcb_invariants
+lib/fox_check/fuzz.ml: Array Buffer Bytes Digest Faulty Format Fox_baseline Fox_basis Fox_dev Fox_eth Fox_ip Fox_obs Fox_proto Fox_sched Fox_tcp Fun List Packet Printf Rng String Tcb_invariants

@@ -25,6 +25,7 @@ module Mac = Fox_eth.Mac
 module Ipv4_addr = Fox_ip.Ipv4_addr
 module Route = Fox_ip.Route
 module Status = Fox_proto.Status
+module Bus = Fox_obs.Bus
 
 (* ------------------------------------------------------------------ *)
 (* The faulty stack: Tcp(Faulty(Ip(Faulty(Eth))))                     *)
@@ -300,6 +301,8 @@ type run_result = {
   end_time : int;  (** virtual time at quiescence *)
   invariant_faults : string list;  (** structured engine only *)
   events : string list;  (** deterministic event log, oldest first *)
+  flight : string list;
+      (** the engine's flight-recorder ring (rendered), oldest first *)
 }
 
 let port = 7777
@@ -331,9 +334,19 @@ let run_engine (type t) (module E : ENGINE with type t = t) s ~engine_salt
       ();
   let server_t = E.create b.fip in
   let client_t = E.create a.fip in
+  (* The flight recorder runs for every engine run, so a failing verdict
+     can dump each engine's ring; state is restored on every exit path. *)
+  let bus_was_live = !Bus.live in
+  Bus.reset ();
+  Bus.enable ();
+  let flight = ref [] in
   let stats =
     Fun.protect
-      ~finally:(fun () -> if with_invariants then Tcb_invariants.uninstall ())
+      ~finally:(fun () ->
+        flight := Bus.dump ();
+        Bus.reset ();
+        if not bus_was_live then Bus.disable ();
+        if with_invariants then Tcb_invariants.uninstall ())
       (fun () ->
         Scheduler.run (fun () ->
             E.listen server_t ~port
@@ -389,6 +402,7 @@ let run_engine (type t) (module E : ENGINE with type t = t) s ~engine_salt
     connect_failed = !connect_failed;
     end_time;
     invariant_faults = !faults;
+    flight = !flight;
     events =
       List.rev
         (Printf.sprintf "t=%d quiescent; client %s; server %s" end_time
@@ -449,11 +463,31 @@ let check_schedule s =
       if not (is_prefix base.delivered payload) then
         problem "baseline delivered bytes that are not a payload prefix"
   end;
+  let problems = List.rev !problems in
+  (* On failure the report carries both engines' flight-recorder rings
+     (capped per engine; the oldest events are elided, not the newest). *)
+  let flight_dump label lines =
+    let cap = 120 in
+    let n = List.length lines in
+    let shown =
+      if n <= cap then lines
+      else
+        Printf.sprintf "... %d earlier events elided ..." (n - cap)
+        :: List.filteri (fun i _ -> i >= n - cap) lines
+    in
+    Printf.sprintf "[%s-flight] %d events:" label n
+    :: List.map (fun l -> Printf.sprintf "[%s-flight] %s" label l) shown
+  in
+  let flights =
+    if problems = [] then []
+    else flight_dump "fox" fox.flight @ flight_dump "baseline" base.flight
+  in
   let trace =
     String.concat "\n"
       (("schedule " ^ schedule_to_string s)
       :: (List.map (fun e -> "[fox] " ^ e) fox.events
          @ List.map (fun e -> "[baseline] " ^ e) base.events
+         @ flights
          @ [
              Printf.sprintf "delivered fox=%dB(%s) baseline=%dB(%s)"
                (String.length fox.delivered)
@@ -462,7 +496,7 @@ let check_schedule s =
                (Digest.to_hex (Digest.string base.delivered));
            ]))
   in
-  { schedule = s; problems = List.rev !problems; trace }
+  { schedule = s; problems; trace }
 
 (* ------------------------------------------------------------------ *)
 (* Minimization                                                       *)

@@ -18,6 +18,7 @@ type stats = {
   timed_out : int;
   active : int;
   duplicate_fragments : int;
+  overlapping_fragments : int;
 }
 
 type t = {
@@ -26,23 +27,53 @@ type t = {
   mutable completed : int;
   mutable timed_out : int;
   mutable duplicate_fragments : int;
+  mutable overlapping_fragments : int;
 }
 
 let create ?(timeout_us = 30_000_000) () =
   { table = Hashtbl.create 16; timeout_us; completed = 0; timed_out = 0;
-    duplicate_fragments = 0 }
+    duplicate_fragments = 0; overlapping_fragments = 0 }
 
-(* Insert keeping offsets sorted; overlapping or duplicate fragments are
-   counted and the first arrival wins (RFC 791 leaves the policy open). *)
+(* Insert keeping offsets sorted and coverage disjoint.  Overlaps are
+   resolved keep-first per octet (RFC 791 leaves the policy open): the new
+   fragment is trimmed to the bytes not already held, so a partial overlap
+   still contributes its fresh bytes instead of being discarded — dropping
+   it wholesale could leave a hole no later arrival fills, stranding the
+   datagram until the reassembly timeout.  A fragment carrying nothing new
+   is a true duplicate; one that needed trimming counts as overlapping. *)
 let insert t pending offset packet =
   let len = Packet.length packet in
-  let overlaps (o, p) = offset < o + Packet.length p && o < offset + len in
-  if List.exists overlaps pending.fragments then
-    t.duplicate_fragments <- t.duplicate_fragments + 1
-  else
+  (* Sub-intervals of [lo, hi) not covered by the (sorted, disjoint)
+     fragment list. *)
+  let rec uncovered lo hi frags acc =
+    if lo >= hi then List.rev acc
+    else
+      match frags with
+      | [] -> List.rev ((lo, hi) :: acc)
+      | (o, p) :: rest ->
+        let frag_end = o + Packet.length p in
+        if frag_end <= lo then uncovered lo hi rest acc
+        else if o >= hi then List.rev ((lo, hi) :: acc)
+        else
+          let acc = if o > lo then (lo, o) :: acc else acc in
+          uncovered (max lo frag_end) hi rest acc
+  in
+  let sort_in pieces =
     pending.fragments <-
-      List.sort (fun (a, _) (b, _) -> Int.compare a b)
-        ((offset, packet) :: pending.fragments)
+      List.sort
+        (fun (a, _) (b, _) -> Int.compare a b)
+        (pieces @ pending.fragments)
+  in
+  match uncovered offset (offset + len) pending.fragments [] with
+  | [] -> t.duplicate_fragments <- t.duplicate_fragments + 1
+  | [ (lo, hi) ] when lo = offset && hi = offset + len ->
+    sort_in [ (offset, packet) ]
+  | pieces ->
+    t.overlapping_fragments <- t.overlapping_fragments + 1;
+    sort_in
+      (List.map
+         (fun (lo, hi) -> (lo, Packet.sub packet (lo - offset) (hi - lo)))
+         pieces)
 
 let complete pending =
   match pending.total with
@@ -99,4 +130,5 @@ let stats t =
     timed_out = t.timed_out;
     active = Hashtbl.length t.table;
     duplicate_fragments = t.duplicate_fragments;
+    overlapping_fragments = t.overlapping_fragments;
   }

@@ -22,6 +22,9 @@ type stats = {
   timed_out : int;
   active : int;
   duplicate_fragments : int;
+      (** arrivals that contributed no new octet (first copy wins) *)
+  overlapping_fragments : int;
+      (** arrivals trimmed because part of their range was already held *)
 }
 
 (** [create ?timeout_us ()] is an empty reassembly table; datagrams that do

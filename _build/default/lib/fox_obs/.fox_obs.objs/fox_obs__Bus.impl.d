@@ -1,0 +1,1 @@
+lib/fox_obs/bus.ml: Array Effect Fox_basis Fox_sched Hashtbl Histogram List Printf String Trace

@@ -1,0 +1,1 @@
+lib/fox_obs/bus.mli: Fox_basis Histogram

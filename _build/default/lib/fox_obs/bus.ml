@@ -1,0 +1,215 @@
+open Fox_basis
+
+type timer_event = Set of int | Cleared | Expired
+
+type kind =
+  | Send of { bytes : int; flags : string }
+  | Deliver of { bytes : int }
+  | Retransmit of { seq : int; len : int; backoff : int }
+  | Timer of { timer : string; what : timer_event }
+  | State of { from_ : string; to_ : string }
+  | Span of { name : string; dur_us : int; bytes : int }
+  | Note of string
+
+type event = { time : int; layer : string; conn : string; kind : kind }
+
+(* ------------------------------------------------------------------ *)
+(* The switch                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let live = ref false
+
+let enabled () = !live
+
+(* ------------------------------------------------------------------ *)
+(* Rings                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sentinel = { time = 0; layer = ""; conn = ""; kind = Note "" }
+
+type ring = {
+  mutable items : event array;
+  mutable head : int;
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let global_capacity = ref 4096
+
+let per_conn_capacity = ref 512
+
+let global : ring =
+  { items = Array.make !global_capacity sentinel; head = 0; len = 0; dropped = 0 }
+
+let conn_rings : (string, Trace.t) Hashtbl.t = Hashtbl.create 16
+
+let emitted_count = ref 0
+
+let ring_add r ev =
+  let cap = Array.length r.items in
+  r.items.((r.head + r.len) mod cap) <- ev;
+  if r.len < cap then r.len <- r.len + 1
+  else begin
+    r.head <- (r.head + 1) mod cap;
+    r.dropped <- r.dropped + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Subscribers and toggle listeners                                    *)
+(* ------------------------------------------------------------------ *)
+
+type subscription = int
+
+let next_sub = ref 0
+
+let subscribers : (int * (event -> unit)) list ref = ref []
+
+let subscribe f =
+  incr next_sub;
+  subscribers := (!next_sub, f) :: !subscribers;
+  !next_sub
+
+let unsubscribe id =
+  subscribers := List.filter (fun (i, _) -> i <> id) !subscribers
+
+let toggle_listeners : (bool -> unit) list ref = ref []
+
+let on_toggle f = toggle_listeners := f :: !toggle_listeners
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let render_kind = function
+  | Send { bytes; flags } ->
+    if flags = "" then Printf.sprintf "send %dB" bytes
+    else Printf.sprintf "send %dB [%s]" bytes flags
+  | Deliver { bytes } -> Printf.sprintf "deliver %dB" bytes
+  | Retransmit { seq; len; backoff } ->
+    Printf.sprintf "retransmit seq=%d len=%d backoff=%d" seq len backoff
+  | Timer { timer; what } -> (
+    match what with
+    | Set us -> Printf.sprintf "timer %s set %dus" timer us
+    | Cleared -> Printf.sprintf "timer %s cleared" timer
+    | Expired -> Printf.sprintf "timer %s expired" timer)
+  | State { from_; to_ } -> Printf.sprintf "state %s -> %s" from_ to_
+  | Span { name; dur_us; bytes } ->
+    Printf.sprintf "span %s %dus %dB" name dur_us bytes
+  | Note msg -> msg
+
+let render ev =
+  Printf.sprintf "[%8d us] %-12s %-24s %s" ev.time ev.layer ev.conn
+    (render_kind ev.kind)
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Emission happens inside scheduler runs; stamping falls back to 0 when
+   called from plain code (e.g. a unit test exercising the bus alone). *)
+let now_opt () =
+  try Fox_sched.Scheduler.now () with Effect.Unhandled _ -> 0
+
+let conn_ring conn =
+  match Hashtbl.find_opt conn_rings conn with
+  | Some t -> t
+  | None ->
+    let t = Trace.create !per_conn_capacity in
+    Hashtbl.add conn_rings conn t;
+    t
+
+let emit ?time ?(conn = "-") ~layer kind =
+  if !live then begin
+    let time = match time with Some t -> t | None -> now_opt () in
+    let ev = { time; layer; conn; kind } in
+    incr emitted_count;
+    ring_add global ev;
+    if conn <> "-" then
+      Trace.add (conn_ring conn) ~time
+        (Printf.sprintf "%s %s" layer (render_kind ev.kind));
+    match !subscribers with
+    | [] -> ()
+    | subs -> List.iter (fun (_, f) -> f ev) subs
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Stats providers (lazy: cost is one closure per registered conn)     *)
+(* ------------------------------------------------------------------ *)
+
+let stats_providers : (string, unit -> string) Hashtbl.t = Hashtbl.create 16
+
+let register_stats ~id f = Hashtbl.replace stats_providers id f
+
+let unregister_stats ~id = Hashtbl.remove stats_providers id
+
+let stats_snapshots () =
+  Hashtbl.fold (fun id f acc -> (id, f ()) :: acc) stats_providers []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram registry                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
+
+let register_histogram name h = Hashtbl.replace hists name h
+
+let histograms () =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Control                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  global.head <- 0;
+  global.len <- 0;
+  global.dropped <- 0;
+  emitted_count := 0;
+  Hashtbl.reset conn_rings
+
+let enable ?capacity ?per_conn () =
+  (match capacity with
+  | Some c when c > 0 && c <> Array.length global.items ->
+    global.items <- Array.make c sentinel;
+    global.head <- 0;
+    global.len <- 0
+  | _ -> ());
+  (match per_conn with Some c when c > 0 -> per_conn_capacity := c | _ -> ());
+  let was = !live in
+  live := true;
+  if not was then List.iter (fun f -> f true) !toggle_listeners
+
+let disable () =
+  let was = !live in
+  live := false;
+  if was then List.iter (fun f -> f false) !toggle_listeners
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let events () =
+  List.init global.len (fun i ->
+      global.items.((global.head + i) mod Array.length global.items))
+
+let dropped () = global.dropped
+
+let emitted () = !emitted_count
+
+let conn_ids () =
+  Hashtbl.fold (fun id _ acc -> id :: acc) conn_rings []
+  |> List.sort String.compare
+
+let conn_trace id = Hashtbl.find_opt conn_rings id
+
+let dump () = List.map render (events ())
+
+let dump_conn id =
+  match conn_trace id with
+  | None -> []
+  | Some t ->
+    List.map
+      (fun (time, msg) -> Printf.sprintf "[%8d us] %s" time msg)
+      (Trace.events t)

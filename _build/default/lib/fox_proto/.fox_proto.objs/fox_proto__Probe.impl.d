@@ -1,0 +1,1 @@
+lib/fox_proto/probe.ml: Common Effect Fox_basis Fox_obs Fox_sched Packet Protocol Status

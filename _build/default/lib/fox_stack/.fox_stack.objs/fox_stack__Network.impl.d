@@ -1,1 +1,1 @@
-lib/fox_stack/network.ml: Cost_model Counters Fox_basis Fox_dev Fox_eth Fox_ip Fox_proto Fox_sched Fun List Option Printf Stack
+lib/fox_stack/network.ml: Cost_model Counters Fox_basis Fox_dev Fox_eth Fox_ip Fox_obs Fox_proto Fox_sched Fun List Option Printf Stack

@@ -156,7 +156,12 @@ module Run (E : ENGINE) = struct
                 done)
           end)
 
-  let transfer ~(sender : Network.host) ~(receiver : Network.host) ~bytes () =
+  (* [?during] forks an observer thread inside the run, handing it a
+     "transfer finished?" predicate — the [foxnet stat] sampler loops on
+     [Scheduler.sleep] until the predicate holds, photographing the live
+     TCBs in virtual time. *)
+  let transfer ?during ~(sender : Network.host) ~(receiver : Network.host)
+      ~bytes () =
     let port = 5001 in
     let server_conn = ref None in
     install_sender sender ~port ~server_conn;
@@ -166,6 +171,10 @@ module Run (E : ENGINE) = struct
     let sched =
       Scheduler.run (fun () ->
           let tcp = E.instance receiver in
+          (match during with
+          | Some observer ->
+            Scheduler.fork (fun () -> observer (fun () -> !received >= bytes))
+          | None -> ());
           let conn =
             E.connect tcp ~peer:sender.Network.addr ~port ~handler:(fun packet ->
                 (* data is discarded at the application level *)

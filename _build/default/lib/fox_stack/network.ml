@@ -11,6 +11,8 @@ module Cpu = Fox_sched.Cpu
 module Device = Fox_dev.Device
 module Link = Fox_dev.Link
 module Netem = Fox_dev.Netem
+module Pcap = Fox_dev.Pcap
+module Bus = Fox_obs.Bus
 module Mac = Fox_eth.Mac
 module Ipv4_addr = Fox_ip.Ipv4_addr
 module Route = Fox_ip.Route
@@ -28,6 +30,7 @@ type host = {
   eth : Stack.Eth.t;
   arp : Stack.Arp.t;
   ip : Stack.Ip.t;
+  probed_ip : Stack.Probed_ip.t;
   metered_ip : Stack.Metered_ip.t;
   udp : Stack.Udp.t;
   icmp : Stack.Icmp.t;
@@ -35,6 +38,9 @@ type host = {
   baseline : Stack.Baseline_tcp.t option;  (** when [engine = Baseline] *)
   counters : Counters.t;
   cpu : Cpu.t;
+  pcap : Pcap.t option;
+      (** capture-on-demand: frames are written only while the
+          {!Fox_obs.Bus} is live *)
 }
 
 let fox_tcp host = Option.get host.tcp
@@ -50,9 +56,12 @@ let charger cpu (cm : Cost_model.t) name component bytes =
 
 let multi chargers bytes = List.iter (fun f -> f bytes) chargers
 
-(** [create_host ~engine ?cost link port_index ~mac ~addr ~route] builds a
-    full stack on port [port_index] of [link]. *)
-let create_host ~engine ?cost link port_index ~mac ~addr ~route =
+(** [create_host ~engine ?cost ?pcap link port_index ~mac ~addr ~route]
+    builds a full stack on port [port_index] of [link].  [pcap] opens a
+    capture file on the device tap; frames are written only while the
+    flight-recorder bus is live, so toggling the bus toggles the capture
+    ([foxnet trace --pcap]).  Close it with {!close_pcap}. *)
+let create_host ~engine ?cost ?pcap link port_index ~mac ~addr ~route =
   let counters = Counters.create ~update_overhead_us:15 () in
   let cpu = Cpu.create counters in
   let dev_hooks, ip_meter, transport_meter =
@@ -98,10 +107,14 @@ let create_host ~engine ?cost link port_index ~mac ~addr ~route =
         } )
   in
   let on_send, on_receive = dev_hooks in
+  let cap = Option.map Pcap.create pcap in
+  let tap =
+    Option.map (fun cap frame -> if !Bus.live then Pcap.tap cap frame) cap
+  in
   let dev =
     Device.create
       ~name:(Printf.sprintf "eth%d" port_index)
-      ?on_send ?on_receive
+      ?on_send ?on_receive ?tap
       (Link.port link port_index)
   in
   let eth = Stack.Eth.create dev ~mac in
@@ -112,7 +125,10 @@ let create_host ~engine ?cost link port_index ~mac ~addr ~route =
       { Stack.Ip.local_ip = addr; route; lower_address = Fun.id;
         lower_pattern = () }
   in
-  let metered_ip = Stack.Metered_ip.create ip transport_meter in
+  let probed_ip =
+    Stack.Probed_ip.create ip ~name:(Printf.sprintf "ip%d" port_index) ()
+  in
+  let metered_ip = Stack.Metered_ip.create probed_ip transport_meter in
   let udp = Stack.Udp.create ip in
   let icmp = Stack.Icmp.create ip in
   let tcp, baseline =
@@ -129,6 +145,7 @@ let create_host ~engine ?cost link port_index ~mac ~addr ~route =
     eth;
     arp;
     ip;
+    probed_ip;
     metered_ip;
     udp;
     icmp;
@@ -136,21 +153,29 @@ let create_host ~engine ?cost link port_index ~mac ~addr ~route =
     baseline;
     counters;
     cpu;
+    pcap = cap;
   }
 
-(** [pair ~engine ?cost ?netem ()] is the paper's testbed: two hosts on an
-    isolated (simulated) 10 Mb/s Ethernet. *)
-let pair ~engine ?cost ?(netem = Netem.ethernet_10mbps) () =
+(** [close_pcap host] flushes and closes the host's capture, if any. *)
+let close_pcap host = Option.iter Pcap.close host.pcap
+
+(** [pair ~engine ?cost ?netem ?pcap_prefix ()] is the paper's testbed:
+    two hosts on an isolated (simulated) 10 Mb/s Ethernet.  [pcap_prefix]
+    opens bus-gated captures [<prefix>-0.pcap] and [<prefix>-1.pcap]. *)
+let pair ~engine ?cost ?(netem = Netem.ethernet_10mbps) ?pcap_prefix () =
   let link = Link.point_to_point netem in
   let route = Route.local ~network:(Ipv4_addr.of_string "10.0.0.0") ~prefix:24 in
+  let pcap i =
+    Option.map (fun p -> Printf.sprintf "%s-%d.pcap" p i) pcap_prefix
+  in
   let a =
-    create_host ~engine ?cost link 0
+    create_host ~engine ?cost ?pcap:(pcap 0) link 0
       ~mac:(Mac.of_string "02:00:00:00:00:01")
       ~addr:(Ipv4_addr.of_string "10.0.0.1")
       ~route
   in
   let b =
-    create_host ~engine ?cost link 1
+    create_host ~engine ?cost ?pcap:(pcap 1) link 1
       ~mac:(Mac.of_string "02:00:00:00:00:02")
       ~addr:(Ipv4_addr.of_string "10.0.0.2")
       ~route

@@ -1,1 +1,1 @@
-lib/fox_tcp/resend.ml: Deq Fox_basis Seq Tcb
+lib/fox_tcp/resend.ml: Deq Fox_basis Fox_obs Printf Seq Tcb

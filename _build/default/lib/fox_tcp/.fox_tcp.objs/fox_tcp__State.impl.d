@@ -1,1 +1,1 @@
-lib/fox_tcp/state.ml: Fox_basis Resend Send Seq Tcb Tcp_header
+lib/fox_tcp/state.ml: Fox_basis Fox_obs Printf Resend Send Seq Tcb Tcp_header

@@ -1,0 +1,1 @@
+lib/fox_tcp/stats.ml: Format Fox_basis Printf Seq Tcb

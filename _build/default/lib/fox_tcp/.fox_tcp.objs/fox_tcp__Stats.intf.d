@@ -1,0 +1,1 @@
+lib/fox_tcp/stats.mli: Format Tcb

@@ -1,1 +1,1 @@
-lib/fox_tcp/tcp.ml: Action Check_hook Format Fox_basis Fox_proto Fox_sched Fun Hashtbl List Option Packet Printf Receive Send Seq State Tcb Tcp_header Trace
+lib/fox_tcp/tcp.ml: Action Buffer Check_hook Effect Format Fox_basis Fox_obs Fox_proto Fox_sched Fun Hashtbl List Option Packet Printf Receive Send Seq State Stats String Tcb Tcp_header Trace

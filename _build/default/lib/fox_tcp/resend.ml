@@ -1,5 +1,14 @@
 open Fox_basis
 open Tcb
+module Bus = Fox_obs.Bus
+
+(* Flight-recorder note, guarded so a disabled bus costs one ref read. *)
+let notef tcb fmt =
+  if !Bus.live then
+    Printf.ksprintf
+      (fun msg -> Bus.emit ~layer:"tcp.resend" ~conn:tcb.obs_id (Bus.Note msg))
+      fmt
+  else Printf.ikfprintf ignore () fmt
 
 let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
 
@@ -20,7 +29,9 @@ let sample (params : params) tcb ~sample_us =
   end;
   tcb.rto_us <-
     clamp params.rto_min_us params.rto_max_us
-      (tcb.srtt_us + max 1 (4 * tcb.rttvar_us))
+      (tcb.srtt_us + max 1 (4 * tcb.rttvar_us));
+  notef tcb "rtt sample=%dus srtt=%dus rttvar=%dus rto=%dus" sample_us
+    tcb.srtt_us tcb.rttvar_us tcb.rto_us
 
 let set_rtx_timer params tcb =
   if not tcb.rtx_timer_on then begin
@@ -124,6 +135,7 @@ let duplicate_ack (params : params) tcb ~now =
         tcb.ssthresh <- max (flight_size tcb / 2) (2 * tcb.snd_mss);
         tcb.cwnd <- tcb.ssthresh
       end;
+      notef tcb "fast retransmit cwnd=%d ssthresh=%d" tcb.cwnd tcb.ssthresh;
       match Deq.peek_front tcb.rtx_q with
       | Some entry -> resend_entry tcb entry
       | None -> ()
@@ -143,6 +155,8 @@ let retransmit (params : params) tcb ~now =
         tcb.cwnd <- tcb.snd_mss
       end;
       tcb.backoff <- min (tcb.backoff + 1) 16;
+      notef tcb "rto expired backoff=%d cwnd=%d ssthresh=%d rto=%dus"
+        tcb.backoff tcb.cwnd tcb.ssthresh (rto params tcb);
       resend_entry tcb entry;
       set_rtx_timer params tcb;
       true

@@ -1,4 +1,5 @@
 open Tcb
+module Bus = Fox_obs.Bus
 
 let queue_rst tcb ~seq ~with_ack =
   add_to_do tcb
@@ -107,6 +108,9 @@ let abort (_params : params) state =
     Closed
 
 let give_up tcb ~reason =
+  if !Bus.live then
+    Bus.emit ~layer:"tcp.state" ~conn:tcb.obs_id
+      (Bus.Note ("give up: " ^ reason));
   add_to_do tcb (User_error reason);
   add_to_do tcb Delete_tcb;
   Closed
@@ -152,6 +156,11 @@ let timer_expired (params : params) state kind ~now =
         give_up tcb ~reason:"keepalive timeout"
       else begin
         tcb.probes_sent <- tcb.probes_sent + 1;
+        if !Bus.live then
+          Bus.emit ~layer:"tcp.state" ~conn:tcb.obs_id
+            (Bus.Note
+               (Printf.sprintf "keepalive probe %d/%d" tcb.probes_sent
+                  params.keepalive_probes));
         add_to_do tcb
           (Send_segment
              {

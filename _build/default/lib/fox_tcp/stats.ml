@@ -1,0 +1,75 @@
+type t = {
+  conn_id : string;
+  state : string;
+  snapshot_at : int;
+  (* send sequence space *)
+  snd_una : int;
+  snd_nxt : int;
+  snd_wnd : int;
+  rcv_nxt : int;
+  rcv_wnd : int;
+  (* congestion control *)
+  cwnd : int;
+  ssthresh : int;
+  dup_acks : int;
+  (* RTT estimation *)
+  srtt_us : int;
+  rttvar_us : int;
+  rto_us : int;
+  backoff : int;
+  (* traffic *)
+  segs_out : int;
+  segs_in : int;
+  bytes_out : int;
+  bytes_in : int;
+  retransmissions : int;
+  fast_path_hits : int;
+  dup_segments : int;
+  ooo_segments : int;
+  (* queues *)
+  queued_bytes : int;
+  rtx_queue_len : int;
+  flight : int;
+}
+
+let of_tcb ~conn_id ~state ~now (tcb : Tcb.tcp_tcb) =
+  {
+    conn_id;
+    state;
+    snapshot_at = now;
+    snd_una = Seq.to_int tcb.Tcb.snd_una;
+    snd_nxt = Seq.to_int tcb.Tcb.snd_nxt;
+    snd_wnd = tcb.Tcb.snd_wnd;
+    rcv_nxt = Seq.to_int tcb.Tcb.rcv_nxt;
+    rcv_wnd = tcb.Tcb.rcv_wnd;
+    cwnd = tcb.Tcb.cwnd;
+    ssthresh = tcb.Tcb.ssthresh;
+    dup_acks = tcb.Tcb.dup_acks;
+    srtt_us = tcb.Tcb.srtt_us;
+    rttvar_us = tcb.Tcb.rttvar_us;
+    rto_us = tcb.Tcb.rto_us;
+    backoff = tcb.Tcb.backoff;
+    segs_out = tcb.Tcb.segs_out;
+    segs_in = tcb.Tcb.segs_in;
+    bytes_out = tcb.Tcb.bytes_out;
+    bytes_in = tcb.Tcb.bytes_in;
+    retransmissions = tcb.Tcb.retransmissions;
+    fast_path_hits = tcb.Tcb.fast_path_hits;
+    dup_segments = tcb.Tcb.dup_segments;
+    ooo_segments = tcb.Tcb.ooo_segments;
+    queued_bytes = tcb.Tcb.queued_bytes;
+    rtx_queue_len = Fox_basis.Deq.size tcb.Tcb.rtx_q;
+    flight = Tcb.flight_size tcb;
+  }
+
+let to_string s =
+  Printf.sprintf
+    "%s %s una=%d nxt=%d flight=%d snd_wnd=%d rcv_wnd=%d cwnd=%d ssthresh=%d \
+     srtt=%dus rto=%dus backoff=%d segs=%d/%d bytes=%d/%d rtx=%d dup_acks=%d \
+     dups=%d ooo=%d fast=%d queued=%dB rtxq=%d"
+    s.conn_id s.state s.snd_una s.snd_nxt s.flight s.snd_wnd s.rcv_wnd s.cwnd
+    s.ssthresh s.srtt_us s.rto_us s.backoff s.segs_out s.segs_in s.bytes_out
+    s.bytes_in s.retransmissions s.dup_acks s.dup_segments s.ooo_segments
+    s.fast_path_hits s.queued_bytes s.rtx_queue_len
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)

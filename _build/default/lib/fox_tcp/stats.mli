@@ -1,0 +1,53 @@
+(** Per-connection statistics snapshots.
+
+    A [Stats.t] is a plain, immutable photograph of one connection's TCB
+    taken between two actions of the [to_do] executor — the same seam
+    {!Check_hook} uses — so every snapshot is internally consistent: no
+    field can change while the record is being built, because nothing
+    happens to a connection except through the queue.
+
+    Snapshots feed [foxnet stat] and the {!Fox_obs.Bus} stats-provider
+    registry; they are also handy in tests as a one-line summary of where
+    a connection ended up. *)
+
+type t = {
+  conn_id : string;  (** ["host:lport>rport"], as in the engine's trace *)
+  state : string;  (** RFC 793 state name *)
+  snapshot_at : int;  (** virtual time of the snapshot *)
+  (* send sequence space *)
+  snd_una : int;
+  snd_nxt : int;
+  snd_wnd : int;
+  rcv_nxt : int;
+  rcv_wnd : int;
+  (* congestion control *)
+  cwnd : int;
+  ssthresh : int;
+  dup_acks : int;
+  (* RTT estimation *)
+  srtt_us : int;  (** -1 until the first sample *)
+  rttvar_us : int;
+  rto_us : int;
+  backoff : int;
+  (* traffic *)
+  segs_out : int;
+  segs_in : int;
+  bytes_out : int;
+  bytes_in : int;
+  retransmissions : int;
+  fast_path_hits : int;
+  dup_segments : int;
+  ooo_segments : int;
+  (* queues *)
+  queued_bytes : int;  (** user data not yet segmentised *)
+  rtx_queue_len : int;
+  flight : int;  (** sequence space sent and unacknowledged *)
+}
+
+(** [of_tcb ~conn_id ~state ~now tcb] photographs [tcb]. *)
+val of_tcb : conn_id:string -> state:string -> now:int -> Tcb.tcp_tcb -> t
+
+(** One-line rendering (the [foxnet stat] format). *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

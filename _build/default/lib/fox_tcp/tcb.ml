@@ -205,6 +205,9 @@ type tcp_tcb = {
   mutable fast_path_hits : int;
   mutable dup_segments : int;
   mutable ooo_segments : int;
+  (* --- observability --- *)
+  mutable obs_id : string;
+      (** flight-recorder connection id (["-"] until installed) *)
 }
 
 (** Connection states (Figure 6's [tcp_state]).  Each synchronised (and
@@ -306,6 +309,7 @@ let create_tcb (params : params) ~iss =
     fast_path_hits = 0;
     dup_segments = 0;
     ooo_segments = 0;
+    obs_id = "-";
   }
 
 (** [create_tcb_with_mss params ~iss ~mss] also fixes both MSS fields

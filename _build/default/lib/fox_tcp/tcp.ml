@@ -26,6 +26,7 @@
 open Fox_basis
 module Protocol = Fox_proto.Protocol
 module Status = Fox_proto.Status
+module Bus = Fox_obs.Bus
 
 (** Static configuration — the functor parameters of Figure 4, plus the
     RFC 1122-era knobs the benchmark harness ablates. *)
@@ -169,6 +170,13 @@ module Make
 
   val conn_stats : connection -> conn_stats
 
+  (** [snapshot conn] photographs the connection's TCB between two
+      executor actions (see {!Stats}). *)
+  val snapshot : connection -> Stats.t
+
+  (** [snapshots t] photographs every live connection, sorted by id. *)
+  val snapshots : t -> Stats.t list
+
   val stats : t -> stats
 
   (** The event trace (empty unless [Params.do_traces]). *)
@@ -285,6 +293,17 @@ end = struct
         fmt
     else Printf.ksprintf ignore fmt
 
+  let now_opt () =
+    try Fox_sched.Scheduler.now () with Effect.Unhandled _ -> 0
+
+  let snapshot conn =
+    Stats.of_tcb ~conn_id:conn.tcb.Tcb.obs_id
+      ~state:(Tcb.state_name conn.state) ~now:(now_opt ()) conn.tcb
+
+  let snapshots t =
+    Hashtbl.fold (fun _ c acc -> snapshot c :: acc) t.conns []
+    |> List.sort (fun a b -> String.compare a.Stats.conn_id b.Stats.conn_id)
+
   (* RFC 793-style clock-driven initial sequence number selection, salted
      per connection so simultaneous opens differ. *)
   let fresh_iss t =
@@ -369,6 +388,53 @@ end = struct
       ~pseudo_for:(pseudo_for conn) ~hdr ~data:None
       ~allocate:(allocate_internal conn) ~send:conn.lower_send ()
 
+  (* ---------------- flight recorder ---------------- *)
+
+  let flags_of (ss : Tcb.send_segment) =
+    let b = Buffer.create 4 in
+    if ss.Tcb.out_syn then Buffer.add_char b 'S';
+    if ss.Tcb.out_fin then Buffer.add_char b 'F';
+    if ss.Tcb.out_rst then Buffer.add_char b 'R';
+    if ss.Tcb.out_psh then Buffer.add_char b 'P';
+    if ss.Tcb.out_ack then Buffer.add_char b 'A';
+    Buffer.contents b
+
+  (* Report one executed action to the bus.  Runs from the drain loop
+     right after [execute] — the same seam as {!Check_hook} — so the
+     event order {e is} the deterministic to_do execution order. *)
+  let observe conn before action =
+    let tcb = conn.tcb in
+    let emit kind = Bus.emit ~layer:"tcp" ~conn:tcb.Tcb.obs_id kind in
+    (match action with
+    | Tcb.Send_segment ss ->
+      let len =
+        match ss.Tcb.out_data with Some p -> Packet.length p | None -> 0
+      in
+      if ss.Tcb.out_is_rtx then
+        emit
+          (Bus.Retransmit
+             { seq = Seq.to_int ss.Tcb.out_seq; len;
+               backoff = tcb.Tcb.backoff })
+      else emit (Bus.Send { bytes = len; flags = flags_of ss })
+    | Tcb.Send_ack -> emit (Bus.Send { bytes = 0; flags = "A" })
+    | Tcb.User_data packet ->
+      emit (Bus.Deliver { bytes = Packet.length packet })
+    | Tcb.Set_timer (kind, us) ->
+      emit (Bus.Timer { timer = Tcb.timer_kind_name kind; what = Bus.Set us })
+    | Tcb.Clear_timer kind ->
+      emit (Bus.Timer { timer = Tcb.timer_kind_name kind; what = Bus.Cleared })
+    | Tcb.Timer_expired kind ->
+      emit (Bus.Timer { timer = Tcb.timer_kind_name kind; what = Bus.Expired })
+    | Tcb.Peer_reset -> emit (Bus.Note "peer reset")
+    | Tcb.User_error msg -> emit (Bus.Note ("error: " ^ msg))
+    | Tcb.Process_data _ | Tcb.Complete_open | Tcb.Complete_close
+    | Tcb.Peer_close | Tcb.Delete_tcb | Tcb.Log _ ->
+      ());
+    let before_name = Tcb.state_name before in
+    let after_name = Tcb.state_name conn.state in
+    if before_name <> after_name then
+      emit (Bus.State { from_ = before_name; to_ = after_name })
+
   (* ---------------- timers (Figure 11 timers per kind) ---------------- *)
 
   let clear_timer conn kind =
@@ -405,7 +471,11 @@ end = struct
       conn.timers <- [];
       Hashtbl.remove conn.tcp.conns
         (key conn.host conn.local_port conn.remote_port);
+      Bus.unregister_stats ~id:conn.tcb.Tcb.obs_id;
       let reason = Option.value conn.close_reason ~default:Status.Closed in
+      if !Bus.live then
+        Bus.emit ~layer:"tcp" ~conn:conn.tcb.Tcb.obs_id
+          (Bus.Note ("deleted: " ^ Status.to_string reason));
       if not conn.open_done then
         Fox_sched.Cond.signal conn.open_mb
           (Error (Status.to_string reason));
@@ -481,22 +551,30 @@ end = struct
             match Tcb.next_to_do conn.tcb with
             | None -> ()
             | Some action ->
-              (match !Check_hook.hook with
-              | None -> execute conn action
-              | Some check ->
+              (* Both observers share the capture-execute-report seam; the
+                 common case (no hook, bus off) pays two ref reads. *)
+              let hook = !Check_hook.hook in
+              let observing = !Bus.live in
+              (match (hook, observing) with
+              | None, false -> execute conn action
+              | _ ->
                 let before = conn.state in
                 execute conn action;
-                check
-                  {
-                    Check_hook.tcb = conn.tcb;
-                    before;
-                    after = conn.state;
-                    action;
-                    pending = Tcb.pending_actions conn.tcb;
-                    armed = List.map fst conn.timers;
-                    now = Fox_sched.Scheduler.now ();
-                    dead = conn.dead;
-                  });
+                if observing then observe conn before action;
+                (match hook with
+                | None -> ()
+                | Some check ->
+                  check
+                    {
+                      Check_hook.tcb = conn.tcb;
+                      before;
+                      after = conn.state;
+                      action;
+                      pending = Tcb.pending_actions conn.tcb;
+                      armed = List.map fst conn.timers;
+                      now = Fox_sched.Scheduler.now ();
+                      dead = conn.dead;
+                    }));
               (* wake senders blocked on the buffer bound *)
               if
                 conn.tcb.Tcb.queued_bytes < Params.send_buffer_bytes
@@ -538,7 +616,14 @@ end = struct
         dead = false;
       }
     in
+    tcb.Tcb.obs_id <-
+      Printf.sprintf "%s:%d>%d" (Aux.to_string host) local_port remote_port;
     Hashtbl.replace t.conns (key host local_port remote_port) conn;
+    Bus.register_stats ~id:tcb.Tcb.obs_id (fun () ->
+        Stats.to_string (snapshot conn));
+    if !Bus.live then
+      Bus.emit ~layer:"tcp" ~conn:tcb.Tcb.obs_id
+        (Bus.State { from_ = "CLOSED"; to_ = Tcb.state_name state });
     let data, status = handler conn in
     conn.data <- data;
     conn.status <- status;

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Fox_obs Fox_sched Fox_stack Fox_tcp Fun List Option String

@@ -508,6 +508,36 @@ let test_counters () =
   Counters.reset c;
   Alcotest.(check int) "reset" 0 (Counters.grand_total c)
 
+(* Nested [time] on one counter: the paper's mechanism reads the hardware
+   counter per start/stop pair (15 µs each, Table 2's "counters (est.)"),
+   but an inner interval lies inside the outer one — charging both would
+   double-count elapsed time. *)
+let test_counters_nested () =
+  let c = Counters.create ~update_overhead_us:15 () in
+  let clock = ref 0 in
+  let tick () =
+    clock := !clock + 5;
+    !clock
+  in
+  let r =
+    Counters.time c "nest" tick (fun () ->
+        1 + Counters.time c "nest" tick (fun () -> 1))
+  in
+  Alcotest.(check int) "result" 2 r;
+  (* only the outermost span charges elapsed time (two clock reads, 5 µs
+     apart — the inner call must not read the clock at all) *)
+  Alcotest.(check int) "charged once" 5 (Counters.total c "nest");
+  (* ... but every start/stop pair records an update *)
+  Alcotest.(check int) "both updates" 2 (Counters.updates c "nest");
+  (* the paper's figure: 15 µs per pair, 2 pairs *)
+  Alcotest.(check int) "overhead estimate" 30 (Counters.overhead_estimate c);
+  (* an exception unwinds the nesting depth *)
+  (try Counters.time c "nest" tick (fun () -> failwith "boom") with _ -> ());
+  Alcotest.(check int) "update recorded on raise" 3 (Counters.updates c "nest");
+  ignore (Counters.time c "nest" tick (fun () -> 0));
+  Alcotest.(check int) "depth recovered, charges resume" 15
+    (Counters.total c "nest")
+
 (* ------------------------------------------------------------------ *)
 (* Rng                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -562,6 +592,62 @@ let test_trace_ring () =
   Alcotest.(check (list string)) "addf"
     [ "c"; "d"; "n=9" ]
     (List.map snd (Trace.events t))
+
+(* Wraparound bookkeeping: [dropped] counts every overflow cumulatively
+   and survives [clear] — clearing a full ring must not hide that it
+   overflowed.  [reset] is the full wipe. *)
+let test_trace_clear_dropped () =
+  let t = Trace.create 2 in
+  Trace.add t ~time:1 "a";
+  Trace.add t ~time:2 "b";
+  Trace.add t ~time:3 "c";
+  Alcotest.(check int) "dropped before clear" 1 (Trace.dropped t);
+  Trace.clear t;
+  Alcotest.(check int) "empty after clear" 0 (Trace.size t);
+  Alcotest.(check (list string)) "no events" [] (List.map snd (Trace.events t));
+  Alcotest.(check int) "dropped survives clear" 1 (Trace.dropped t);
+  Trace.add t ~time:4 "d";
+  Trace.add t ~time:5 "e";
+  Trace.add t ~time:6 "f";
+  Alcotest.(check (list string)) "refills correctly"
+    [ "e"; "f" ]
+    (List.map snd (Trace.events t));
+  Alcotest.(check int) "dropped accumulates" 2 (Trace.dropped t);
+  Trace.reset t;
+  Alcotest.(check int) "reset zeroes dropped" 0 (Trace.dropped t);
+  Alcotest.(check int) "reset empties" 0 (Trace.size t)
+
+(* Level gating: recording below the bar is dropped, and [addf] decides
+   before formatting — the %a printer must never run for a filtered
+   call (argument evaluation is strict, formatting is not). *)
+let test_trace_levels () =
+  let t = Trace.create ~min_level:Trace.Warn 8 in
+  Trace.add ~level:Trace.Debug t ~time:1 "d";
+  Trace.add ~level:Trace.Info t ~time:2 "i";
+  Trace.add ~level:Trace.Warn t ~time:3 "w";
+  Trace.add ~level:Trace.Error t ~time:4 "e";
+  Alcotest.(check (list string)) "kept at or above the bar"
+    [ "w"; "e" ]
+    (List.map snd (Trace.events t));
+  let formatted = ref 0 in
+  let pr () n =
+    incr formatted;
+    string_of_int n
+  in
+  Trace.addf ~level:Trace.Debug t ~time:5 "x=%a" pr 9;
+  Alcotest.(check int) "filtered addf never formats" 0 !formatted;
+  Trace.addf ~level:Trace.Error t ~time:6 "x=%a" pr 9;
+  Alcotest.(check int) "kept addf formats" 1 !formatted;
+  Alcotest.(check (list string)) "formatted event recorded"
+    [ "w"; "e"; "x=9" ]
+    (List.map snd (Trace.events t));
+  Trace.set_enabled t false;
+  Trace.add ~level:Trace.Error t ~time:7 "gone";
+  Alcotest.(check int) "disabled trace records nothing" 3 (Trace.size t);
+  Trace.set_enabled t true;
+  Trace.set_level t Trace.Debug;
+  Trace.add ~level:Trace.Debug t ~time:8 "back";
+  Alcotest.(check int) "re-enabled at debug" 4 (Trace.size t)
 
 let () =
   Alcotest.run "fox_basis"
@@ -633,12 +719,21 @@ let () =
           crc32_streaming;
           crc32_detects_change;
         ] );
-      ("counters", [ Alcotest.test_case "accumulate" `Quick test_counters ]);
+      ( "counters",
+        [
+          Alcotest.test_case "accumulate" `Quick test_counters;
+          Alcotest.test_case "nested spans" `Quick test_counters_nested;
+        ] );
       ( "rng",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           rng_float_range;
           rng_bool_bias;
         ] );
-      ("trace", [ Alcotest.test_case "ring" `Quick test_trace_ring ]);
+      ( "trace",
+        [
+          Alcotest.test_case "ring" `Quick test_trace_ring;
+          Alcotest.test_case "clear vs dropped" `Quick test_trace_clear_dropped;
+          Alcotest.test_case "levels" `Quick test_trace_levels;
+        ] );
     ]

@@ -1,4 +1,10 @@
-type cell = { mutable total : int; mutable updates : int }
+type cell = {
+  mutable total : int;
+  mutable updates : int;
+  (* nesting bookkeeping for [time]: outermost span only charges once *)
+  mutable depth : int;
+  mutable span_start : int;
+}
 
 type t = { cells : (string, cell) Hashtbl.t; update_overhead_us : int }
 
@@ -9,7 +15,7 @@ let cell t name =
   match Hashtbl.find_opt t.cells name with
   | Some c -> c
   | None ->
-    let c = { total = 0; updates = 0 } in
+    let c = { total = 0; updates = 0; depth = 0; span_start = 0 } in
     Hashtbl.add t.cells name c;
     c
 
@@ -18,11 +24,20 @@ let add t name us =
   c.total <- c.total + us;
   c.updates <- c.updates + 1
 
+(* Nested [time] calls on the same counter must not double-charge the
+   elapsed span: the inner call's interval is already inside the outer
+   one, so only the outermost pair records wall time.  Every call still
+   counts one update — each start/stop reads the hardware counter and
+   pays the per-pair overhead, which is exactly what [overhead_estimate]
+   models (the paper's 15 µs). *)
 let time t name clock f =
-  let start = clock () in
-  let result = f () in
-  add t name (clock () - start);
-  result
+  let c = cell t name in
+  if c.depth = 0 then c.span_start <- clock ();
+  c.depth <- c.depth + 1;
+  Fun.protect f ~finally:(fun () ->
+      c.depth <- c.depth - 1;
+      c.updates <- c.updates + 1;
+      if c.depth = 0 then c.total <- c.total + (clock () - c.span_start))
 
 let total t name =
   match Hashtbl.find_opt t.cells name with Some c -> c.total | None -> 0

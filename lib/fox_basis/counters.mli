@@ -18,8 +18,12 @@ val create : ?update_overhead_us:int -> unit -> t
     one update. *)
 val add : t -> string -> int -> unit
 
-(** [time t name clock f] runs [f ()], charging [clock () - clock ()]
-    around it to [name]. *)
+(** [time t name clock f] runs [f ()], charging the elapsed clock span to
+    [name].  Nested calls on the same counter are self-consistent: only
+    the outermost span charges elapsed time (an inner interval already
+    lies inside the outer one), while {e every} call records one update —
+    each start/stop pair reads the counter and pays the per-pair overhead
+    that {!overhead_estimate} models. *)
 val time : t -> string -> (unit -> int) -> (unit -> 'a) -> 'a
 
 (** [total t name] is the accumulated microseconds for [name] (0 if the

@@ -1,25 +1,57 @@
+type level = Debug | Info | Warn | Error
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
 type t = {
   capacity : int;
   mutable items : (int * string) array;
   mutable head : int; (* index of oldest *)
   mutable len : int;
   mutable dropped : int;
+  mutable enabled : bool;
+  mutable min_level : level;
 }
 
-let create capacity =
+let create ?(enabled = true) ?(min_level = Debug) capacity =
   if capacity <= 0 then invalid_arg "Trace.create";
-  { capacity; items = Array.make capacity (0, ""); head = 0; len = 0; dropped = 0 }
+  { capacity; items = Array.make capacity (0, ""); head = 0; len = 0;
+    dropped = 0; enabled; min_level }
 
-let add t ~time msg =
-  let slot = (t.head + t.len) mod t.capacity in
-  t.items.(slot) <- (time, msg);
-  if t.len < t.capacity then t.len <- t.len + 1
-  else begin
-    t.head <- (t.head + 1) mod t.capacity;
-    t.dropped <- t.dropped + 1
+let set_enabled t on = t.enabled <- on
+
+let enabled t = t.enabled
+
+let set_level t level = t.min_level <- level
+
+let level t = t.min_level
+
+(* The cheap gate: every recording path asks this first, so a disabled
+   trace never formats or stores anything. *)
+let keeps t lvl = t.enabled && severity lvl >= severity t.min_level
+
+let add ?(level = Info) t ~time msg =
+  if keeps t level then begin
+    let slot = (t.head + t.len) mod t.capacity in
+    t.items.(slot) <- (time, msg);
+    if t.len < t.capacity then t.len <- t.len + 1
+    else begin
+      t.head <- (t.head + 1) mod t.capacity;
+      t.dropped <- t.dropped + 1
+    end
   end
 
-let addf t ~time fmt = Printf.ksprintf (fun msg -> add t ~time msg) fmt
+(* The whole point of the gate: decide *before* Printf builds the string.
+   [ikfprintf] consumes the format arguments without formatting, so a
+   filtered [addf] costs the level check and nothing else. *)
+let addf ?(level = Info) t ~time fmt =
+  if keeps t level then Printf.ksprintf (fun msg -> add ~level t ~time msg) fmt
+  else Printf.ikfprintf ignore () fmt
 
 let events t =
   List.init t.len (fun i -> t.items.((t.head + i) mod t.capacity))
@@ -28,9 +60,16 @@ let size t = t.len
 
 let dropped t = t.dropped
 
+(* [clear] forgets the retained events but *not* the drop count: the
+   counter is cumulative evidence of capacity pressure, and zeroing it
+   whenever someone clears a full ring silently hid every earlier
+   overflow.  [reset] is the full wipe. *)
 let clear t =
   t.head <- 0;
-  t.len <- 0;
+  t.len <- 0
+
+let reset t =
+  clear t;
   t.dropped <- 0
 
 let to_string t =

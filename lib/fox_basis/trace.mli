@@ -3,18 +3,42 @@
     The paper's debugging relied on [do_prints] / [do_traces] functor
     parameters; enabling them records protocol events that component tests
     and post-mortems can inspect without any I/O on the fast path.  A trace
-    is a bounded ring: when full, the oldest events are dropped. *)
+    is a bounded ring: when full, the oldest events are dropped.
+
+    Each trace carries an enabled flag and a minimum {!level}; recording
+    below the bar costs one check — in particular {!addf} decides {e
+    before} formatting, so a filtered call never allocates its message. *)
 
 type t
 
-(** [create capacity] is an empty trace holding at most [capacity] events. *)
-val create : int -> t
+type level = Debug | Info | Warn | Error
 
-(** [add t ~time msg] records an event stamped with the caller's clock. *)
-val add : t -> time:int -> string -> unit
+val level_name : level -> string
 
-(** [addf t ~time fmt ...] is [add] with a format string. *)
-val addf : t -> time:int -> ('a, unit, string, unit) format4 -> 'a
+(** [create ?enabled ?min_level capacity] is an empty trace holding at most
+    [capacity] events (enabled at [Debug] by default, preserving the
+    record-everything behaviour). *)
+val create : ?enabled:bool -> ?min_level:level -> int -> t
+
+val set_enabled : t -> bool -> unit
+
+val enabled : t -> bool
+
+val set_level : t -> level -> unit
+
+val level : t -> level
+
+(** [keeps t lvl] is whether an event at [lvl] would be recorded now. *)
+val keeps : t -> level -> bool
+
+(** [add ?level t ~time msg] records an event stamped with the caller's
+    clock ([level] defaults to [Info]); dropped silently when below the
+    trace's bar. *)
+val add : ?level:level -> t -> time:int -> string -> unit
+
+(** [addf ?level t ~time fmt ...] is [add] with a format string.  The
+    level check happens first: a filtered call does not format. *)
+val addf : ?level:level -> t -> time:int -> ('a, unit, string, unit) format4 -> 'a
 
 (** [events t] lists [(time, message)] oldest first. *)
 val events : t -> (int * string) list
@@ -22,11 +46,16 @@ val events : t -> (int * string) list
 (** [size t] is the number of retained events. *)
 val size : t -> int
 
-(** [dropped t] is the number of events lost to capacity. *)
+(** [dropped t] is the cumulative number of events lost to capacity.  It
+    survives {!clear} — clearing a full ring must not hide that it
+    overflowed — and is zeroed only by {!reset}. *)
 val dropped : t -> int
 
-(** [clear t] forgets everything. *)
+(** [clear t] forgets the retained events, keeping the drop count. *)
 val clear : t -> unit
+
+(** [reset t] is [clear] plus zeroing {!dropped}. *)
+val reset : t -> unit
 
 (** [to_string t] renders one event per line. *)
 val to_string : t -> string

@@ -1,0 +1,206 @@
+(** A virtual protocol: flight-recorder probe.
+
+    Generalises {!Meter}: where a meter invokes opaque callbacks, a probe
+    reports to the process-wide {!Fox_obs.Bus} — a [Send]/[Deliver] event
+    per packet plus a [Span] measuring how long the layer below took (in
+    virtual time, so a cost-modelled run shows real per-layer latency) —
+    and feeds three {!Fox_obs.Histogram}s (send sizes, delivery sizes,
+    downward-call latency), registered on the bus under
+    ["<name>.send_bytes"], ["<name>.recv_bytes"], ["<name>.send_span_us"].
+
+    Like every virtual protocol it pushes no header and preserves the
+    address types, so it can be slipped between any two layers of a
+    composition:
+
+    {[
+      module Probed_ip = Probe.Make (Ip)
+      module Tcp = Tcp.Make (Probed_ip) (Probed_ip.Lift_aux (Ip_aux)) (...)
+    ]}
+
+    {b Cost.}  Every emission site is guarded by the bus's one-flag check,
+    so a probe in a production composition costs one reference read and a
+    branch per packet while the bus is off. *)
+
+open Fox_basis
+module Bus = Fox_obs.Bus
+module Histogram = Fox_obs.Histogram
+
+module Make
+    (P : Protocol.PROTOCOL
+           with type incoming_message = Packet.t
+            and type outgoing_message = Packet.t) : sig
+  include
+    Protocol.PROTOCOL
+      with type address = P.address
+       and type address_pattern = P.address_pattern
+       and type incoming_message = Packet.t
+       and type outgoing_message = Packet.t
+
+  (** [create inner ~name ()] wraps [inner]; [name] is the bus layer tag.
+      The three histograms are created fresh and registered with the
+      bus. *)
+  val create : P.t -> name:string -> unit -> t
+
+  (** The wrapped connection, for auxiliary structures. *)
+  val inner : connection -> P.connection
+
+  val send_hist : t -> Histogram.t
+
+  val recv_hist : t -> Histogram.t
+
+  val span_hist : t -> Histogram.t
+
+  (** Lift an [IP_AUX] structure over [P] to one over the probed
+      protocol. *)
+  module Lift_aux
+      (Aux : Protocol.IP_AUX
+               with type lower_connection = P.connection
+                and type lower_address = P.address
+                and type lower_pattern = P.address_pattern) :
+    Protocol.IP_AUX
+      with type host = Aux.host
+       and type lower_address = address
+       and type lower_pattern = address_pattern
+       and type lower_connection = connection
+end = struct
+  include Common
+
+  type address = P.address
+
+  type address_pattern = P.address_pattern
+
+  type incoming_message = Packet.t
+
+  type outgoing_message = Packet.t
+
+  type data_handler = incoming_message -> unit
+
+  type status_handler = Status.t -> unit
+
+  type t = {
+    inner_instance : P.t;
+    name : string;
+    send_hist : Histogram.t;
+    recv_hist : Histogram.t;
+    span_hist : Histogram.t;
+  }
+
+  type connection = { probe : t; pconn : P.connection }
+
+  type listener = P.listener
+
+  type handler = connection -> data_handler * status_handler
+
+  let inner conn = conn.pconn
+
+  let create inner_instance ~name () =
+    let send_hist = Histogram.create ~name:(name ^ ".send_bytes") () in
+    let recv_hist = Histogram.create ~name:(name ^ ".recv_bytes") () in
+    let span_hist = Histogram.create ~name:(name ^ ".send_span_us") () in
+    Bus.register_histogram (Histogram.name send_hist) send_hist;
+    Bus.register_histogram (Histogram.name recv_hist) recv_hist;
+    Bus.register_histogram (Histogram.name span_hist) span_hist;
+    { inner_instance; name; send_hist; recv_hist; span_hist }
+
+  let send_hist t = t.send_hist
+
+  let recv_hist t = t.recv_hist
+
+  let span_hist t = t.span_hist
+
+  let now_opt () =
+    try Fox_sched.Scheduler.now () with Effect.Unhandled _ -> 0
+
+  let observe_receive t packet =
+    let bytes = Packet.length packet in
+    Histogram.add t.recv_hist bytes;
+    Bus.emit ~layer:t.name (Bus.Deliver { bytes })
+
+  (* The late send stage shared by [send] and [prepare_send]: emit, time
+     the layer below, emit the span. *)
+  let observed_send t inner_send packet =
+    let bytes = Packet.length packet in
+    Histogram.add t.send_hist bytes;
+    Bus.emit ~layer:t.name (Bus.Send { bytes; flags = "" });
+    let t0 = now_opt () in
+    inner_send packet;
+    let dur = now_opt () - t0 in
+    Histogram.add t.span_hist dur;
+    Bus.emit ~layer:t.name (Bus.Span { name = "send"; dur_us = dur; bytes })
+
+  let wrap_handler t (handler : handler) =
+    fun pconn ->
+    let conn = { probe = t; pconn } in
+    let data, status = handler conn in
+    ( (fun packet ->
+        if !Bus.live then observe_receive t packet;
+        data packet),
+      status )
+
+  let connect t address handler =
+    let pconn = P.connect t.inner_instance address (wrap_handler t handler) in
+    { probe = t; pconn }
+
+  let start_passive t pattern handler =
+    P.start_passive t.inner_instance pattern (wrap_handler t handler)
+
+  let stop_passive l = P.stop_passive l
+
+  let send conn packet =
+    if !Bus.live then
+      observed_send conn.probe (P.send conn.pconn) packet
+    else P.send conn.pconn packet
+
+  let prepare_send conn =
+    let inner_send = P.prepare_send conn.pconn in
+    let t = conn.probe in
+    fun packet ->
+      if !Bus.live then observed_send t inner_send packet
+      else inner_send packet
+
+  let close conn = P.close conn.pconn
+
+  let abort conn = P.abort conn.pconn
+
+  let initialize t = P.initialize t.inner_instance
+
+  let finalize t = P.finalize t.inner_instance
+
+  let allocate_send conn len = P.allocate_send conn.pconn len
+
+  let max_packet_size conn = P.max_packet_size conn.pconn
+
+  let headroom conn = P.headroom conn.pconn
+
+  let tailroom conn = P.tailroom conn.pconn
+
+  let pp_address = P.pp_address
+
+  module Lift_aux
+      (Aux : Protocol.IP_AUX with type lower_connection = P.connection) =
+  struct
+    type host = Aux.host
+
+    type lower_address = Aux.lower_address
+
+    type lower_pattern = Aux.lower_pattern
+
+    type lower_connection = connection
+
+    let hash = Aux.hash
+
+    let equal = Aux.equal
+
+    let to_string = Aux.to_string
+
+    let lower_address = Aux.lower_address
+
+    let default_pattern = Aux.default_pattern
+
+    let source conn = Aux.source conn.pconn
+
+    let pseudo conn ~proto ~len = Aux.pseudo conn.pconn ~proto ~len
+
+    let mtu conn = Aux.mtu conn.pconn
+  end
+end

@@ -617,6 +617,76 @@ let test_reass_duplicate_fragment_counted () =
     Alcotest.(check int) "one datagram done" 1 s.Fox_ip.Reass.completed
   | None -> Alcotest.fail "no stats"
 
+(* Overlap policy matrix: keep-first per octet.  A partial overlap is
+   trimmed to its fresh bytes (counted as overlapping), while an arrival
+   contributing no new octet — exact resend or fully contained — is a
+   duplicate.  Either way the datagram must still complete, with the
+   first-arrived copy winning every contested octet. *)
+let test_reass_overlap_trimmed () =
+  let module Reass = Fox_ip.Reass in
+  let result = ref None in
+  let stats = ref None in
+  let _ =
+    Scheduler.run (fun () ->
+        let t = Reass.create () in
+        let offer ~offset ~more s =
+          Reass.offer t (reass_key 4) ~offset ~more (Packet.of_string s)
+        in
+        ignore (offer ~offset:0 ~more:true "AAAAAAAA");
+        ignore (offer ~offset:0 ~more:true "AAAAAAAA") (* exact resend *);
+        ignore (offer ~offset:2 ~more:true "zzzz") (* fully contained *);
+        (* 4..12 collides with held 4..8: only 8..12 is fresh *)
+        ignore (offer ~offset:4 ~more:true "bbbbbbbb");
+        result := offer ~offset:12 ~more:false "CCCC";
+        stats := Some (Reass.stats t))
+  in
+  (match !result with
+  | Some whole ->
+    Alcotest.(check string) "first copy wins contested octets"
+      "AAAAAAAAbbbbCCCC" (Packet.to_string whole)
+  | None -> Alcotest.fail "did not complete");
+  match !stats with
+  | Some s ->
+    Alcotest.(check int) "duplicates" 2 s.Fox_ip.Reass.duplicate_fragments;
+    Alcotest.(check int) "overlaps trimmed" 1
+      s.Fox_ip.Reass.overlapping_fragments;
+    Alcotest.(check int) "completed" 1 s.Fox_ip.Reass.completed;
+    Alcotest.(check int) "table emptied" 0 s.Fox_ip.Reass.active
+  | None -> Alcotest.fail "no stats"
+
+(* A fragment spanning several held fragments fills exactly the holes
+   between them — and since the tail arrived first, that trimmed arrival
+   is also the one that completes the datagram. *)
+let test_reass_overlap_spanning () =
+  let module Reass = Fox_ip.Reass in
+  let result = ref None in
+  let stats = ref None in
+  let _ =
+    Scheduler.run (fun () ->
+        let t = Reass.create () in
+        let offer ~offset ~more s =
+          Reass.offer t (reass_key 5) ~offset ~more (Packet.of_string s)
+        in
+        ignore (offer ~offset:8 ~more:false "TTTT") (* tail first *);
+        ignore (offer ~offset:0 ~more:true "AA");
+        ignore (offer ~offset:4 ~more:true "CC");
+        (* 0..8 over held 0..2 and 4..6: contributes 2..4 and 6..8 *)
+        result := offer ~offset:0 ~more:true "xxxxxxxx";
+        stats := Some (Reass.stats t))
+  in
+  (match !result with
+  | Some whole ->
+    Alcotest.(check string) "holes filled, held bytes kept" "AAxxCCxxTTTT"
+      (Packet.to_string whole)
+  | None -> Alcotest.fail "did not complete");
+  match !stats with
+  | Some s ->
+    Alcotest.(check int) "one trimmed arrival" 1
+      s.Fox_ip.Reass.overlapping_fragments;
+    Alcotest.(check int) "no duplicates" 0 s.Fox_ip.Reass.duplicate_fragments;
+    Alcotest.(check int) "completed" 1 s.Fox_ip.Reass.completed
+  | None -> Alcotest.fail "no stats"
+
 let test_reass_interleaved_datagrams () =
   let module Reass = Fox_ip.Reass in
   let got = ref [] in
@@ -888,6 +958,9 @@ let () =
             test_reass_out_of_order_completion;
           Alcotest.test_case "duplicates" `Quick
             test_reass_duplicate_fragment_counted;
+          Alcotest.test_case "overlap trimmed" `Quick test_reass_overlap_trimmed;
+          Alcotest.test_case "overlap spanning" `Quick
+            test_reass_overlap_spanning;
           Alcotest.test_case "interleaved" `Quick test_reass_interleaved_datagrams;
           reass_random_order;
         ] );
