@@ -24,7 +24,7 @@ let netem_of loss seed =
 
 (* ---------------- transfer ---------------- *)
 
-let transfer bytes loss seed decstation baseline =
+let transfer bytes loss seed decstation baseline offload pool =
   let engine = if baseline then Network.Baseline else Network.Fox in
   let cost =
     if decstation then
@@ -34,11 +34,23 @@ let transfer bytes loss seed decstation baseline =
   let _, sender, receiver =
     Network.pair ~engine ?cost ~netem:(netem_of loss seed) ()
   in
+  let module Packet = Fox_basis.Packet in
+  Packet.offload_enabled := offload;
+  Packet.pool_enabled := pool;
   let result =
-    if baseline then
-      Experiments.Baseline_run.transfer ~sender ~receiver ~bytes ()
-    else Experiments.Fox_run.transfer ~sender ~receiver ~bytes ()
+    Fun.protect
+      ~finally:(fun () ->
+        Packet.offload_enabled := false;
+        Packet.pool_enabled := false)
+      (fun () ->
+        if baseline then
+          Experiments.Baseline_run.transfer ~sender ~receiver ~bytes ()
+        else Experiments.Fox_run.transfer ~sender ~receiver ~bytes ())
   in
+  if pool then begin
+    print_endline (Packet.pool_stats ());
+    Packet.pool_reset ()
+  end;
   let open Experiments in
   Printf.printf "%d bytes in %.3f s (virtual) = %.3f Mb/s; %d segments, %d rtx\n"
     result.bytes
@@ -237,10 +249,28 @@ let count = Arg.(value & opt int 5 & info [ "count"; "c" ] ~doc:"Pings.")
 
 let size = Arg.(value & opt int 56 & info [ "size"; "s" ] ~doc:"Payload bytes.")
 
+let offload =
+  Arg.(
+    value & flag
+    & info [ "offload" ]
+        ~doc:
+          "Defer TCP checksums to the fused copy-and-checksum pass (the \
+           zero-copy fast path's transmit side).")
+
+let pool =
+  Arg.(
+    value & flag
+    & info [ "pool" ]
+        ~doc:
+          "Recycle packet buffers through the size-classed pool; prints \
+           pool statistics after the run.")
+
 let transfer_cmd =
   Cmd.v
     (Cmd.info "transfer" ~doc:"One-way TCP throughput run")
-    Term.(const transfer $ bytes $ loss $ seed $ decstation $ baseline)
+    Term.(
+      const transfer $ bytes $ loss $ seed $ decstation $ baseline $ offload
+      $ pool)
 
 let ping_cmd =
   Cmd.v

@@ -263,7 +263,10 @@ end = struct
       else None
     in
     (* x-kernel-style basic checksum.  A lower-layer refusal is treated
-       like a lost packet: the retransmit timer recovers. *)
+       like a lost packet: the retransmit timer recovers.  [externalize]
+       consumes one reference to the text; the unacked queue keeps its
+       own, so retransmits still see the bytes. *)
+    (match data with Some d -> Packet.retain d | None -> ());
     try
       Fox_tcp.Action.externalize ~alg:`Basic ~pseudo_for ~hdr ~data
         ~allocate:(fun len ->

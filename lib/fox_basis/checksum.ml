@@ -81,9 +81,12 @@ let sum_range alg b off len init =
    stream as if it started a fresh word and swap the result back. *)
 let swap16 v = (v lsr 8 lor (v lsl 8)) land 0xFFFF
 
+let bytes_summed = ref 0
+
 let add_bytes ?(alg = `Optimized) acc b off len =
   if len < 0 || off < 0 || off + len > Bytes.length b then
     invalid_arg "Checksum.add_bytes";
+  bytes_summed := !bytes_summed + len;
   if len = 0 then acc
   else if not acc.odd then
     { sum = sum_range alg b off len acc.sum; odd = len land 1 = 1 }

@@ -23,6 +23,17 @@ type acc
 (** The empty accumulator (even parity, zero sum). *)
 val zero : acc
 
+(** [fold16 s] folds an un-normalised one's-complement sum down to 16 bits
+    by repeatedly adding the carry back in.  Exposed so fused copy/checksum
+    code and incremental-update arithmetic can share the exact fold the
+    accumulator uses. *)
+val fold16 : int -> int
+
+(** Total bytes pushed through [add_bytes] since program start — a
+    data-touching meter for the fast-path ablation (how many payload bytes
+    the standalone checksum traverses). *)
+val bytes_summed : int ref
+
 (** [add_bytes ~alg acc b off len] accumulates the range [b.[off..off+len-1]]
     interpreted as big-endian 16-bit words continuing the stream in [acc]. *)
 val add_bytes : ?alg:alg -> acc -> Bytes.t -> int -> int -> acc

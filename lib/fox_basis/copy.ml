@@ -35,6 +35,43 @@ let word_copy src soff dst doff len =
 
 let blit src soff dst doff len = Bytes.blit src soff dst doff len
 
+let bytes_fused = ref 0
+
+(* Fused copy-and-checksum: one pass over the source copies it into the
+   destination while accumulating the one's-complement sum of the bytes,
+   interpreted as big-endian 16-bit words at even parity (the Figure-10
+   accumulation: 32-bit loads, high+low halves added, carries left to pile
+   up above bit 15).  A 63-bit accumulator absorbs ~2^45 bytes of carries,
+   far beyond any packet, so no mid-loop renormalisation is needed.
+   Returns the folded 16-bit sum continuing [init]. *)
+let blit_checksum src soff dst doff len ~init =
+  if len < 0 || soff < 0 || doff < 0
+     || soff + len > Bytes.length src
+     || doff + len > Bytes.length dst
+  then invalid_arg "Copy.blit_checksum";
+  bytes_fused := !bytes_fused + len;
+  let sum = ref init in
+  let i = ref 0 in
+  let stop = len - 3 in
+  while !i < stop do
+    let w = Wire.get_u32 src (soff + !i) in
+    Wire.set_u32 dst (doff + !i) w;
+    sum := !sum + (w lsr 16) + (w land 0xFFFF);
+    i := !i + 4
+  done;
+  if len - !i >= 2 then begin
+    let w = Wire.get_u16 src (soff + !i) in
+    Wire.set_u16 dst (doff + !i) w;
+    sum := !sum + w;
+    i := !i + 2
+  end;
+  if !i < len then begin
+    let b = Wire.get_u8 src (soff + !i) in
+    Wire.set_u8 dst (doff + !i) b;
+    sum := !sum + (b lsl 8)
+  end;
+  Checksum.fold16 !sum
+
 let copy = function
   | Byte -> byte_copy
   | Unrolled -> unrolled_copy

@@ -26,5 +26,20 @@ val unrolled_copy : Bytes.t -> int -> Bytes.t -> int -> int -> unit
 val word_copy : Bytes.t -> int -> Bytes.t -> int -> int -> unit
 val blit : Bytes.t -> int -> Bytes.t -> int -> int -> unit
 
+(** [blit_checksum src soff dst doff len ~init] copies [len] bytes and, in
+    the same pass, accumulates their one's-complement sum (big-endian
+    16-bit words at even parity, an odd final byte padded with a zero low
+    half) continuing the folded partial sum [init].  Returns the folded
+    16-bit result.  This is the paper's "touch the data once" fusion: a
+    segment that must be both copied across a buffer boundary and
+    checksummed pays one traversal instead of two.  Ranges must not
+    overlap. *)
+val blit_checksum :
+  Bytes.t -> int -> Bytes.t -> int -> int -> init:int -> int
+
+(** Total bytes pushed through [blit_checksum] since program start (the
+    fused-traversal meter for the fast-path ablation). *)
+val bytes_fused : int ref
+
 (** All implementations, with display names, for benches and tests. *)
 val all : (string * impl) list

@@ -1,21 +1,155 @@
-type t = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
+(* Checksum-offload state carried by a packet.
+
+   - [Tx_defer]: the TCP encoder left its checksum field zero and recorded
+     where the field lives, where its coverage starts, and the folded
+     pseudo-header sum.  The link-layer fused copy computes the coverage sum
+     while copying and patches the field in the copy (the software analogue
+     of NIC transmit offload); [finalize_tx_csum] patches in place for paths
+     that bypass the link copy (loopback fork, fragmentation, FCS, TAP).
+   - [Rx_sum]: a fused copy recorded the folded one's-complement sum over
+     the whole range it copied; the TCP decoder derives its window's sum by
+     subtracting the short header prefix (and any trailer suffix) instead of
+     re-traversing the payload.
+
+   Offsets are absolute buffer positions so pushes/pulls of the window do
+   not disturb them; a reallocating [push_header] shifts them by the blit
+   delta. *)
+type csum =
+  | No_csum
+  | Tx_defer of { mutable d_at : int; mutable d_start : int; d_init : int }
+  | Rx_sum of { mutable m_start : int; m_len : int; m_sum : int }
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable off : int;
+  mutable len : int;
+  mutable csum : csum;
+  mutable refs : int;
+}
+
+let offload_enabled = ref false
+
+let pool_enabled = ref false
 
 let reallocation_count = ref 0
 
 let reallocations () = !reallocation_count
 
+let bytes_copied = ref 0
+
+(* ---- Size-classed buffer pool ------------------------------------- *)
+
+let classes = 12 (* 64 B .. 128 KiB *)
+
+let class_size c = 64 lsl c
+
+let max_pooled = class_size (classes - 1)
+
+let class_cap = 256 (* buffers kept per class *)
+
+let free : Bytes.t list array = Array.make classes []
+
+let free_count = Array.make classes 0
+
+let pool_hits = ref 0
+
+let pool_misses = ref 0
+
+let pool_recycled = ref 0
+
+let pool_dropped = ref 0
+
+let class_for_total total =
+  if total > max_pooled then None
+  else begin
+    let c = ref 0 in
+    while class_size !c < total do
+      incr c
+    done;
+    Some !c
+  end
+
+(* Recycle only buffers whose size is exactly a class size, so buffers
+   that were reallocated (or restored to a foreign snapshot) simply fall
+   out of the pool instead of poisoning a class. *)
+let class_of_exact size =
+  match class_for_total size with
+  | Some c when class_size c = size -> Some c
+  | _ -> None
+
+let alloc_buf total =
+  if not !pool_enabled then Bytes.make total '\000'
+  else
+    match class_for_total total with
+    | None ->
+      incr pool_misses;
+      Bytes.make total '\000'
+    | Some c -> (
+      match free.(c) with
+      | b :: rest ->
+        free.(c) <- rest;
+        free_count.(c) <- free_count.(c) - 1;
+        incr pool_hits;
+        (* preserve the [create]-zero-fills contract for reused buffers *)
+        Bytes.fill b 0 (Bytes.length b) '\000';
+        b
+      | [] ->
+        incr pool_misses;
+        Bytes.make (class_size c) '\000')
+
+let retain p = p.refs <- p.refs + 1
+
+let release p =
+  (* Idempotent once the count reaches zero: a second release of the same
+     packet (e.g. from a differential shadow replay) is a no-op. *)
+  if p.refs > 0 then begin
+    p.refs <- p.refs - 1;
+    if p.refs = 0 && !pool_enabled then begin
+      match class_of_exact (Bytes.length p.buf) with
+      | Some c when free_count.(c) < class_cap ->
+        free.(c) <- p.buf :: free.(c);
+        free_count.(c) <- free_count.(c) + 1;
+        incr pool_recycled
+      | Some _ -> incr pool_dropped
+      | None -> ()
+    end
+  end
+
+let pool_reset () =
+  Array.fill free 0 classes [];
+  Array.fill free_count 0 classes 0;
+  pool_hits := 0;
+  pool_misses := 0;
+  pool_recycled := 0;
+  pool_dropped := 0
+
+let pool_stats () =
+  Printf.sprintf "hits=%d misses=%d recycled=%d dropped=%d free=%d"
+    !pool_hits !pool_misses !pool_recycled !pool_dropped
+    (Array.fold_left ( + ) 0 free_count)
+
+(* ---- Construction ------------------------------------------------- *)
+
 let create ?(headroom = 0) ?(tailroom = 0) len =
   if len < 0 || headroom < 0 || tailroom < 0 then invalid_arg "Packet.create";
-  { buf = Bytes.make (headroom + len + tailroom) '\000'; off = headroom; len }
+  {
+    buf = alloc_buf (headroom + len + tailroom);
+    off = headroom;
+    len;
+    csum = No_csum;
+    refs = 1;
+  }
 
 let of_string ?headroom ?tailroom s =
   let p = create ?headroom ?tailroom (String.length s) in
   Bytes.blit_string s 0 p.buf p.off (String.length s);
+  bytes_copied := !bytes_copied + String.length s;
   p
 
 let of_bytes ?headroom ?tailroom b =
   let p = create ?headroom ?tailroom (Bytes.length b) in
   Bytes.blit b 0 p.buf p.off (Bytes.length b);
+  bytes_copied := !bytes_copied + Bytes.length b;
   p
 
 let length p = p.len
@@ -33,9 +167,16 @@ let push_header p n =
     incr reallocation_count;
     let extra = n - p.off in
     let nbuf = Bytes.make (Bytes.length p.buf + extra) '\000' in
-    Bytes.blit p.buf p.off nbuf n (p.len);
+    Bytes.blit p.buf p.off nbuf n p.len;
     p.buf <- nbuf;
-    p.off <- 0
+    p.off <- 0;
+    (* every byte moved from absolute x to x + extra *)
+    (match p.csum with
+    | No_csum -> ()
+    | Tx_defer d ->
+      d.d_at <- d.d_at + extra;
+      d.d_start <- d.d_start + extra
+    | Rx_sum m -> m.m_start <- m.m_start + extra)
   end;
   p.len <- p.len + n
 
@@ -67,14 +208,112 @@ let sub ?(headroom = 0) p off len =
   if off < 0 || len < 0 || off + len > p.len then invalid_arg "Packet.sub";
   let q = create ~headroom len in
   Bytes.blit p.buf (p.off + off) q.buf q.off len;
+  bytes_copied := !bytes_copied + len;
   q
 
 let copy p = sub ~headroom:p.off p 0 p.len
+
+(* A window copy that also settles checksum-offload state: a deferred TX
+   checksum is computed from the fused sum and patched into the copy (the
+   source keeps its defer — retransmissions re-encode); when offload is on,
+   the folded sum of the copied bytes is recorded on the copy so the
+   receiver's TCP decode can reuse it. *)
+let copy_fused p =
+  match p.csum with
+  | Tx_defer { d_at; d_start; d_init } ->
+    let q = create ~headroom:p.off p.len in
+    let len1 = d_start - p.off in
+    let s1 =
+      if len1 > 0 then Copy.blit_checksum p.buf p.off q.buf q.off len1 ~init:0
+      else 0
+    in
+    let s2 =
+      Copy.blit_checksum p.buf d_start q.buf (q.off + len1) (p.len - len1)
+        ~init:0
+    in
+    let field = lnot (Checksum.fold16 (d_init + s2)) land 0xFFFF in
+    Wire.set_u16 q.buf (q.off + (d_at - p.off)) field;
+    (* the patched field replaced a zero word at even word offset, so the
+       copy's sum is s1 + s2 + field; only record the memo when the second
+       span starts at even stream parity *)
+    if !offload_enabled && len1 land 1 = 0 then
+      q.csum <-
+        Rx_sum
+          {
+            m_start = q.off;
+            m_len = p.len;
+            m_sum = Checksum.fold16 (s1 + s2 + field);
+          };
+    q
+  | No_csum | Rx_sum _ ->
+    if !offload_enabled then begin
+      let q = create ~headroom:p.off p.len in
+      let s = Copy.blit_checksum p.buf p.off q.buf q.off p.len ~init:0 in
+      q.csum <- Rx_sum { m_start = q.off; m_len = p.len; m_sum = s };
+      q
+    end
+    else copy p
+
+let request_tx_csum p ~at ~init =
+  if at < 0 || at + 2 > p.len then invalid_arg "Packet.request_tx_csum";
+  p.csum <- Tx_defer { d_at = p.off + at; d_start = p.off; d_init = init }
+
+let finalize_tx_csum p =
+  match p.csum with
+  | Tx_defer { d_at; d_start; d_init } ->
+    let cover = p.off + p.len - d_start in
+    let s =
+      Checksum.finish (Checksum.add_bytes Checksum.zero p.buf d_start cover)
+    in
+    Wire.set_u16 p.buf d_at (lnot (Checksum.fold16 (d_init + s)) land 0xFFFF);
+    p.csum <- No_csum
+  | No_csum | Rx_sum _ -> ()
+
+let cached_window_sum p =
+  match p.csum with
+  | Rx_sum { m_start; m_len; m_sum }
+    when p.off >= m_start && p.off + p.len <= m_start + m_len ->
+    let pre_len = p.off - m_start in
+    if pre_len land 1 <> 0 then None
+    else begin
+      let suf_start = p.off + p.len in
+      let suf_len = m_start + m_len - suf_start in
+      let pre =
+        if pre_len = 0 then 0
+        else
+          Checksum.finish
+            (Checksum.add_bytes Checksum.zero p.buf m_start pre_len)
+      in
+      let suf =
+        if suf_len = 0 then 0
+        else begin
+          let s =
+            Checksum.finish
+              (Checksum.add_bytes Checksum.zero p.buf suf_start suf_len)
+          in
+          (* a range starting at odd stream parity contributes its
+             even-parity sum byte-swapped (RFC 1071 byte-order rule) *)
+          if (suf_start - m_start) land 1 = 1 then
+            (s lsr 8 lor (s lsl 8)) land 0xFFFF
+          else s
+        end
+      in
+      Some
+        (Checksum.fold16
+           (m_sum + (lnot pre land 0xFFFF) + (lnot suf land 0xFFFF)))
+    end
+  | _ -> None
 
 let check p i n =
   if i < 0 || i + n > p.len then
     invalid_arg
       (Printf.sprintf "Packet: access at %d width %d beyond length %d" i n p.len)
+
+(* Mutations under the window invalidate a recorded RX sum.  A TX defer is
+   deliberately kept: headers are written in front of the deferred coverage
+   after the transport encodes, never inside it. *)
+let invalidate_rx p =
+  match p.csum with Rx_sum _ -> p.csum <- No_csum | _ -> ()
 
 let get_u8 p i =
   check p i 1;
@@ -82,6 +321,7 @@ let get_u8 p i =
 
 let set_u8 p i v =
   check p i 1;
+  invalidate_rx p;
   Wire.set_u8 p.buf (p.off + i) v
 
 let get_u16 p i =
@@ -90,6 +330,7 @@ let get_u16 p i =
 
 let set_u16 p i v =
   check p i 2;
+  invalidate_rx p;
   Wire.set_u16 p.buf (p.off + i) v
 
 let get_u32 p i =
@@ -98,19 +339,25 @@ let get_u32 p i =
 
 let set_u32 p i v =
   check p i 4;
+  invalidate_rx p;
   Wire.set_u32 p.buf (p.off + i) v
 
 let blit_from_string s soff p poff len =
   check p poff len;
-  Bytes.blit_string s soff p.buf (p.off + poff) len
+  invalidate_rx p;
+  Bytes.blit_string s soff p.buf (p.off + poff) len;
+  bytes_copied := !bytes_copied + len
 
 let blit_from_bytes b soff p poff len =
   check p poff len;
-  Bytes.blit b soff p.buf (p.off + poff) len
+  invalidate_rx p;
+  Bytes.blit b soff p.buf (p.off + poff) len;
+  bytes_copied := !bytes_copied + len
 
 let blit p poff dst doff len =
   check p poff len;
-  Bytes.blit p.buf (p.off + poff) dst doff len
+  Bytes.blit p.buf (p.off + poff) dst doff len;
+  bytes_copied := !bytes_copied + len
 
 let to_string p = Bytes.sub_string p.buf p.off p.len
 
@@ -118,6 +365,7 @@ let append ?(headroom = 0) a b =
   let q = create ~headroom (a.len + b.len) in
   Bytes.blit a.buf a.off q.buf q.off a.len;
   Bytes.blit b.buf b.off q.buf (q.off + a.len) b.len;
+  bytes_copied := !bytes_copied + a.len + b.len;
   q
 
 type saved = { s_buf : Bytes.t; s_off : int; s_len : int }
@@ -127,13 +375,17 @@ let save p = { s_buf = p.buf; s_off = p.off; s_len = p.len }
 let restore p { s_buf; s_off; s_len } =
   p.buf <- s_buf;
   p.off <- s_off;
-  p.len <- s_len
+  p.len <- s_len;
+  (* offload state describes the window that was just abandoned *)
+  p.csum <- No_csum
 
 let buffer p = p.buf
 
 let offset p = p.off
 
-let fill p v = Bytes.fill p.buf p.off p.len (Char.chr (v land 0xff))
+let fill p v =
+  invalidate_rx p;
+  Bytes.fill p.buf p.off p.len (Char.chr (v land 0xff))
 
 let hexdump p = Wire.hexdump p.buf p.off p.len
 

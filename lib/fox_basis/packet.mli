@@ -59,6 +59,77 @@ val sub : ?headroom:int -> t -> int -> int -> t
 (** [copy p] is [sub p 0 (length p)] with the same headroom. *)
 val copy : t -> t
 
+(** {1 Checksum offload}
+
+    The fast datapath treats the link-layer copy as a NIC: the transport
+    encoder may {e defer} its checksum ([request_tx_csum]) and the copy
+    that models the wire crossing computes it in the same pass that moves
+    the bytes ([copy_fused]), patching the field in the copy — and, on the
+    receive side, remembering the folded sum of the copied bytes so the
+    transport decoder can validate without re-traversing the payload
+    ([cached_window_sum]).  All of it is gated on [offload_enabled]
+    (default off: every path behaves exactly as before). *)
+
+(** Master switch for deferred TX checksums and RX sum memos. *)
+val offload_enabled : bool ref
+
+(** [copy_fused p] is [copy p] that additionally settles offload state: a
+    deferred TX checksum is computed from the fused copy-and-sum and
+    patched into the copy (the source keeps its defer, so a later
+    retransmission re-encodes and re-defers), and when [offload_enabled]
+    the folded sum of the copied range is recorded on the copy for the
+    receiver. *)
+val copy_fused : t -> t
+
+(** [request_tx_csum p ~at ~init] records that the 16-bit field at window
+    offset [at] (currently zero) should be patched with the complement of
+    [init] (the folded pseudo-header sum) plus the sum of the window from
+    its current start.  Survives later [push_header]s — offsets are kept
+    absolute. *)
+val request_tx_csum : t -> at:int -> init:int -> unit
+
+(** [finalize_tx_csum p] computes and writes a deferred checksum in place.
+    Required before any path that bypasses the link copy or freezes the
+    bytes earlier: self-delivery, fragmentation, FCS computation, TAP
+    writes.  No-op when nothing is deferred. *)
+val finalize_tx_csum : t -> unit
+
+(** [cached_window_sum p] is the folded one's-complement sum of the current
+    window if it can be derived from a recorded RX memo by subtracting the
+    uncovered prefix/suffix (which are re-summed — they are the short
+    headers, not the payload); [None] when no memo covers the window or
+    parity does not allow subtraction.  Any in-window mutation invalidates
+    the memo. *)
+val cached_window_sum : t -> int option
+
+(** {1 Buffer pooling and reference counts}
+
+    Packets carry a reference count (1 at creation).  [release] returns
+    the underlying buffer to a size-classed free list when the count
+    reaches zero and [pool_enabled] is set; [create] then serves fresh
+    packets from the free list (zero-filled, same contract as a fresh
+    allocation).  With [pool_enabled] off (the default), [retain]/[release]
+    are pure bookkeeping and every [create] allocates. *)
+
+(** Master switch for the buffer pool (default off). *)
+val pool_enabled : bool ref
+
+(** [retain p] adds a reference (e.g. a retransmission queue keeping the
+    segment alive alongside the in-flight send action). *)
+val retain : t -> unit
+
+(** [release p] drops a reference; at zero the buffer is recycled (pool
+    on).  Releasing an already-released packet is a no-op, so defensive
+    releases (and differential-shadow replays) are safe. *)
+val release : t -> unit
+
+(** Drop all pooled buffers and zero the pool counters. *)
+val pool_reset : unit -> unit
+
+(** One-line pool counters (hits/misses/recycled/dropped/free), for the
+    observability bus. *)
+val pool_stats : unit -> string
+
 (** Accessors, indexed from the start of the current window. *)
 
 val get_u8 : t -> int -> int
@@ -114,5 +185,10 @@ val restore : t -> saved -> unit
 (** Number of packets reallocated because [push_header] ran out of
     headroom — a measure of mis-sized allocations on the fast path. *)
 val reallocations : unit -> int
+
+(** Total bytes moved by packet copies ([sub]/[copy]/[append]/blits and
+    the plain path of [copy_fused]) since program start — the copy half of
+    the data-touching meter for the fast-path ablation. *)
+val bytes_copied : int ref
 
 val pp : Format.formatter -> t -> unit

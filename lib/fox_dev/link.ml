@@ -68,7 +68,7 @@ let schedule_delivery t dst frame arrival =
       deliver t dst frame)
 
 let corrupt_copy t frame =
-  let copy = Packet.copy frame in
+  let copy = Packet.copy_fused frame in
   let len = Packet.length copy in
   if len > 0 then begin
     let byte = Rng.int t.rng len in
@@ -104,7 +104,7 @@ let transmit t src frame =
             ps.corrupted <- ps.corrupted + 1;
             (corrupt_copy t frame, base_arrival)
           end
-          else (Packet.copy frame, base_arrival)
+          else (Packet.copy_fused frame, base_arrival)
         in
         let arrival =
           if Rng.bool t.rng t.netem.Netem.reorder then
@@ -114,7 +114,7 @@ let transmit t src frame =
         schedule_delivery t dst frame arrival;
         if Rng.bool t.rng t.netem.Netem.duplicate then begin
           ps.duplicated <- ps.duplicated + 1;
-          schedule_delivery t dst (Packet.copy frame) arrival
+          schedule_delivery t dst (Packet.copy_fused frame) arrival
         end
       end)
     destinations

@@ -5,7 +5,7 @@ let port () =
   {
     Link.transmit =
       (fun frame ->
-        let copy = Packet.copy frame in
+        let copy = Packet.copy_fused frame in
         Fox_sched.Scheduler.fork (fun () ->
             match !handler with
             | Some h -> h copy

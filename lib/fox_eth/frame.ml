@@ -29,6 +29,8 @@ let decode p =
   end
 
 let append_fcs p =
+  (* the FCS freezes the frame bytes: a deferred checksum must be in them *)
+  Packet.finalize_tx_csum p;
   let crc = Crc32.digest (Packet.buffer p) (Packet.offset p) (Packet.length p) in
   Packet.push_trailer p 4;
   Packet.set_u32 p (Packet.length p - 4) crc

@@ -301,7 +301,11 @@ module Make
           }
         in
         Ipv4_header.encode ~checksum:Params.compute_checksums hdr packet;
-        Fox_sched.Scheduler.fork (fun () -> receive t packet)
+        (* Loop a settled copy back, like a wire crossing: the copy pays
+           any deferred transport checksum, and the sender remains free to
+           restore and recycle its own buffer when the send returns. *)
+        let looped = Packet.copy_fused packet in
+        Fox_sched.Scheduler.fork (fun () -> receive t looped)
     else begin
       (* Early stage: resolve the route and the lower connection, stage the
          lower layer's own send, remember the fragmentation threshold. *)
@@ -318,6 +322,9 @@ module Make
           encode_and_send t ~lower_send conn ~id ~offset:0 ~more:false packet
         else begin
           t.tx_fragmented <- t.tx_fragmented + 1;
+          (* a deferred transport checksum spans the whole datagram and
+             cannot be patched per-fragment: settle it first *)
+          Packet.finalize_tx_csum packet;
           let pieces =
             Frag.fragment ~mtu:payload_max
               ~headroom:(Ipv4_header.min_length + lower_headroom)
@@ -325,7 +332,8 @@ module Make
           in
           List.iter
             (fun (frag, offset, more) ->
-              encode_and_send t ~lower_send conn ~id ~offset ~more frag)
+              encode_and_send t ~lower_send conn ~id ~offset ~more frag;
+              Packet.release frag)
             pieces
         end
     end

@@ -142,6 +142,7 @@ module Run (E : ENGINE) = struct
         fun request ->
           if Packet.length request >= 8 then begin
             let wanted = Packet.get_u32 request 4 in
+            Packet.release request;
             Scheduler.fork (fun () ->
                 let mss = E.mss conn in
                 let sent = ref 0 in
@@ -177,8 +178,10 @@ module Run (E : ENGINE) = struct
           | None -> ());
           let conn =
             E.connect tcp ~peer:sender.Network.addr ~port ~handler:(fun packet ->
-                (* data is discarded at the application level *)
+                (* data is discarded at the application level; give the
+                   buffer back to the pool *)
                 received := !received + Packet.length packet;
+                Packet.release packet;
                 if !received >= bytes then t1 := Scheduler.now ())
           in
           t0 := Scheduler.now ();
@@ -221,6 +224,7 @@ module Run (E : ENGINE) = struct
         let reply = E.allocate conn (Packet.length packet) in
         Packet.blit packet 0 (Packet.buffer reply) (Packet.offset reply)
           (Packet.length packet);
+        Packet.release packet;
         E.send conn reply);
     let rtts = ref [] in
     let reply_mb = Fox_sched.Cond.create () in

@@ -104,6 +104,16 @@ module Tcp_basic_checksum =
       let checksum_alg = `Basic
     end)
 
+(** Without header prediction: every segment takes the full receive DAG —
+    the baseline for the fast-path ablation. *)
+module Tcp_no_prediction =
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux)
+    (struct
+      include Fox_tcp.Tcp.Default_params
+
+      let header_prediction = false
+    end)
+
 (** The paper's suggested scheduler refinement: a priority to_do queue
     that lets wire-bound actions overtake local deliveries. *)
 module Tcp_prioritized =

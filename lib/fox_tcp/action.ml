@@ -5,23 +5,30 @@ let internalize ?alg ~pseudo packet ~now =
   | Error e -> Error e
   | Ok hdr -> Ok { Tcb.hdr; data = packet; arrived_at = now }
 
-let externalize ?alg ~pseudo_for ~hdr ~data ~allocate ~send () =
+let externalize ?alg ?defer ~pseudo_for ~hdr ~data ~allocate ~send () =
   let hlen = Tcp_header.header_length hdr in
   match data with
   | Some packet ->
     (* The header is pushed onto the caller's packet in place, and that
        packet may sit on the retransmission queue: restore it even when
        [send] raises, or the next retransmission would re-encode a header
-       on top of the old one and carry it as 20 extra bytes of data. *)
+       on top of the old one and carry it as 20 extra bytes of data.  The
+       send action owned one reference to the packet; it is consumed here
+       (the retransmission queue, if any, holds its own). *)
     let saved = Packet.save packet in
     Fun.protect
-      ~finally:(fun () -> Packet.restore packet saved)
+      ~finally:(fun () ->
+        Packet.restore packet saved;
+        Packet.release packet)
       (fun () ->
         let pseudo = pseudo_for (hlen + Packet.length packet) in
-        Tcp_header.encode ?alg ~pseudo hdr packet;
+        Tcp_header.encode ?alg ?defer ~pseudo hdr packet;
         send packet)
   | None ->
     let packet = allocate 0 in
-    let pseudo = pseudo_for hlen in
-    Tcp_header.encode ?alg ~pseudo hdr packet;
-    send packet
+    Fun.protect
+      ~finally:(fun () -> Packet.release packet)
+      (fun () ->
+        let pseudo = pseudo_for hlen in
+        Tcp_header.encode ?alg ?defer ~pseudo hdr packet;
+        send packet)

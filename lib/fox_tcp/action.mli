@@ -26,13 +26,19 @@ val internalize :
   now:int ->
   (Tcb.segment, Tcp_header.error) result
 
-(** [externalize ?alg ~pseudo_for ~hdr ~data ~allocate ~send] encodes and
-    transmits one segment.  [pseudo_for len] must give the pseudo-header
-    accumulator for a [len]-byte segment; [allocate n] must return a packet
-    with [n] bytes of window and full lower-stack headroom (used when
-    [data] is [None]). *)
+(** [externalize ?alg ?defer ~pseudo_for ~hdr ~data ~allocate ~send]
+    encodes and transmits one segment.  [pseudo_for len] must give the
+    pseudo-header accumulator for a [len]-byte segment; [allocate n] must
+    return a packet with [n] bytes of window and full lower-stack headroom
+    (used when [data] is [None]).  [?defer] is passed to
+    {!Tcp_header.encode} (TX checksum offload).  The send action's
+    reference to its data packet is consumed: it is
+    {!Fox_basis.Packet.release}d after the send returns (the
+    retransmission queue holds its own reference while the segment is
+    unacknowledged). *)
 val externalize :
   ?alg:Fox_basis.Checksum.alg ->
+  ?defer:bool ->
   pseudo_for:(int -> Fox_basis.Checksum.acc option) ->
   hdr:Tcp_header.t ->
   data:Fox_basis.Packet.t option ->

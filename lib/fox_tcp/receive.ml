@@ -58,6 +58,7 @@ let insert_out_of_order tcb seg =
       if Seq.lt (seq_of seg) (seq_of s) then seg :: all
       else if Seq.equal (seq_of seg) (seq_of s) then begin
         tcb.dup_segments <- tcb.dup_segments + 1;
+        Packet.release seg.data;
         all
       end
       else s :: ins rest
@@ -81,13 +82,23 @@ let deliver_text (params : params) tcb seg =
     if offset < data_len then begin
       let fresh =
         if offset = 0 then s.data
-        else Packet.sub s.data offset (data_len - offset)
+        else begin
+          (* only the tail is fresh: it moves to a new packet and the
+             original's reference is dropped here *)
+          let f = Packet.sub s.data offset (data_len - offset) in
+          Packet.release s.data;
+          f
+        end
       in
       tcb.bytes_in <- tcb.bytes_in + Packet.length fresh;
       add_to_do tcb (User_data fresh);
       tcb.rcv_nxt <- Seq.add seq data_len
     end
-    else if data_len > 0 && offset > data_len then tcb.dup_segments <- tcb.dup_segments + 1;
+    else if data_len > 0 then begin
+      (* nothing fresh: the segment is entirely old data *)
+      if offset > data_len then tcb.dup_segments <- tcb.dup_segments + 1;
+      Packet.release s.data
+    end;
     (* consume the FIN if it is exactly next *)
     if s.hdr.Tcp_header.fin && Seq.equal tcb.rcv_nxt (Seq.add seq data_len)
     then begin
@@ -103,7 +114,10 @@ let deliver_text (params : params) tcb seg =
       tcb.out_of_order <- rest;
       if Seq.ge (Seq.add s.hdr.Tcp_header.seq (seg_len s)) tcb.rcv_nxt then
         consume s
-      else tcb.dup_segments <- tcb.dup_segments + 1;
+      else begin
+        tcb.dup_segments <- tcb.dup_segments + 1;
+        Packet.release s.data
+      end;
       absorb ()
     | _ -> ()
   in
@@ -112,57 +126,6 @@ let deliver_text (params : params) tcb seg =
      immediately rather than waiting out the delayed-ACK timer *)
   if seg.hdr.Tcp_header.psh then ack_now tcb else ack_data params tcb;
   !fin_seen
-
-(* ------------------------------------------------------------------ *)
-(* The fast path ("handle the normal cases quickly")                  *)
-(* ------------------------------------------------------------------ *)
-
-let fast_path (params : params) tcb seg ~now =
-  let h = seg.hdr in
-  let predictable =
-    h.Tcp_header.ack_flag
-    && (not h.Tcp_header.syn) && (not h.Tcp_header.fin) && (not h.Tcp_header.rst)
-    && (not h.Tcp_header.urg)
-    && Seq.equal h.Tcp_header.seq tcb.rcv_nxt
-    && tcb.out_of_order = []
-  in
-  if not predictable then false
-  else begin
-    let data_len = Packet.length seg.data in
-    if data_len = 0 then begin
-      (* pure ACK for new data, window unchanged *)
-      if
-        Seq.gt h.Tcp_header.ack tcb.snd_una
-        && Seq.le h.Tcp_header.ack tcb.snd_nxt
-        && h.Tcp_header.window = tcb.snd_wnd
-      then begin
-        tcb.fast_path_hits <- tcb.fast_path_hits + 1;
-        ignore (Resend.process_ack params tcb ~ack:h.Tcp_header.ack ~now);
-        Send.segmentize params tcb ~now;
-        true
-      end
-      else false
-    end
-    else if
-      (* in-order data, pure receiver side: ack must not move our send
-         state and must fit the receive window *)
-      Seq.equal h.Tcp_header.ack tcb.snd_una
-      && data_len <= tcb.rcv_wnd
-    then begin
-      tcb.fast_path_hits <- tcb.fast_path_hits + 1;
-      tcb.segs_in <- tcb.segs_in + 1;
-      tcb.bytes_in <- tcb.bytes_in + data_len;
-      add_to_do tcb (User_data seg.data);
-      tcb.rcv_nxt <- Seq.add h.Tcp_header.seq data_len;
-      (* window update still applies *)
-      tcb.snd_wnd <- h.Tcp_header.window;
-      tcb.snd_wl1 <- h.Tcp_header.seq;
-      tcb.snd_wl2 <- h.Tcp_header.ack;
-      if h.Tcp_header.psh then ack_now tcb else ack_data params tcb;
-      true
-    end
-    else false
-  end
 
 (* ------------------------------------------------------------------ *)
 (* The full DAG                                                       *)
@@ -320,6 +283,7 @@ let process_synchronized (params : params) state tcb seg ~now =
   (* first: sequence-number acceptability *)
   if not (acceptable tcb seg) then begin
     tcb.dup_segments <- tcb.dup_segments + 1;
+    if Packet.length seg.data > 0 then Packet.release seg.data;
     if not h.Tcp_header.rst then begin
       ack_now tcb;
       (* RFC 793 p.73: in TIME-WAIT "the only thing that can arrive … is a
@@ -380,6 +344,7 @@ let process_synchronized (params : params) state tcb seg ~now =
     match state with
     | Syn_active _ | Syn_passive _ ->
       (* still waiting for the handshake ACK; nothing more to do *)
+      if Packet.length seg.data > 0 then Packet.release seg.data;
       state
     | _ -> (
       match process_ack_common params tcb seg ~now with
@@ -390,9 +355,12 @@ let process_synchronized (params : params) state tcb seg ~now =
           match state with
           | Fin_wait_1 _ when tcb.fin_acked -> Fin_wait_2 tcb
           | Closing _ when tcb.fin_acked ->
+            (* entering TIME-WAIT: no data ACK may fire during 2·MSL *)
+            cancel_delayed_ack tcb;
             add_to_do tcb (Set_timer (Time_wait, params.time_wait_us));
             Time_wait tcb
           | Last_ack _ when tcb.fin_acked ->
+            cancel_delayed_ack tcb;
             add_to_do tcb Complete_close;
             add_to_do tcb Delete_tcb;
             Closed
@@ -425,7 +393,9 @@ let process_synchronized (params : params) state tcb seg ~now =
               end
               else false
             | _ ->
-              (* past ESTABLISHED a FIN retransmission may still arrive *)
+              (* past ESTABLISHED a FIN retransmission may still arrive;
+                 any text is ignored, so drop its reference *)
+              if Packet.length seg.data > 0 then Packet.release seg.data;
               h.Tcp_header.fin
               && Seq.equal (Seq.add h.Tcp_header.seq (Packet.length seg.data))
                    (Seq.add tcb.rcv_nxt (-1))
@@ -447,3 +417,161 @@ let process (params : params) state seg ~now =
     process_synchronized params state tcb seg ~now
   | Closed | Listen ->
     invalid_arg "Receive.process: CLOSED/LISTEN are handled by the engine"
+
+(* ------------------------------------------------------------------ *)
+(* The fast path ("handle the normal cases quickly")                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Header prediction: the overwhelmingly common segments in ESTABLISHED
+   are (a) a pure ACK for new data with an unchanged window and (b) the
+   next expected in-order data segment that does not move our send state.
+   For exactly those, the general receive DAG above reduces to a short
+   straight-line update; anything else falls back to [process].  The fast
+   path must be {e behaviourally invisible}: it performs the same TCB
+   mutations and queues the same actions in the same order the DAG would,
+   which the differential mode below checks on every hit. *)
+
+let differential = ref false
+
+let on_mismatch : (string -> unit) ref =
+  ref (fun msg -> failwith ("Receive fast path diverged from process: " ^ msg))
+
+(* A shallow clone shares the persistent queues (Fifo/Deq/list) and the
+   segment packets; the general path replayed on it never reads payload
+   bytes, so sharing buffers with the already-run fast path is safe. *)
+let clone_tcb (tcb : tcp_tcb) = { tcb with iss = tcb.iss }
+
+(* Everything [process] may change on a fast-path-eligible segment, plus
+   the queued actions ([fast_path_hits] is deliberately absent). *)
+let fingerprint tcb =
+  let seq = Seq.to_string in
+  [
+    ("snd_una", seq tcb.snd_una);
+    ("snd_nxt", seq tcb.snd_nxt);
+    ("snd_wnd", string_of_int tcb.snd_wnd);
+    ("snd_wl1", seq tcb.snd_wl1);
+    ("snd_wl2", seq tcb.snd_wl2);
+    ("rcv_nxt", seq tcb.rcv_nxt);
+    ("rcv_wnd", string_of_int tcb.rcv_wnd);
+    ("snd_mss", string_of_int tcb.snd_mss);
+    ("queued_bytes", string_of_int tcb.queued_bytes);
+    ("queued_segments", string_of_int (Deq.size tcb.queued));
+    ( "fin_pending/sent/acked",
+      Printf.sprintf "%b/%b/%b" tcb.fin_pending tcb.fin_sent tcb.fin_acked );
+    ("rtx_q", string_of_int (Deq.size tcb.rtx_q));
+    ("rtx_timer_on", string_of_bool tcb.rtx_timer_on);
+    ("out_of_order", string_of_int (List.length tcb.out_of_order));
+    ("srtt_us", string_of_int tcb.srtt_us);
+    ("rttvar_us", string_of_int tcb.rttvar_us);
+    ("rto_us", string_of_int tcb.rto_us);
+    ("backoff", string_of_int tcb.backoff);
+    ( "timing",
+      match tcb.timing with
+      | None -> "-"
+      | Some (s, t) -> Printf.sprintf "%s@%d" (seq s) t );
+    ("cwnd", string_of_int tcb.cwnd);
+    ("ssthresh", string_of_int tcb.ssthresh);
+    ("dup_acks", string_of_int tcb.dup_acks);
+    ("ack_pending", string_of_bool tcb.ack_pending);
+    ("ack_timer_on", string_of_bool tcb.ack_timer_on);
+    ("last_activity", string_of_int tcb.last_activity);
+    ("probes_sent", string_of_int tcb.probes_sent);
+    ("segs_in", string_of_int tcb.segs_in);
+    ("bytes_in", string_of_int tcb.bytes_in);
+    ("segs_out", string_of_int tcb.segs_out);
+    ("bytes_out", string_of_int tcb.bytes_out);
+    ("retransmissions", string_of_int tcb.retransmissions);
+    ("dup_segments", string_of_int tcb.dup_segments);
+    ("ooo_segments", string_of_int tcb.ooo_segments);
+    ( "actions",
+      String.concat "," (List.map action_name (pending_actions tcb)) );
+  ]
+
+(* Run the fast-path [body]; in differential mode, also replay the same
+   segment through the general DAG on a pre-state clone and compare. *)
+let run_checked (params : params) tcb seg ~now body =
+  if not !differential then body ()
+  else begin
+    let shadow = clone_tcb tcb in
+    body ();
+    (match process params (Estab shadow) seg ~now with
+    | Estab _ -> ()
+    | s ->
+      !on_mismatch
+        (Printf.sprintf "general path left ESTABLISHED for %s" (state_name s)));
+    let diffs =
+      List.filter_map
+        (fun ((name, fast), (_, general)) ->
+          if String.equal fast general then None
+          else Some (Printf.sprintf "%s: fast=%s general=%s" name fast general))
+        (List.combine (fingerprint tcb) (fingerprint shadow))
+    in
+    if diffs <> [] then !on_mismatch (String.concat "; " diffs)
+  end
+
+let fast_path (params : params) tcb seg ~now =
+  let h = seg.hdr in
+  let predictable =
+    h.Tcp_header.ack_flag
+    && (not h.Tcp_header.syn) && (not h.Tcp_header.fin) && (not h.Tcp_header.rst)
+    && (not h.Tcp_header.urg)
+    && Seq.equal h.Tcp_header.seq tcb.rcv_nxt
+    && tcb.out_of_order = []
+  in
+  if not predictable then false
+  else begin
+    let data_len = Packet.length seg.data in
+    let ack = h.Tcp_header.ack in
+    (* the p. 72 window update, exactly as [process_ack_common] does it —
+       including the dup-ACK episode reset and probe-timer side effects *)
+    let window_update () =
+      if
+        Seq.lt tcb.snd_wl1 h.Tcp_header.seq
+        || (Seq.equal tcb.snd_wl1 h.Tcp_header.seq && Seq.le tcb.snd_wl2 ack)
+      then begin
+        let changed = h.Tcp_header.window <> tcb.snd_wnd in
+        let opening = h.Tcp_header.window > tcb.snd_wnd in
+        tcb.snd_wnd <- h.Tcp_header.window;
+        tcb.snd_wl1 <- h.Tcp_header.seq;
+        tcb.snd_wl2 <- ack;
+        if changed then tcb.dup_acks <- 0;
+        if opening then add_to_do tcb (Clear_timer Window_probe)
+      end
+    in
+    if data_len = 0 then begin
+      if
+        (* pure ACK for new data, window unchanged *)
+        Seq.gt ack tcb.snd_una
+        && Seq.le ack tcb.snd_nxt
+        && h.Tcp_header.window = tcb.snd_wnd
+      then begin
+        run_checked params tcb seg ~now (fun () ->
+            tcb.fast_path_hits <- tcb.fast_path_hits + 1;
+            ignore (Resend.process_ack params tcb ~ack ~now);
+            window_update ();
+            Send.segmentize params tcb ~now);
+        true
+      end
+      else false
+    end
+    else if
+      (* the next expected in-order data segment, not moving our send
+         state, entirely inside the receive window *)
+      Seq.equal ack tcb.snd_una
+      && data_len <= tcb.rcv_wnd
+    then begin
+      run_checked params tcb seg ~now (fun () ->
+          tcb.fast_path_hits <- tcb.fast_path_hits + 1;
+          (* same order as the DAG: ACK-step effects first (window update,
+             segmentise), then text delivery, then the ACK policy *)
+          window_update ();
+          Send.segmentize params tcb ~now;
+          tcb.segs_in <- tcb.segs_in + 1;
+          tcb.bytes_in <- tcb.bytes_in + data_len;
+          add_to_do tcb (User_data seg.data);
+          tcb.rcv_nxt <- Seq.add h.Tcp_header.seq data_len;
+          if h.Tcp_header.psh then ack_now tcb else ack_data params tcb);
+      true
+    end
+    else false
+  end

@@ -23,3 +23,16 @@ val process : Tcb.params -> Tcb.tcp_state -> Tcb.segment -> now:int -> Tcb.tcp_s
 (** [fast_path params tcb segment ~now] attempts header prediction on an
     established connection; [true] means the segment was fully handled. *)
 val fast_path : Tcb.params -> Tcb.tcp_tcb -> Tcb.segment -> now:int -> bool
+
+(** {1 Differential checking}
+
+    With [differential] set, every fast-path hit also replays the segment
+    through the general [process] DAG on a shallow clone of the pre-state
+    TCB and compares the resulting TCBs field by field, along with the
+    queued action lists.  Divergences are reported through [on_mismatch]
+    (default: [failwith]).  Used by the fuzz harness and the unit tests to
+    prove the fast path behaviourally invisible. *)
+
+val differential : bool ref
+
+val on_mismatch : (string -> unit) ref

@@ -66,6 +66,8 @@ let open_cwnd tcb ~acked =
 let resend_entry tcb entry =
   entry.sent_count <- entry.sent_count + 1;
   tcb.retransmissions <- tcb.retransmissions + 1;
+  (* the queued send action takes its own reference to the text *)
+  (match entry.rtx_data with Some d -> Packet.retain d | None -> ());
   (* Karn: a retransmitted sequence range must not produce an RTT sample. *)
   (match tcb.timing with
   | Some (timed_end, _)
@@ -102,6 +104,8 @@ let process_ack (params : params) tcb ~ack ~now =
         let seg_end = Seq.add e.rtx_seq e.rtx_len in
         if Seq.le seg_end ack then begin
           if e.rtx_fin then tcb.fin_acked <- true;
+          (* fully acknowledged: the queue's reference to the text dies *)
+          (match e.rtx_data with Some d -> Packet.release d | None -> ());
           drop rest
         end
         else q

@@ -24,6 +24,7 @@ let take_bytes tcb budget =
     else begin
       let head = Packet.sub ~headroom:64 packet 0 budget in
       let tail = Packet.sub ~headroom:64 packet budget (len - budget) in
+      Packet.release packet;
       tcb.queued <- Deq.push_front tail rest;
       tcb.queued_bytes <- tcb.queued_bytes - budget;
       Some head
@@ -32,6 +33,10 @@ let take_bytes tcb budget =
 let emit_segment (params : params) tcb ~now ~data ~fin =
   let len = (match data with Some d -> Packet.length d | None -> 0)
             + if fin then 1 else 0 in
+  (* the segment text is referenced twice from here: by the send action
+     (consumed when externalised) and by the retransmission entry
+     (released when fully acknowledged) *)
+  (match data with Some d -> Packet.retain d | None -> ());
   let entry =
     {
       rtx_seq = tcb.snd_nxt;

@@ -26,6 +26,11 @@ let equal (a : t) (b : t) = a = b
 
 let in_window ~base ~size x =
   if size <= 0 then false
+  else if size > 0x7FFFFFFF then
+    (* [diff] is signed circular distance in [-2^31, 2^31): for any larger
+       window, [d < size] would hold for every non-negative distance and
+       the test would silently accept half the sequence space. *)
+    invalid_arg "Seq.in_window: size must be at most 2^31 - 1"
   else
     let d = diff x base in
     0 <= d && d < size

@@ -31,7 +31,11 @@ val ge : t -> t -> bool
 val equal : t -> t -> bool
 
 (** [in_window ~base ~size x] is true iff [x] lies in the half-open
-    circular interval [[base, base+size)]; false whenever [size <= 0]. *)
+    circular interval [[base, base+size)]; false whenever [size <= 0].
+    Raises [Invalid_argument] when [size > 0x7FFFFFFF] — the signed
+    circular distance only supports windows up to 2{^31} − 1 (RFC 793
+    windows are ≤ 2{^16} and even RFC 7323 scaled windows are ≤ 2{^30},
+    so any larger size is a caller bug, not a bigger window). *)
 val in_window : base:t -> size:int -> t -> bool
 
 (** [max a b] / [min a b] under the circular order. *)

@@ -86,6 +86,8 @@ let close (params : params) state ~now =
     Send.enqueue_fin params tcb ~now;
     Fin_wait_1 tcb
   | Close_wait tcb ->
+    (* leaving CLOSE-WAIT: no data ACK may fire after our FIN *)
+    cancel_delayed_ack tcb;
     Send.enqueue_fin params tcb ~now;
     Last_ack tcb
   | Fin_wait_1 _ | Fin_wait_2 _ | Closing _ | Last_ack _ | Time_wait _ ->
@@ -96,14 +98,19 @@ let abort (_params : params) state =
   match state with
   | Closed | Listen -> Closed
   | Syn_sent tcb ->
+    cancel_delayed_ack tcb;
     add_to_do tcb Delete_tcb;
     Closed
   | Syn_active tcb | Syn_passive tcb | Estab tcb | Fin_wait_1 tcb
   | Fin_wait_2 tcb | Close_wait tcb | Closing tcb | Last_ack tcb ->
+    (* the TCB is about to be freed: a stale delayed-ACK timer must not
+       fire an ACK on it (or on a later connection reusing the port) *)
+    cancel_delayed_ack tcb;
     queue_rst tcb ~seq:tcb.snd_nxt ~with_ack:true;
     add_to_do tcb Delete_tcb;
     Closed
   | Time_wait tcb ->
+    cancel_delayed_ack tcb;
     add_to_do tcb Delete_tcb;
     Closed
 
@@ -111,6 +118,7 @@ let give_up tcb ~reason =
   if !Bus.live then
     Bus.emit ~layer:"tcp.state" ~conn:tcb.obs_id
       (Bus.Note ("give up: " ^ reason));
+  cancel_delayed_ack tcb;
   add_to_do tcb (User_error reason);
   add_to_do tcb Delete_tcb;
   Closed
@@ -133,6 +141,7 @@ let timer_expired (params : params) state kind ~now =
     | Time_wait -> (
       match state with
       | Time_wait tcb ->
+        cancel_delayed_ack tcb;
         add_to_do tcb Complete_close;
         add_to_do tcb Delete_tcb;
         Closed

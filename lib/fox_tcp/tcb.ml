@@ -132,6 +132,10 @@ type params = {
   keepalive_us : int;
       (** probe a connection idle this long (RFC 1122 §4.2.3.6); 0 = off *)
   keepalive_probes : int;  (** unanswered probes before giving up *)
+  header_prediction : bool;
+      (** Van Jacobson header prediction: a guarded fast path for in-order,
+          no-flags segments in ESTABLISHED that bypasses the general
+          receive DAG (falls back to it on any mismatch) *)
 }
 
 let default_params =
@@ -150,6 +154,7 @@ let default_params =
     prioritize_latency = false;
     keepalive_us = 0;
     keepalive_probes = 5;
+    header_prediction = true;
   }
 
 (** The TCB proper (Figure 6's [tcp_tcb]). *)
@@ -359,6 +364,17 @@ let pending_actions tcb = Fifo.to_list tcb.to_do_urgent @ Fifo.to_list tcb.to_do
 (** [flight_size tcb] is the sequence space sent and not yet
     acknowledged. *)
 let flight_size tcb = Seq.diff tcb.snd_nxt tcb.snd_una
+
+(** [cancel_delayed_ack tcb] disarms any pending delayed acknowledgement —
+    required whenever the connection leaves ESTABLISHED/CLOSE-WAIT for a
+    state that must not emit data ACKs (or for deletion), so no stale
+    timer fires on a reused or freed TCB. *)
+let cancel_delayed_ack tcb =
+  tcb.ack_pending <- false;
+  if tcb.ack_timer_on then begin
+    tcb.ack_timer_on <- false;
+    add_to_do tcb (Clear_timer Delayed_ack)
+  end
 
 (** Convenience for the tests: a compact rendering of a TCB's send-side
     state. *)

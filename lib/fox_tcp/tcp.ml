@@ -83,6 +83,12 @@ module type PARAMS = sig
 
   (** Unanswered keepalive probes tolerated before [Timed_out]. *)
   val keepalive_probes : int
+
+  (** Try the header-prediction fast path before the general receive DAG
+      on established connections (Section 4's "defer to the full code for
+      the less common cases").  Off, every segment takes the full DAG —
+      the ablation baseline. *)
+  val header_prediction : bool
 end
 
 module Default_params : PARAMS = struct
@@ -105,6 +111,7 @@ module Default_params : PARAMS = struct
   let prioritize_latency = false
   let keepalive_us = 0
   let keepalive_probes = 5
+  let header_prediction = true
 end
 
 (** Instance-wide statistics. *)
@@ -206,6 +213,7 @@ end = struct
       prioritize_latency = Params.prioritize_latency;
       keepalive_us = Params.keepalive_us;
       keepalive_probes = Params.keepalive_probes;
+      header_prediction = Params.header_prediction;
     }
 
   type address = { peer : Aux.host; port : int; local_port : int option }
@@ -337,7 +345,8 @@ end = struct
         Some (Aux.pseudo lconn ~proto:proto_number ~len)
       else None
     in
-    Action.externalize ~alg:Params.checksum_alg ~pseudo_for ~hdr ~data:None
+    Action.externalize ~alg:Params.checksum_alg
+      ~defer:!Packet.offload_enabled ~pseudo_for ~hdr ~data:None
       ~allocate:(fun len ->
         Packet.create
           ~headroom:(tcp_headroom + Lower.headroom lconn)
@@ -368,8 +377,9 @@ end = struct
     conn.tcp.segs_out <- conn.tcp.segs_out + 1;
     if ss.Tcb.out_rst then conn.tcp.rsts_sent <- conn.tcp.rsts_sent + 1;
     Action.externalize ~alg:Params.checksum_alg
-      ~pseudo_for:(pseudo_for conn) ~hdr ~data:ss.Tcb.out_data
-      ~allocate:(allocate_internal conn) ~send:conn.lower_send ()
+      ~defer:!Packet.offload_enabled ~pseudo_for:(pseudo_for conn) ~hdr
+      ~data:ss.Tcb.out_data ~allocate:(allocate_internal conn)
+      ~send:conn.lower_send ()
 
   let send_pure_ack conn =
     let tcb = conn.tcb in
@@ -385,8 +395,8 @@ end = struct
       }
     in
     Action.externalize ~alg:Params.checksum_alg
-      ~pseudo_for:(pseudo_for conn) ~hdr ~data:None
-      ~allocate:(allocate_internal conn) ~send:conn.lower_send ()
+      ~defer:!Packet.offload_enabled ~pseudo_for:(pseudo_for conn) ~hdr
+      ~data:None ~allocate:(allocate_internal conn) ~send:conn.lower_send ()
 
   (* ---------------- flight recorder ---------------- *)
 
@@ -472,6 +482,19 @@ end = struct
       Hashtbl.remove conn.tcp.conns
         (key conn.host conn.local_port conn.remote_port);
       Bus.unregister_stats ~id:conn.tcb.Tcb.obs_id;
+      (* drop the TCB's own buffer references so pooled buffers recycle;
+         actions still pending on to_do hold their own references *)
+      Deq.iter
+        (fun e ->
+          match e.Tcb.rtx_data with
+          | Some d -> Packet.release d
+          | None -> ())
+        conn.tcb.Tcb.rtx_q;
+      Deq.iter Packet.release conn.tcb.Tcb.queued;
+      List.iter
+        (fun (s : Tcb.segment) ->
+          if Packet.length s.Tcb.data > 0 then Packet.release s.Tcb.data)
+        conn.tcb.Tcb.out_of_order;
       let reason = Option.value conn.close_reason ~default:Status.Closed in
       if !Bus.live then
         Bus.emit ~layer:"tcp" ~conn:conn.tcb.Tcb.obs_id
@@ -496,13 +519,21 @@ end = struct
       tcb.Tcb.last_activity <- now;
       tcb.Tcb.probes_sent <- 0;
       let handled =
+        Params.header_prediction
+        &&
         match conn.state with
-        | Tcb.Estab _ ->
-          Receive.fast_path runtime_params tcb seg ~now
+        | Tcb.Estab _ -> Receive.fast_path runtime_params tcb seg ~now
         | _ -> false
       in
       if not handled then
-        conn.state <- Receive.process runtime_params conn.state seg ~now
+        conn.state <- Receive.process runtime_params conn.state seg ~now;
+      (* a segment with no text and no FIN is never stored anywhere (only
+         data and FINs can sit on the out-of-order queue), so its receive
+         buffer can go back to the pool now *)
+      if
+        Packet.length seg.Tcb.data = 0
+        && not seg.Tcb.hdr.Tcp_header.fin
+      then Packet.release seg.Tcb.data
     | Tcb.User_data packet -> conn.data packet
     (* A lower layer may refuse the send ([Send_failed], e.g. an injected
        fault or a torn-down session).  The segment is already on the
@@ -669,6 +700,8 @@ end = struct
         ~remote_port:hdr.Tcp_header.src_port ~lower:lconn ~state
         listener.l_handler
     in
+    (* the SYN's buffer is not kept (any text on a SYN is ignored) *)
+    Packet.release seg.Tcb.data;
     drain conn
 
   let receive t lconn packet =
@@ -679,7 +712,9 @@ end = struct
       else None
     in
     match Action.internalize ~alg:Params.checksum_alg ~pseudo packet ~now with
-    | Error _ -> t.bad_segments <- t.bad_segments + 1
+    | Error _ ->
+      t.bad_segments <- t.bad_segments + 1;
+      Packet.release packet
     | Ok seg -> (
       t.segs_in <- t.segs_in + 1;
       let hdr = seg.Tcb.hdr in
@@ -699,7 +734,9 @@ end = struct
                && (not hdr.Tcp_header.ack_flag)
                && not hdr.Tcp_header.rst ->
           accept t lconn seg l
-        | _ -> handle_unknown t lconn hdr (Packet.length seg.Tcb.data)))
+        | _ ->
+          handle_unknown t lconn hdr (Packet.length seg.Tcb.data);
+          Packet.release seg.Tcb.data))
 
   (* ---------------- lower-layer sessions ---------------- *)
 

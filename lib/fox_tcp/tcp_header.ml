@@ -45,7 +45,7 @@ let flags_byte hdr =
   lor (if hdr.syn then 0x02 else 0)
   lor if hdr.fin then 0x01 else 0
 
-let encode ?(alg = `Optimized) ~pseudo hdr p =
+let encode ?(alg = `Optimized) ?(defer = false) ~pseudo hdr p =
   let hlen = header_length hdr in
   Packet.push_header p hlen;
   Packet.set_u16 p 0 hdr.src_port;
@@ -67,11 +67,17 @@ let encode ?(alg = `Optimized) ~pseudo hdr p =
   match pseudo with
   | None -> ()
   | Some acc ->
-    let acc =
-      Checksum.add_bytes ~alg acc (Packet.buffer p) (Packet.offset p)
-        (Packet.length p)
-    in
-    Packet.set_u16 p 16 (Checksum.checksum_of acc)
+    if defer then
+      (* TX checksum offload: leave the field zero and let the link-layer
+         fused copy (or [Packet.finalize_tx_csum]) compute it while the
+         bytes are being moved anyway. *)
+      Packet.request_tx_csum p ~at:16 ~init:(Checksum.finish acc)
+    else
+      let acc =
+        Checksum.add_bytes ~alg acc (Packet.buffer p) (Packet.offset p)
+          (Packet.length p)
+      in
+      Packet.set_u16 p 16 (Checksum.checksum_of acc)
 
 type error = Too_short | Bad_offset | Bad_checksum
 
@@ -103,10 +109,19 @@ let decode ?(alg = `Optimized) ~pseudo p =
       let checksum_ok =
         match pseudo with
         | None -> true
-        | Some acc ->
-          Checksum.valid
-            (Checksum.add_bytes ~alg acc (Packet.buffer p) (Packet.offset p)
-               (Packet.length p))
+        | Some acc -> (
+          (* RX checksum offload: a fused link copy recorded the folded sum
+             of the bytes it moved; derive the window sum from it instead of
+             re-touching the payload.  [fold16 (p + s) = 0xFFFF] is exactly
+             [valid] — the pseudo sum is never zero (proto and length are
+             non-zero), so the 0 / 0xFFFF representative ambiguity of
+             one's-complement arithmetic cannot arise. *)
+          match Packet.cached_window_sum p with
+          | Some cached -> Checksum.fold16 (Checksum.finish acc + cached) = 0xFFFF
+          | None ->
+            Checksum.valid
+              (Checksum.add_bytes ~alg acc (Packet.buffer p) (Packet.offset p)
+                 (Packet.length p)))
       in
       if not checksum_ok then Error Bad_checksum
       else begin

@@ -37,9 +37,13 @@ val header_length : t -> int
     When [pseudo] is given (pre-loaded with the pseudo-header for
     [header_length hdr + old length of p] bytes), the checksum field is
     computed over pseudo-header + header + text with the given algorithm;
-    otherwise it is left zero. *)
+    otherwise it is left zero.  With [~defer:true] (and a pseudo), the
+    field is left zero and a deferred-checksum request is recorded on the
+    packet ({!Fox_basis.Packet.request_tx_csum}) for the link-layer fused
+    copy to settle — software TX checksum offload. *)
 val encode :
   ?alg:Fox_basis.Checksum.alg ->
+  ?defer:bool ->
   pseudo:Fox_basis.Checksum.acc option ->
   t ->
   Fox_basis.Packet.t ->
@@ -48,7 +52,9 @@ val encode :
 type error = Too_short | Bad_offset | Bad_checksum
 
 (** [decode ~pseudo p] reads, verifies and strips a header, leaving the
-    segment text in [p]'s window. *)
+    segment text in [p]'s window.  When the packet carries an RX sum memo
+    from a fused link copy ({!Fox_basis.Packet.cached_window_sum}), the
+    checksum is verified from the memo without re-reading the payload. *)
 val decode :
   ?alg:Fox_basis.Checksum.alg ->
   pseudo:Fox_basis.Checksum.acc option ->

@@ -40,6 +40,8 @@ let configure t ~ip ~prefix =
 let transmit t packet =
   if not t.closed then begin
     t.tx_frames <- t.tx_frames + 1;
+    (* the kernel sees these exact bytes: settle any deferred checksum *)
+    Packet.finalize_tx_csum packet;
     let len = Packet.length packet in
     let buf = Bytes.create len in
     Packet.blit packet 0 buf 0 len;

@@ -649,6 +649,166 @@ let test_trace_levels () =
   Trace.add ~level:Trace.Debug t ~time:8 "back";
   Alcotest.(check int) "re-enabled at debug" 4 (Trace.size t)
 
+(* ------------------------------------------------------------------ *)
+(* Zero-copy fast path: fused copy-and-checksum, offload, pooling      *)
+(* ------------------------------------------------------------------ *)
+
+(* The algorithm-equivalence grid of the fast-path PR: both checksum
+   implementations against the naive reference over every offset 0–7 ×
+   length 0–67 of a random buffer — all the alignment/parity shapes the
+   optimised loop special-cases. *)
+let checksum_alg_grid =
+  qtest ~count:60 "checksum: basic = optimized = reference on offset grid"
+    QCheck2.Gen.(string_size (int_range 75 160))
+    (fun s ->
+      let b = Bytes.of_string s in
+      let ok = ref true in
+      for off = 0 to 7 do
+        for len = 0 to 67 do
+          let r = Checksum.reference b off len in
+          if
+            Checksum.checksum ~alg:`Basic b off len <> r
+            || Checksum.checksum ~alg:`Optimized b off len <> r
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* One's-complement classes: equal mod 0xFFFF, both folded to 16 bits. *)
+let same_sum_class a b =
+  a land 0xFFFF = a && b land 0xFFFF = b && (a - b) mod 0xFFFF = 0
+
+let blit_checksum_agree =
+  qtest "copy: blit_checksum = blit + add_bytes"
+    QCheck2.Gen.(
+      tup4 (string_size (int_range 0 200)) (int_bound 7) (int_bound 7)
+        (int_bound 0xFFFF))
+    (fun (s, soff, doff, init) ->
+      let src = Bytes.of_string s in
+      let n = Bytes.length src in
+      let soff = min soff n in
+      let len = n - soff in
+      let d1 = Bytes.make (n + 16) 'x' and d2 = Bytes.make (n + 16) 'x' in
+      let sum = Copy.blit_checksum src soff d1 doff len ~init in
+      Copy.blit src soff d2 doff len;
+      let expect =
+        Checksum.fold16
+          (init + Checksum.finish (Checksum.add_bytes Checksum.zero src soff len))
+      in
+      Bytes.equal d1 d2 && same_sum_class sum expect)
+
+let with_pool f =
+  Packet.pool_reset ();
+  Packet.pool_enabled := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Packet.pool_enabled := false;
+      Packet.pool_reset ())
+    f
+
+let test_pool_recycle () =
+  with_pool (fun () ->
+      let p = Packet.create ~headroom:32 100 in
+      Packet.fill p 0xAB;
+      let buf = Packet.buffer p in
+      Packet.release p;
+      Packet.release p (* double release is a no-op *);
+      let q = Packet.create ~headroom:32 100 in
+      Alcotest.(check bool) "buffer recycled" true (Packet.buffer q == buf);
+      Alcotest.(check int) "length" 100 (Packet.length q);
+      Alcotest.(check int) "headroom" 32 (Packet.headroom q);
+      let all_zero = ref true in
+      for i = 0 to 99 do
+        if Packet.get_u8 q i <> 0 then all_zero := false
+      done;
+      Alcotest.(check bool) "recycled buffer is zero-filled" true !all_zero)
+
+let test_pool_refcount () =
+  with_pool (fun () ->
+      let p = Packet.create 64 in
+      let buf = Packet.buffer p in
+      Packet.retain p;
+      Packet.release p;
+      (* still referenced: a fresh create must not steal the buffer *)
+      let q = Packet.create 64 in
+      Alcotest.(check bool) "not stolen while referenced" false
+        (Packet.buffer q == buf);
+      Packet.release p;
+      let r = Packet.create 64 in
+      Alcotest.(check bool) "recycled after last release" true
+        (Packet.buffer r == buf))
+
+let with_offload f =
+  Packet.offload_enabled := true;
+  Fun.protect ~finally:(fun () -> Packet.offload_enabled := false) f
+
+(* Model one wire crossing: a 20-byte header with a zero checksum field at
+   offset 16 is deferred, [copy_fused] must patch the copy so the whole
+   window (plus the pseudo-sum [init]) verifies, leave the source deferred,
+   and leave the receive-side memo usable after the header is pulled. *)
+let test_offload_fused_roundtrip () =
+  with_offload (fun () ->
+      let payload = "the quick brown fox jumps over the lazy dog." in
+      let p = Packet.of_string ~headroom:24 payload in
+      Packet.push_header p 20;
+      for i = 0 to 19 do
+        Packet.set_u8 p i (i * 7 land 0xFF)
+      done;
+      Packet.set_u16 p 16 0;
+      let init = 0x1234 in
+      Packet.request_tx_csum p ~at:16 ~init;
+      let wire = Packet.copy_fused p in
+      Alcotest.(check int) "source field still deferred" 0 (Packet.get_u16 p 16);
+      Alcotest.(check bool) "copy field patched" true
+        (Packet.get_u16 wire 16 <> 0);
+      let whole =
+        Checksum.finish
+          (Checksum.add_bytes Checksum.zero (Packet.buffer wire)
+             (Packet.offset wire) (Packet.length wire))
+      in
+      Alcotest.(check int) "window + pseudo verifies" 0xFFFF
+        (Checksum.fold16 (init + whole));
+      (* receive side: pulling the (even-length) header leaves a memo that
+         sums exactly the remaining window *)
+      Packet.pull_header wire 20;
+      (match Packet.cached_window_sum wire with
+      | None -> Alcotest.fail "no RX memo after fused copy"
+      | Some cached ->
+        let direct =
+          Checksum.finish
+            (Checksum.add_bytes Checksum.zero (Packet.buffer wire)
+               (Packet.offset wire) (Packet.length wire))
+        in
+        Alcotest.(check bool) "memo = direct sum" true
+          (same_sum_class cached direct));
+      (* any in-window mutation kills the memo *)
+      Packet.set_u8 wire 3 0x55;
+      Alcotest.(check bool) "mutation invalidates memo" true
+        (Packet.cached_window_sum wire = None))
+
+(* Satellite guard: Seq.in_window around the 2^31 - 1 size ceiling. *)
+let test_seq_window_boundary () =
+  let module Seq = Fox_tcp.Seq in
+  let max_size = 0x7FFFFFFF in
+  Alcotest.(check bool) "base in" true
+    (Seq.in_window ~base:Seq.zero ~size:max_size Seq.zero);
+  Alcotest.(check bool) "last in" true
+    (Seq.in_window ~base:Seq.zero ~size:max_size (Seq.of_int (max_size - 1)));
+  Alcotest.(check bool) "one past out" false
+    (Seq.in_window ~base:Seq.zero ~size:max_size (Seq.of_int max_size));
+  Alcotest.(check bool) "just before out" false
+    (Seq.in_window ~base:Seq.zero ~size:max_size (Seq.add Seq.zero (-1)));
+  (* a base near the wrap point exercises the signed circular distance *)
+  let base = Seq.of_int 0xFFFF0000 in
+  Alcotest.(check bool) "wrapped last in" true
+    (Seq.in_window ~base ~size:max_size (Seq.add base (max_size - 1)));
+  Alcotest.(check bool) "wrapped one past out" false
+    (Seq.in_window ~base ~size:max_size (Seq.add base max_size));
+  Alcotest.check_raises "size 2^31 rejected"
+    (Invalid_argument "Seq.in_window: size must be at most 2^31 - 1")
+    (fun () ->
+      ignore (Seq.in_window ~base:Seq.zero ~size:(max_size + 1) Seq.zero))
+
 let () =
   Alcotest.run "fox_basis"
     [
@@ -709,10 +869,21 @@ let () =
           checksum_split;
           checksum_verify;
           checksum_adjust;
+          checksum_alg_grid;
         ] );
       ( "copy",
         Alcotest.test_case "exact" `Quick test_copy_exact
+        :: blit_checksum_agree
         :: List.map (fun (name, impl) -> copy_agree name impl) Copy.all );
+      ( "fastpath",
+        [
+          Alcotest.test_case "pool recycle" `Quick test_pool_recycle;
+          Alcotest.test_case "pool refcount" `Quick test_pool_refcount;
+          Alcotest.test_case "offload fused roundtrip" `Quick
+            test_offload_fused_roundtrip;
+          Alcotest.test_case "seq window boundary" `Quick
+            test_seq_window_boundary;
+        ] );
       ( "crc32",
         [
           Alcotest.test_case "vectors" `Quick test_crc32_vectors;

@@ -1007,6 +1007,82 @@ let test_fast_path_rejects_odd_segments () =
   Alcotest.(check bool) "dup ack not fast" false
     (Receive.fast_path params tcb old_ack ~now:0)
 
+(* Every fast-path hit replayed through the general DAG must land on an
+   identical TCB — the ablation's behavioural-invisibility claim, checked
+   here on both fast-path shapes with the differential machinery the fuzz
+   harness uses. *)
+let test_fast_path_differential () =
+  let mismatches = ref [] in
+  Receive.differential := true;
+  Receive.on_mismatch := (fun msg -> mismatches := msg :: !mismatches);
+  Fun.protect
+    ~finally:(fun () ->
+      Receive.differential := false;
+      Receive.on_mismatch := failwith)
+    (fun () ->
+      let tcb = estab_tcb () in
+      let data = mk_segment ~seq:5001 ~ack:(Some 1001) ~data:"quick" () in
+      Alcotest.(check bool) "data taken" true
+        (Receive.fast_path params tcb data ~now:0);
+      ignore (drain_actions tcb);
+      tcb.Tcb.cwnd <- 1 lsl 20;
+      Send.enqueue params tcb (Packet.of_string (String.make 1000 'q')) ~now:0;
+      ignore (drain_actions tcb);
+      let ack = mk_segment ~seq:5006 ~ack:(Some 2001) () in
+      Alcotest.(check bool) "ack taken" true
+        (Receive.fast_path params tcb ack ~now:10);
+      ignore (drain_actions tcb);
+      Alcotest.(check (list string)) "no divergence" [] !mismatches)
+
+(* ------------------------------------------------------------------ *)
+(* Delayed-ACK hygiene: leaving ESTABLISHED/CLOSE-WAIT must disarm it   *)
+(* ------------------------------------------------------------------ *)
+
+let arm_delayed_ack tcb =
+  tcb.Tcb.ack_pending <- true;
+  tcb.Tcb.ack_timer_on <- true
+
+let check_delayed_ack_cleared ?(actions = []) tcb =
+  Alcotest.(check bool) "ack_pending cleared" false tcb.Tcb.ack_pending;
+  Alcotest.(check bool) "ack timer disarmed" false tcb.Tcb.ack_timer_on;
+  let names =
+    match actions with [] -> action_names tcb | l -> List.map Tcb.action_name l
+  in
+  Alcotest.(check bool) "clear-timer queued" true
+    (List.mem "clear-timer:delayed-ack" names)
+
+let test_close_wait_close_cancels_delayed_ack () =
+  let tcb = estab_tcb () in
+  arm_delayed_ack tcb;
+  let state = State.close params (Tcb.Close_wait tcb) ~now:0 in
+  Alcotest.(check string) "last-ack" "LAST-ACK" (Tcb.state_name state);
+  check_delayed_ack_cleared tcb
+
+let test_abort_cancels_delayed_ack () =
+  let tcb = estab_tcb () in
+  arm_delayed_ack tcb;
+  let state = State.abort params (Tcb.Estab tcb) in
+  Alcotest.(check string) "closed" "CLOSED" (Tcb.state_name state);
+  check_delayed_ack_cleared tcb
+
+let test_time_wait_entry_cancels_delayed_ack () =
+  let tcb = estab_tcb () in
+  (* our FIN goes out... *)
+  let state = State.close params (Tcb.Estab tcb) ~now:0 in
+  Alcotest.(check string) "fin-wait-1" "FIN-WAIT-1" (Tcb.state_name state);
+  ignore (drain_actions tcb);
+  (* ...crosses the peer's FIN (simultaneous close → CLOSING)... *)
+  let peer_fin = mk_segment ~fin:true ~seq:5001 ~ack:(Some 1001) () in
+  let state = Receive.process params state peer_fin ~now:0 in
+  Alcotest.(check string) "closing" "CLOSING" (Tcb.state_name state);
+  ignore (drain_actions tcb);
+  arm_delayed_ack tcb;
+  (* ...and the ACK of our FIN enters TIME-WAIT: 2·MSL must be silent *)
+  let fin_ack = mk_segment ~seq:5002 ~ack:(Some 1002) () in
+  let state = Receive.process params state fin_ack ~now:0 in
+  Alcotest.(check string) "time-wait" "TIME-WAIT" (Tcb.state_name state);
+  check_delayed_ack_cleared tcb
+
 (* ------------------------------------------------------------------ *)
 (* Random segment storm: the state machine must never raise            *)
 (* ------------------------------------------------------------------ *)
@@ -1155,5 +1231,15 @@ let () =
           Alcotest.test_case "pure ack" `Quick test_fast_path_pure_ack;
           Alcotest.test_case "rejections" `Quick
             test_fast_path_rejects_odd_segments;
+          Alcotest.test_case "differential" `Quick test_fast_path_differential;
+        ] );
+      ( "delayed-ack",
+        [
+          Alcotest.test_case "close-wait close disarms" `Quick
+            test_close_wait_close_cancels_delayed_ack;
+          Alcotest.test_case "abort disarms" `Quick
+            test_abort_cancels_delayed_ack;
+          Alcotest.test_case "time-wait entry disarms" `Quick
+            test_time_wait_entry_cancels_delayed_ack;
         ] );
     ]
