@@ -725,10 +725,140 @@ let ablation_fastpath () =
   print_endline "\nwrote BENCH_pr4.json"
 
 (* ------------------------------------------------------------------ *)
+(* Overload survival: timer backends under load and the flood soak    *)
+(* ------------------------------------------------------------------ *)
+
+let time_cpu f =
+  let w0 = Sys.time () in
+  f ();
+  Sys.time () -. w0
+
+(* One timer backend under the two loads a busy TCP puts on it: churn
+   (every segment restarts the retransmission timer: start + clear, with
+   a standing population of armed timers behind it) and mass expiry
+   (every parked TIME-WAIT and delayed-ACK deadline actually firing).
+   Under the Figure 11 backend each armed timer is its own sleeping
+   thread, so even a cleared timer costs a wakeup at its deadline; the
+   wheel shares one sleeper across all of them. *)
+let timer_backend ~wheel ~live ~churn =
+  let saved = !Fox_sched.Timer.use_wheel in
+  Fox_sched.Timer.use_wheel := wheel;
+  Fun.protect
+    ~finally:(fun () -> Fox_sched.Timer.use_wheel := saved)
+    (fun () ->
+      let churn_s =
+        time_cpu (fun () ->
+            ignore
+              (Scheduler.run (fun () ->
+                   let standing =
+                     Array.init live (fun i ->
+                         Fox_sched.Timer.start ignore (10_000_000 + i))
+                   in
+                   for i = 0 to churn - 1 do
+                     Fox_sched.Timer.clear
+                       (Fox_sched.Timer.start ignore (100_000 + (i mod 997)))
+                   done;
+                   Array.iter Fox_sched.Timer.clear standing)))
+      in
+      let fire_s =
+        time_cpu (fun () ->
+            ignore
+              (Scheduler.run (fun () ->
+                   for i = 0 to live - 1 do
+                     ignore
+                       (Fox_sched.Timer.start ignore
+                          (1_000 + (i * 13 mod 50_000)))
+                   done)))
+      in
+      (churn_s, fire_s))
+
+let bench_soak () =
+  section "Overload survival: timer wheel vs heap, SYN-flood soak";
+  let module Soak = Fox_check.Soak in
+  let live = 2000 and churn = 50_000 in
+  Printf.printf
+    "Timer backends with %d standing timers: churn is %d start+clear pairs\n\
+     (TCP's per-segment retransmission-timer restart), fire lets all %d\n\
+     deadlines expire (TIME-WAIT / delayed-ACK mass expiry).\n\n"
+    live churn live;
+  let heap_churn, heap_fire = timer_backend ~wheel:false ~live ~churn in
+  let wheel_churn, wheel_fire = timer_backend ~wheel:true ~live ~churn in
+  let per_op s n = s /. float_of_int n *. 1e9 in
+  Printf.printf "  %-28s %14s %14s\n" "backend" "churn ns/op" "fire ns/timer";
+  Printf.printf "  %-28s %14.0f %14.0f\n" "heap (Figure 11 threads)"
+    (per_op heap_churn churn) (per_op heap_fire live);
+  Printf.printf "  %-28s %14.0f %14.0f\n" "hierarchical wheel"
+    (per_op wheel_churn churn) (per_op wheel_fire live);
+  Printf.printf
+    "\nFlood soak (%d staggered connections x %d B + %d-SYN flood + %d \
+     forged ACKs,\nadverse wire), both timer backends:\n\n"
+    Soak.default_config.Soak.conns Soak.default_config.Soak.bytes_per_conn
+    Soak.default_config.Soak.flood_syns
+    Soak.default_config.Soak.flood_bad_acks;
+  let run_soak wheel =
+    let w0 = Sys.time () in
+    let r = Soak.run { Soak.default_config with Soak.wheel } in
+    (r, Sys.time () -. w0)
+  in
+  let soak_row (label, (r, wall)) =
+    Printf.printf
+      "  %-8s %d/%d conns, %d flood segs -> %d extra accepts, %d RSTs, %d \
+       recycled, %.3f s virtual, %.2f s CPU\n"
+      label r.Soak.completed r.Soak.conns r.Soak.flood_sent
+      (max 0 (r.Soak.server_accepts - r.Soak.conns))
+      r.Soak.rsts_sent r.Soak.time_wait_recycled
+      (float_of_int r.Soak.end_time /. 1e6)
+      wall
+  in
+  let wheel_soak = run_soak true and heap_soak = run_soak false in
+  soak_row ("wheel", wheel_soak);
+  soak_row ("heap", heap_soak);
+  let oc = open_out "BENCH_pr5.json" in
+  let soak_json (r, wall) =
+    Printf.sprintf
+      "{\"conns\": %d, \"completed\": %d, \"flood_segments\": %d, \
+       \"flood_extra_accepts\": %d, \"flood_refused_fraction\": %.4f, \
+       \"rsts_sent\": %d, \"backlog_refused\": %d, \"syn_dropped\": %d, \
+       \"time_wait_recycled\": %d, \"wire_queue_drops\": %d, \
+       \"leaked_packets\": %d, \"virtual_s\": %.3f, \"cpu_s\": %.3f}"
+      r.Soak.conns r.Soak.completed r.Soak.flood_sent
+      (max 0 (r.Soak.server_accepts - r.Soak.conns))
+      (if r.Soak.flood_sent = 0 then 1.0
+       else
+         1.0
+         -. float_of_int (max 0 (r.Soak.server_accepts - r.Soak.conns))
+            /. float_of_int r.Soak.flood_sent)
+      r.Soak.rsts_sent r.Soak.backlog_refused r.Soak.syn_dropped
+      r.Soak.time_wait_recycled r.Soak.wire_queue_drops r.Soak.leaked_packets
+      (float_of_int r.Soak.end_time /. 1e6)
+      wall
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"pr5_overload_survival\",\n\
+    \  \"timers\": {\n\
+    \    \"standing\": %d,\n\
+    \    \"churn_ops\": %d,\n\
+    \    \"heap_churn_ns_per_op\": %.0f,\n\
+    \    \"wheel_churn_ns_per_op\": %.0f,\n\
+    \    \"heap_fire_ns_per_timer\": %.0f,\n\
+    \    \"wheel_fire_ns_per_timer\": %.0f\n\
+    \  },\n\
+    \  \"soak_wheel\": %s,\n\
+    \  \"soak_heap\": %s\n\
+     }\n"
+    live churn (per_op heap_churn churn) (per_op wheel_churn churn)
+    (per_op heap_fire live) (per_op wheel_fire live)
+    (soak_json wheel_soak) (soak_json heap_soak);
+  close_out oc;
+  print_endline "\nwrote BENCH_pr5.json"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   match Sys.argv with
   | [| _; "fastpath" |] -> ablation_fastpath ()
+  | [| _; "soak" |] -> bench_soak ()
   | [| _ |] ->
     Printf.printf
       "Fox Net benchmark harness — reproduces the evaluation of\n\
@@ -743,7 +873,8 @@ let () =
     ablation_delayed_ack ();
     ablation_priority ();
     ablation_fastpath ();
+    bench_soak ();
     Printf.printf "\n%s\ndone.\n" line
   | _ ->
-    prerr_endline "usage: main [fastpath]";
+    prerr_endline "usage: main [fastpath|soak]";
     exit 2

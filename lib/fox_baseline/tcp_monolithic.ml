@@ -44,6 +44,10 @@ module type PARAMS = sig
   val max_retransmits : int
   val time_wait_us : int
   val send_buffer_bytes : int
+
+  (** Half-open (SYN-RECEIVED) connections a listener may hold; further
+      SYNs are silently dropped.  0 = unbounded. *)
+  val listen_backlog : int
 end
 
 module Default_params : PARAMS = struct
@@ -55,6 +59,7 @@ module Default_params : PARAMS = struct
   let max_retransmits = 12
   let time_wait_us = 60_000_000
   let send_buffer_bytes = 65536
+  let listen_backlog = 128
 end
 
 type stats = {
@@ -63,6 +68,7 @@ type stats = {
   bad_segments : int;
   rsts_sent : int;
   retransmissions : int;
+  syn_dropped : int;  (** SYNs dropped because a listener's backlog was full *)
 }
 
 module Make
@@ -179,6 +185,9 @@ end = struct
     send_space : unit Fox_sched.Cond.t;
     mutable open_done : bool;
     mutable close_reason : Status.t option;
+    mutable half_open_of : listener option;
+        (** the listener whose backlog this SYN-RECEIVED connection
+            occupies, until established or torn down *)
   }
 
   and listener = {
@@ -186,6 +195,7 @@ end = struct
     l_port : int;
     l_handler : handler;
     mutable l_active : bool;
+    mutable l_half_open : int;  (** SYN-RECEIVED connections held *)
   }
 
   and handler = connection -> data_handler * status_handler
@@ -202,6 +212,7 @@ end = struct
     mutable segs_out : int;
     mutable bad_segments : int;
     mutable rsts_sent : int;
+    mutable syn_dropped : int;
     (* retransmissions of connections already removed from [conns], so
        [stats] stays accurate after teardown *)
     mutable dead_retransmissions : int;
@@ -287,8 +298,18 @@ end = struct
       conn.rtx_timer <- None
     | None -> ()
 
+  (* A SYN-RECEIVED connection stops occupying its listener's backlog
+     slot: it established, or it died. *)
+  let leave_half_open conn =
+    match conn.half_open_of with
+    | Some l ->
+      conn.half_open_of <- None;
+      l.l_half_open <- l.l_half_open - 1
+    | None -> ()
+
   let teardown conn reason =
     if conn.st <> DEAD then begin
+      leave_half_open conn;
       if !Bus.live then
         Bus.emit ~layer:"baseline" ~conn:(obs_id conn)
           (Bus.Note ("teardown: " ^ Status.to_string reason));
@@ -570,6 +591,7 @@ end = struct
           && Seq.le hdr.Tcp_header.ack conn.snd_nxt
         then begin
           conn.st <- ESTAB;
+          leave_half_open conn;
           conn.open_done <- true;
           Fox_sched.Cond.signal conn.open_mb (Ok ());
           conn.status Status.Connected
@@ -653,6 +675,7 @@ end = struct
       send_space = Fox_sched.Cond.create ();
       open_done = false;
       close_reason = None;
+      half_open_of = None;
     }
 
   let accept t lconn (hdr : Tcp_header.t) listener =
@@ -662,6 +685,8 @@ end = struct
         ~remote_port:hdr.Tcp_header.src_port ~lower:lconn ~st:SYN_RCVD
         ~iss:(fresh_iss t)
     in
+    conn.half_open_of <- Some listener;
+    listener.l_half_open <- listener.l_half_open + 1;
     conn.irs <- hdr.Tcp_header.seq;
     conn.rcv_nxt <- Seq.add hdr.Tcp_header.seq 1;
     conn.snd_wnd <- hdr.Tcp_header.window;
@@ -743,7 +768,19 @@ end = struct
           when l.l_active && hdr.Tcp_header.syn
                && (not hdr.Tcp_header.ack_flag)
                && not hdr.Tcp_header.rst ->
-          accept t lconn hdr l
+          if
+            Params.listen_backlog > 0
+            && l.l_half_open >= Params.listen_backlog
+          then begin
+            (* backlog full: drop the SYN silently, like the classic BSD
+               stacks this engine mirrors — the client's retransmission
+               is the retry *)
+            t.syn_dropped <- t.syn_dropped + 1;
+            if !Bus.live then
+              Bus.emit ~layer:"baseline"
+                (Bus.Note "syn dropped: backlog full")
+          end
+          else accept t lconn hdr l
         | _ -> if not hdr.Tcp_header.rst then send_refusal t lconn hdr (Packet.length packet)))
 
   let lower_conn_for t host =
@@ -797,7 +834,13 @@ end = struct
     if Hashtbl.mem t.listeners local_port then
       raise (Connection_failed "baseline tcp: port busy");
     let l =
-      { l_t = t; l_port = local_port; l_handler = handler; l_active = true }
+      {
+        l_t = t;
+        l_port = local_port;
+        l_handler = handler;
+        l_active = true;
+        l_half_open = 0;
+      }
     in
     Hashtbl.replace t.listeners local_port l;
     l
@@ -872,6 +915,7 @@ end = struct
         Hashtbl.fold
           (fun _ c acc -> acc + c.retransmissions)
           t.conns t.dead_retransmissions;
+      syn_dropped = t.syn_dropped;
     }
 
   let pp_address fmt { peer; port; local_port } =
@@ -894,6 +938,7 @@ end = struct
         segs_out = 0;
         bad_segments = 0;
         rsts_sent = 0;
+        syn_dropped = 0;
         dead_retransmissions = 0;
       }
     in

@@ -97,6 +97,13 @@ let alloc_buf total =
         incr pool_misses;
         Bytes.make (class_size c) '\000')
 
+(* Packets alive right now: created (any constructor) and not yet
+   released to a zero count.  The overload soak brackets a run with this
+   to prove that every drop path gives its buffer back. *)
+let live_count = ref 0
+
+let live_packets () = !live_count
+
 let retain p = p.refs <- p.refs + 1
 
 let release p =
@@ -104,6 +111,7 @@ let release p =
      packet (e.g. from a differential shadow replay) is a no-op. *)
   if p.refs > 0 then begin
     p.refs <- p.refs - 1;
+    if p.refs = 0 then decr live_count;
     if p.refs = 0 && !pool_enabled then begin
       match class_of_exact (Bytes.length p.buf) with
       | Some c when free_count.(c) < class_cap ->
@@ -132,6 +140,7 @@ let pool_stats () =
 
 let create ?(headroom = 0) ?(tailroom = 0) len =
   if len < 0 || headroom < 0 || tailroom < 0 then invalid_arg "Packet.create";
+  incr live_count;
   {
     buf = alloc_buf (headroom + len + tailroom);
     off = headroom;

@@ -130,6 +130,12 @@ val pool_reset : unit -> unit
     observability bus. *)
 val pool_stats : unit -> string
 
+(** Packets currently alive: created by any constructor and not yet
+    released down to a zero reference count.  The difference across a
+    run is the number of leaked buffers — the overload soak asserts it
+    is zero. *)
+val live_packets : unit -> int
+
 (** Accessors, indexed from the start of the current window. *)
 
 val get_u8 : t -> int -> int

@@ -39,13 +39,23 @@ module Fip = Faulty.Make (Ip)
 module Faux = Fip.Lift_aux (Ip_aux)
 
 (* Short TIME-WAIT and RTO floors keep each schedule's virtual span small;
-   the machinery exercised is the same. *)
+   the machinery exercised is the same.  The overload defenses run hot in
+   every schedule: the structured engine holds half-open handshakes in its
+   SYN cache (falling back to cookies when the small backlog fills) and
+   bounds its queues, the baseline caps half-open TCBs per listener — so
+   the scripted SYN floods below stress both engines' refusal paths while
+   the differential oracle checks the real transfer still agrees. *)
 module Tcp_params : Fox_tcp.Tcp.PARAMS = struct
   include Fox_tcp.Tcp.Default_params
 
   let time_wait_us = 1_000_000
   let rto_min_us = 50_000
   let rto_initial_us = 200_000
+  let listen_backlog = 8
+  let syn_cache = true
+  let syn_cookies = true
+  let max_ooo_bytes = 32768
+  let max_to_do = 512
 end
 
 module Baseline_params : Fox_baseline.Tcp_monolithic.PARAMS = struct
@@ -54,10 +64,12 @@ module Baseline_params : Fox_baseline.Tcp_monolithic.PARAMS = struct
   let time_wait_us = 1_000_000
   let rto_min_us = 50_000
   let rto_initial_us = 200_000
+  let listen_backlog = 4
 end
 
 module Tcp = Fox_tcp.Tcp.Make (Fip) (Faux) (Tcp_params)
 module Baseline = Fox_baseline.Tcp_monolithic.Make (Fip) (Faux) (Baseline_params)
+module Flood = Synflood.Make (Fip) (Faux)
 
 (* ------------------------------------------------------------------ *)
 (* Schedules                                                          *)
@@ -77,6 +89,9 @@ type schedule = {
   ip_drop : float;  (** silent drop below TCP *)
   ip_fail : float;  (** [Send_failed] below TCP *)
   connect_fail : int;  (** transient lower connect failures (client) *)
+  syn_flood : int;  (** scripted half-open SYNs from the attacker host *)
+  flood_rst : bool;  (** the attacker later abandons each SYN with an RST *)
+  bad_acks : int;  (** forged-cookie bare ACKs from the attacker *)
   finale : user_event;
 }
 
@@ -86,11 +101,13 @@ let pp_schedule fmt s =
   Format.fprintf fmt
     "{seed=%d; chunks=[%s]; delay=%dus; loss=%.3f; dup=%.3f; reorder=%.3f; \
      corrupt=%.3f; eth_drop=%.3f; ip_drop=%.3f; ip_fail=%.3f; \
-     connect_fail=%d; finale=%s}"
+     connect_fail=%d; syn_flood=%d%s; bad_acks=%d; finale=%s}"
     s.seed
     (String.concat ";" (List.map string_of_int s.chunks))
     s.delay_us s.loss s.duplicate s.reorder s.corrupt s.eth_drop s.ip_drop
-    s.ip_fail s.connect_fail (pp_user_event s.finale)
+    s.ip_fail s.connect_fail s.syn_flood
+    (if s.flood_rst then "+rst" else "")
+    s.bad_acks (pp_user_event s.finale)
 
 let schedule_to_string s = Format.asprintf "%a" pp_schedule s
 
@@ -113,6 +130,9 @@ let generate ~seed =
     ip_drop = pick [| 0.0; 0.0; 0.05 |];
     ip_fail = pick [| 0.0; 0.0; 0.05 |];
     connect_fail = (if Rng.bool rng 0.1 then 1 else 0);
+    syn_flood = pick [| 0; 0; 0; 6; 12 |];
+    flood_rst = Rng.bool rng 0.3;
+    bad_acks = pick [| 0; 0; 0; 3 |];
     finale = (if Rng.bool rng 0.15 then Abort else Close);
   }
 
@@ -132,6 +152,10 @@ let netem_of s =
 (* ------------------------------------------------------------------ *)
 
 type fuzz_host = { addr : Ipv4_addr.t; fip : Fip.t }
+
+(* Client, server and attacker share one wire, so the flood contends for
+   the same medium the real transfer uses. *)
+let n_ports = 3
 
 let mac_of addr =
   Mac.of_string
@@ -158,7 +182,7 @@ let make_host link index ~addr ~eth_cfg ~ip_cfg =
   { addr; fip = Fip.create ip ip_cfg }
 
 let hosts_for s ~engine_salt =
-  let link = Link.point_to_point (netem_of s) in
+  let link = Link.hub ~ports:n_ports (netem_of s) in
   let cfg seed' ~connect_fail ~allow_fail =
     {
       Faulty.rng = Rng.create seed';
@@ -182,7 +206,25 @@ let hosts_for s ~engine_salt =
       ~eth_cfg:(cfg (salt lxor 0xe2) ~connect_fail:0 ~allow_fail:false)
       ~ip_cfg:(cfg (salt lxor 0x1b) ~connect_fail:0 ~allow_fail:true)
   in
-  (a, b)
+  (* the attacker's own layers are fault-free: its frames face only the
+     shared medium's adversity, so the flood's shape is schedule-driven *)
+  let clean seed' =
+    {
+      Faulty.rng = Rng.create seed';
+      allocate_fail = 0.0;
+      send_fail = 0.0;
+      send_drop = 0.0;
+      connect_fail = 0;
+      finalize_abort = false;
+    }
+  in
+  let atk =
+    make_host link 2
+      ~addr:(Ipv4_addr.of_string "10.0.0.3")
+      ~eth_cfg:(clean (salt lxor 0xe3))
+      ~ip_cfg:(clean (salt lxor 0x1c))
+  in
+  (a, b, atk)
 
 (* ------------------------------------------------------------------ *)
 (* Engines                                                            *)
@@ -307,10 +349,35 @@ type run_result = {
 
 let port = 7777
 
+(* The scripted flood: half-open SYNs (optionally abandoned with RSTs, the
+   path that clears a SYN-cache entry early) and forged-cookie bare ACKs,
+   paced so the whole barrage lands while the real transfer is in
+   flight. *)
+let run_flood s atk ~target ~event =
+  if s.syn_flood > 0 || s.bad_acks > 0 then
+    Scheduler.fork (fun () ->
+        let flood = Flood.create atk.fip ~target in
+        let ports = ref [] in
+        for _ = 1 to s.syn_flood do
+          ports := Flood.syn flood ~dst_port:port :: !ports;
+          Scheduler.sleep 700
+        done;
+        for _ = 1 to s.bad_acks do
+          Flood.bare_ack flood ~dst_port:port;
+          Scheduler.sleep 700
+        done;
+        if s.flood_rst then
+          List.iter
+            (fun src_port ->
+              Flood.rst flood ~src_port ~dst_port:port;
+              Scheduler.sleep 300)
+            (List.rev !ports);
+        event (Printf.sprintf "flood done (%d segments)" (Flood.sent flood)))
+
 let run_engine (type t) (module E : ENGINE with type t = t) s ~engine_salt
     ~with_invariants =
   let payload = payload_of s in
-  let a, b = hosts_for s ~engine_salt in
+  let a, b, atk = hosts_for s ~engine_salt in
   let delivered = Buffer.create (String.length payload) in
   let events = ref [] in
   let event fmt =
@@ -396,6 +463,11 @@ let run_engine (type t) (module E : ENGINE with type t = t) s ~engine_salt
             match conn with
             | None -> ()
             | Some conn ->
+              (* the flood starts once the real connection is up, so the
+                 oracle checks established transfers survive it; refusal
+                 during connect is the soak harness's territory *)
+              run_flood s atk ~target:b.addr ~event:(fun msg ->
+                  event "%s" msg);
               let offset = ref 0 in
               List.iteri
                 (fun i size ->
@@ -548,6 +620,9 @@ let minimize s0 =
         (if s.ip_drop > 0.0 then [ { s with ip_drop = 0.0 } ] else []);
         (if s.ip_fail > 0.0 then [ { s with ip_fail = 0.0 } ] else []);
         (if s.connect_fail > 0 then [ { s with connect_fail = 0 } ] else []);
+        (if s.syn_flood > 0 then [ { s with syn_flood = 0 } ] else []);
+        (if s.flood_rst then [ { s with flood_rst = false } ] else []);
+        (if s.bad_acks > 0 then [ { s with bad_acks = 0 } ] else []);
         (if s.delay_us > 0 then [ { s with delay_us = 0 } ] else []);
       ]
   in

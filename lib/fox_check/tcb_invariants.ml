@@ -138,6 +138,25 @@ let violations (info : Check_hook.info) : string list =
         | _ -> ()
       in
       ooo_sorted tcb.Tcb.out_of_order;
+      (* out-of-order byte accounting: the cached total the overload
+         policy trims against must equal the real queue contents *)
+      let ooo_actual =
+        List.fold_left
+          (fun acc (s : Tcb.segment) ->
+            acc + Fox_basis.Packet.length s.Tcb.data)
+          0 tcb.Tcb.out_of_order
+      in
+      if tcb.Tcb.ooo_bytes <> ooo_actual then
+        fail "ooo_bytes %d but queue holds %d bytes" tcb.Tcb.ooo_bytes
+          ooo_actual;
+      if tcb.Tcb.ooo_trimmed < 0 then
+        fail "ooo_trimmed %d negative" tcb.Tcb.ooo_trimmed;
+      (* to_do length accounting: the cached count load shedding reads
+         must equal the actual pending queue *)
+      let pending_actual = List.length info.Check_hook.pending in
+      if tcb.Tcb.to_do_len <> pending_actual then
+        fail "to_do_len %d but %d actions pending" tcb.Tcb.to_do_len
+          pending_actual;
       (* timer flags vs pending timer actions *)
       if tcb.Tcb.rtx_timer_on <> effective_armed info Tcb.Retransmit then
         fail "rtx_timer_on=%b inconsistent with timers/to_do"

@@ -14,6 +14,7 @@ type stats = {
   duplicated : int;
   corrupted : int;
   unclaimed : int;
+  queue_drops : int;
 }
 
 type port_state = {
@@ -26,6 +27,7 @@ type port_state = {
   mutable duplicated : int;
   mutable corrupted : int;
   mutable unclaimed : int;
+  mutable queue_drops : int;
 }
 
 type t = {
@@ -36,6 +38,9 @@ type t = {
   (* virtual time at which each transmit direction is free; a hub has a
      single shared medium, a point-to-point link one per direction *)
   mutable medium_free_at : int array;
+  (* frames currently waiting (not yet serialising) per medium, for the
+     finite egress queue *)
+  queued : int array;
 }
 
 let new_port_state () =
@@ -49,12 +54,16 @@ let new_port_state () =
     duplicated = 0;
     corrupted = 0;
     unclaimed = 0;
+    queue_drops = 0;
   }
 
 let deliver t dst (frame : Packet.t) =
   let p = t.ports.(dst) in
   match p.receive with
-  | None -> p.unclaimed <- p.unclaimed + 1
+  | None ->
+    p.unclaimed <- p.unclaimed + 1;
+    (* nobody will ever see this copy: give the buffer back *)
+    Packet.release frame
   | Some handler ->
     p.rx_frames <- p.rx_frames + 1;
     p.rx_bytes <- p.rx_bytes + Packet.length frame;
@@ -87,6 +96,20 @@ let transmit t src frame =
   let medium = if t.shared_medium then 0 else src in
   let now = Fox_sched.Scheduler.now () in
   let start = max now t.medium_free_at.(medium) in
+  (* Finite egress queue: a frame that would have to wait for the medium
+     while [queue_frames] others already wait is tail-dropped — the real
+     congestion loss an unbounded simulation never produces.  The caller
+     still owns its packet (we have not copied it), so nothing leaks. *)
+  let cap = t.netem.Netem.queue_frames in
+  if cap > 0 && start > now && t.queued.(medium) >= cap then
+    ps.queue_drops <- ps.queue_drops + 1
+  else begin
+  if start > now then begin
+    t.queued.(medium) <- t.queued.(medium) + 1;
+    Fox_sched.Scheduler.fork (fun () ->
+        Fox_sched.Scheduler.sleep (start - now);
+        t.queued.(medium) <- t.queued.(medium) - 1)
+  end;
   let tx_time = Netem.tx_time_us t.netem len in
   t.medium_free_at.(medium) <- start + tx_time;
   let base_arrival = start + tx_time + t.netem.Netem.propagation_us in
@@ -118,6 +141,7 @@ let transmit t src frame =
         end
       end)
     destinations
+  end
 
 let make ~ports ~shared netem =
   let mediums = if shared then 1 else ports in
@@ -127,6 +151,7 @@ let make ~ports ~shared netem =
     ports = Array.init ports (fun _ -> new_port_state ());
     shared_medium = shared;
     medium_free_at = Array.make mediums 0;
+    queued = Array.make mediums 0;
   }
 
 let point_to_point netem = make ~ports:2 ~shared:false netem
@@ -153,6 +178,7 @@ let stats t i =
     duplicated = p.duplicated;
     corrupted = p.corrupted;
     unclaimed = p.unclaimed;
+    queue_drops = p.queue_drops;
   }
 
 let config t = t.netem

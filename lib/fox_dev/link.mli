@@ -27,6 +27,9 @@ type stats = {
   duplicated : int;
   corrupted : int;
   unclaimed : int;  (** frames delivered with no receive handler set *)
+  queue_drops : int;
+      (** frames tail-dropped because [queue_frames] others were already
+          waiting for the medium (finite egress queue) *)
 }
 
 type t

@@ -6,6 +6,7 @@ type t = {
   reorder : float;
   reorder_jitter_us : int;
   corrupt : float;
+  queue_frames : int;
   seed : int;
 }
 
@@ -18,6 +19,7 @@ let perfect =
     reorder = 0.0;
     reorder_jitter_us = 0;
     corrupt = 0.0;
+    queue_frames = 0;
     seed = 1;
   }
 
@@ -27,7 +29,7 @@ let ethernet_10mbps =
 let gigabit = { perfect with bandwidth_bps = 1_000_000_000; propagation_us = 10 }
 
 let adverse ?(loss = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0) ?(corrupt = 0.0)
-    ~seed base =
+    ?queue_frames ~seed base =
   {
     base with
     loss;
@@ -37,6 +39,8 @@ let adverse ?(loss = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0) ?(corrupt = 0.0)
     reorder_jitter_us =
       (if reorder > 0.0 && base.reorder_jitter_us = 0 then 2000
        else base.reorder_jitter_us);
+    queue_frames =
+      (match queue_frames with Some q -> q | None -> base.queue_frames);
     seed;
   }
 
@@ -48,5 +52,6 @@ let tx_time_us t bytes =
 
 let pp fmt t =
   Format.fprintf fmt
-    "%d bps, %d us prop, loss=%.3f dup=%.3f reorder=%.3f corrupt=%.3f"
+    "%d bps, %d us prop, loss=%.3f dup=%.3f reorder=%.3f corrupt=%.3f queue=%s"
     t.bandwidth_bps t.propagation_us t.loss t.duplicate t.reorder t.corrupt
+    (if t.queue_frames = 0 then "inf" else string_of_int t.queue_frames)

@@ -15,6 +15,11 @@ type t = {
   reorder : float;  (** probability a frame gets extra jitter delay *)
   reorder_jitter_us : int;  (** maximum extra delay for jittered frames *)
   corrupt : float;  (** probability one bit of the frame is flipped *)
+  queue_frames : int;
+      (** finite egress queue: maximum frames allowed to wait for the
+          medium per direction; further frames are tail-dropped (counted
+          in the port's [queue_drops]).  [0] means unbounded — the
+          pre-PR-5 behaviour where a saturated link buffers forever *)
   seed : int;  (** PRNG seed: identical configs replay identically *)
 }
 
@@ -27,13 +32,15 @@ val ethernet_10mbps : t
 (** A modern-ish fast LAN (1 Gb/s, 10 µs). *)
 val gigabit : t
 
-(** [adverse ~seed ?loss ?duplicate ?reorder ?corrupt base] overlays
-    impairments on [base]. *)
+(** [adverse ~seed ?loss ?duplicate ?reorder ?corrupt ?queue_frames base]
+    overlays impairments on [base].  [queue_frames] defaults to the
+    base's value. *)
 val adverse :
   ?loss:float ->
   ?duplicate:float ->
   ?reorder:float ->
   ?corrupt:float ->
+  ?queue_frames:int ->
   seed:int ->
   t ->
   t

@@ -148,20 +148,29 @@ module Make (Params : PARAMS) : S = struct
     conn.status Fox_proto.Status.Connected;
     conn
 
+  (* Every frame handed to [receive] is owned by this station: a frame
+     that is not delivered to a handler (bad FCS, undecodable, another
+     station's, no listener) must be released or its buffer leaks — on a
+     shared medium every transmission reaches every station, so the
+     promiscuous-drop path runs for almost every frame on the wire. *)
   let receive t frame =
+    let drop count =
+      count ();
+      Packet.release frame
+    in
     (* the FCS covers the whole frame, so it is checked (and stripped)
        before the header is even looked at — exactly what the NIC does *)
     if Params.do_crc && not (Frame.check_and_strip_fcs frame) then
-      t.rx_bad_crc <- t.rx_bad_crc + 1
+      drop (fun () -> t.rx_bad_crc <- t.rx_bad_crc + 1)
     else
       match Frame.decode frame with
-      | None -> t.rx_unknown <- t.rx_unknown + 1
+      | None -> drop (fun () -> t.rx_unknown <- t.rx_unknown + 1)
       | Some { Frame.dst; src; ethertype } ->
         if
           not
             (Mac.equal dst t.mac || Mac.is_broadcast dst
            || Mac.is_multicast dst)
-        then t.rx_not_mine <- t.rx_not_mine + 1
+        then drop (fun () -> t.rx_not_mine <- t.rx_not_mine + 1)
         else begin
         match Hashtbl.find_opt t.conns (Mac.to_int src, ethertype) with
         | Some conn ->
@@ -175,7 +184,7 @@ module Make (Params : PARAMS) : S = struct
             in
             t.rx_delivered <- t.rx_delivered + 1;
             conn.data frame
-          | Some _ | None -> t.rx_unknown <- t.rx_unknown + 1)
+          | Some _ | None -> drop (fun () -> t.rx_unknown <- t.rx_unknown + 1))
       end
 
   let create device ~mac =

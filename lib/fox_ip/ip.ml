@@ -204,17 +204,25 @@ module Make
         let conn = install_connection t ~peer:hdr.src ~proto:hdr.proto l.l_handler in
         t.rx_delivered <- t.rx_delivered + 1;
         conn.data packet
-      | Some _ | None -> t.rx_unknown_proto <- t.rx_unknown_proto + 1)
+      | Some _ | None ->
+        (* no taker above: the datagram dies here, give its buffer back *)
+        t.rx_unknown_proto <- t.rx_unknown_proto + 1;
+        Packet.release packet)
 
   let receive t packet =
     match Ipv4_header.decode ~checksum:Params.compute_checksums packet with
-    | Error _ -> t.rx_bad_header <- t.rx_bad_header + 1
+    | Error _ ->
+      t.rx_bad_header <- t.rx_bad_header + 1;
+      Packet.release packet
     | Ok hdr ->
       if
         not
           (Ipv4_addr.equal hdr.dst t.config.local_ip
           || Ipv4_addr.is_broadcast hdr.dst)
-      then t.rx_not_mine <- t.rx_not_mine + 1
+      then begin
+        t.rx_not_mine <- t.rx_not_mine + 1;
+        Packet.release packet
+      end
       else if hdr.more_fragments || hdr.fragment_offset > 0 then begin
         t.rx_fragments <- t.rx_fragments + 1;
         let key =

@@ -167,7 +167,11 @@ let reset () =
   global.len <- 0;
   global.dropped <- 0;
   emitted_count := 0;
-  Hashtbl.reset conn_rings
+  Hashtbl.reset conn_rings;
+  (* stats providers too: a reset marks a fresh experiment, and stale
+     providers would otherwise pin dead engines (and their closures)
+     for the life of the process *)
+  Hashtbl.reset stats_providers
 
 let enable ?capacity ?per_conn () =
   (match capacity with

@@ -45,7 +45,15 @@ type state = {
   mutable stopping : bool;
 }
 
+(* Monotonic count of scheduler runs in this process.  Global timer state
+   (e.g. the timing wheel) keys off this to detect that a previous run's
+   entries are stale and must be discarded. *)
+let runs = ref 0
+
+let epoch () = !runs
+
 let run ?(start_time = 0) ?(realtime = false) ?idle main =
+  incr runs;
   let st =
     {
       clock = start_time;

@@ -80,3 +80,10 @@ val exit_thread : unit -> 'a
 val stop : unit -> 'a
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** [epoch ()] identifies the current scheduler run: it increments each
+    time {!run} is entered.  Process-global structures that cache timers
+    or threads across runs (notably the {!Wheel} timer backend) compare
+    epochs to discard state belonging to a finished run.  May be called
+    outside a running scheduler. *)
+val epoch : unit -> int

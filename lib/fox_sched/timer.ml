@@ -1,17 +1,35 @@
-(* A direct port of Figure 11: the timer is an updatable boolean shared
-   between the creator and the sleeping thread's closure. *)
+(* The paper's Figure-11 timer interface, with two backends.
 
-type t = bool ref
+   [Threaded] is a direct port of Figure 11: the timer is an updatable
+   boolean shared between the creator and the sleeping thread's closure.
+   Every armed timer is one scheduler sleeper, so it is exact to the
+   microsecond but costs a heap entry per timer — the ablation baseline.
+
+   [Wheeled] parks the timer in the hierarchical timing wheel instead:
+   O(1) arm/clear and a single shared alarm sleeper, at the price of
+   firing up to one wheel grain (~1 ms virtual) late.  Select it with
+   [use_wheel] before the stack starts arming timers. *)
+
+type t = Threaded of bool ref | Wheeled of Wheel.entry
+
+let use_wheel = ref false
 
 let start handler us =
-  let cleared = ref false in
-  let sleep () =
-    Scheduler.sleep us;
-    if !cleared then () else handler ()
-  in
-  Scheduler.fork sleep;
-  cleared
+  if !use_wheel then Wheeled (Wheel.schedule handler us)
+  else begin
+    let cleared = ref false in
+    let sleep () =
+      Scheduler.sleep us;
+      if !cleared then () else handler ()
+    in
+    Scheduler.fork sleep;
+    Threaded cleared
+  end
 
-let clear cleared = cleared := true
+let clear = function
+  | Threaded cleared -> cleared := true
+  | Wheeled e -> Wheel.cancel e
 
-let cleared t = !t
+let cleared = function
+  | Threaded cleared -> !cleared
+  | Wheeled e -> Wheel.cancelled e

@@ -1,0 +1,271 @@
+(* A hierarchical timing wheel (Varghese & Lauck) behind the paper's
+   Figure-11 timer interface.
+
+   The Figure-11 timer costs one scheduler sleeper — one heap entry — per
+   armed timer.  That is fine for a handful of connections but at
+   thousands of concurrent RTO / delayed-ACK / TIME-WAIT timers the
+   scheduler's sleep queue becomes the hot structure, and clearing a
+   timer leaves a dead sleeper behind that still must bubble through the
+   heap.  The wheel stores entries in an array of slots instead:
+
+     - [levels] wheels of [slots] slots each; level 0 has a granularity
+       of [granularity_us] virtual microseconds per slot, each higher
+       level is [slots] times coarser.
+     - insert and cancel are O(1): a couple of shifts to find the slot,
+       a list cons, or a flag write.
+     - advancing is O(occupied slots crossed + entries fired); empty
+       level-0 rounds are skipped in one step, so a long idle gap costs
+       one cascade per round rather than one iteration per tick.
+
+   Virtual time makes the classic "tick thread" design wasteful: a
+   thread ticking every granule would hold the scheduler hostage and
+   inflate every run's end time.  Instead the wheel arms a single
+   *alarm*: a scheduler sleeper aimed at the earliest deadline it knows
+   about.  Inserting an earlier timer arms a new alarm; stale alarms
+   wake, find nothing due, and exit.  When the last live entry fires or
+   is cancelled no new alarm is armed, so a run can still terminate.
+
+   Handlers may fire up to [granularity_us - 1] microseconds after their
+   requested deadline (never before): deadlines are rounded up to the
+   next tick boundary.  TCP's timers are tens of milliseconds and up, so
+   a ~1 ms grain is far below their natural jitter.
+
+   The wheel is process-global, like the scheduler itself.  It tags its
+   state with {!Scheduler.epoch}; entries inserted during a previous run
+   are discarded wholesale when a new run first touches the wheel. *)
+
+let levels = 4
+let slot_bits = 8
+let slots = 1 lsl slot_bits
+let slot_mask = slots - 1
+let granularity_bits = 10
+let granularity_us = 1 lsl granularity_bits
+
+type entry = {
+  tick : int; (* ceil (deadline / granularity): fires when the wheel gets here *)
+  handler : unit -> unit;
+  born : int; (* Scheduler.epoch at insertion *)
+  mutable cancelled : bool;
+  mutable fired : bool;
+}
+
+type stats = {
+  mutable scheduled : int;
+  mutable fires : int;
+  mutable cancels : int;
+  mutable cascades : int; (* entries moved down a level *)
+  mutable alarms : int; (* alarm threads forked *)
+}
+
+type t = {
+  mutable epoch : int;
+  mutable cur_tick : int; (* wheel has processed slots up to this tick *)
+  mutable live : int; (* entries neither fired nor cancelled *)
+  resident : int array; (* entries (incl. dead ones) per level *)
+  slot : entry list ref array array; (* level -> slot -> reversed entries *)
+  mutable overdue : entry list; (* reversed; tick already passed *)
+  mutable armed_at : int; (* earliest pending alarm; max_int = none *)
+  stats : stats;
+}
+
+let w =
+  {
+    epoch = -1;
+    cur_tick = 0;
+    live = 0;
+    resident = Array.make levels 0;
+    slot = Array.init levels (fun _ -> Array.init slots (fun _ -> ref []));
+    overdue = [];
+    armed_at = max_int;
+    stats = { scheduled = 0; fires = 0; cancels = 0; cascades = 0; alarms = 0 };
+  }
+
+let reset_for ~epoch ~now =
+  w.epoch <- epoch;
+  w.cur_tick <- now asr granularity_bits;
+  w.live <- 0;
+  Array.fill w.resident 0 levels 0;
+  Array.iter (fun level -> Array.iter (fun cell -> cell := []) level) w.slot;
+  w.overdue <- [];
+  w.armed_at <- max_int
+
+let ensure_epoch () =
+  let epoch = Scheduler.epoch () in
+  if epoch <> w.epoch then reset_for ~epoch ~now:(Scheduler.now ())
+
+let dead (e : entry) = e.cancelled || e.fired
+
+(* Level whose span covers [delta] ticks into the future. *)
+let level_of delta =
+  if delta < slots then 0
+  else if delta < slots * slots then 1
+  else if delta < slots * slots * slots then 2
+  else 3
+
+let place (e : entry) =
+  let delta = e.tick - w.cur_tick in
+  if delta <= 0 then w.overdue <- e :: w.overdue
+  else begin
+    let level = level_of delta in
+    (* Beyond the top level's horizon entries park in the top wheel and
+       re-cascade; [land] keeps the index in range. *)
+    let idx = (e.tick lsr (slot_bits * level)) land slot_mask in
+    let cell = w.slot.(level).(idx) in
+    cell := e :: !cell;
+    w.resident.(level) <- w.resident.(level) + 1
+  end
+
+let fire (e : entry) =
+  if not (dead e) then begin
+    e.fired <- true;
+    w.live <- w.live - 1;
+    w.stats.fires <- w.stats.fires + 1;
+    e.handler ()
+  end
+
+(* Move every entry out of level [level] slot [idx], re-inserting live
+   ones relative to the current tick (they land on a lower level or in
+   [overdue]).  Dead entries are discarded here; [cancel] already
+   balanced the live count. *)
+let cascade level idx =
+  let cell = w.slot.(level).(idx) in
+  let entries = List.rev !cell in
+  cell := [];
+  w.resident.(level) <- w.resident.(level) - List.length entries;
+  List.iter
+    (fun (e : entry) ->
+      if not (dead e) then begin
+        w.stats.cascades <- w.stats.cascades + 1;
+        place e
+      end)
+    entries
+
+(* Cascade whatever feeds the round just entered.  Called right after
+   [cur_tick] lands on a level-0 wrap; if a higher level wrapped at the
+   same moment it must be drained top-down so entries flow through. *)
+let rec cascade_from level =
+  if level < levels then begin
+    let idx = (w.cur_tick lsr (slot_bits * level)) land slot_mask in
+    if idx = 0 then cascade_from (level + 1);
+    if level > 0 then cascade level idx
+  end
+
+let process_slot idx =
+  let cell = w.slot.(0).(idx) in
+  let entries = List.rev !cell in
+  cell := [];
+  w.resident.(0) <- w.resident.(0) - List.length entries;
+  List.iter fire entries
+
+let drain_overdue () =
+  while w.overdue <> [] do
+    let entries = List.rev w.overdue in
+    w.overdue <- [];
+    List.iter fire entries
+  done
+
+(* Advance the wheel to [now], firing everything due.  Cost: one step
+   per level-0 tick crossed while level 0 is occupied, plus one cascade
+   per level-0 round crossed; fully-empty rounds are skipped in a single
+   jump. *)
+let advance now =
+  let target = now asr granularity_bits in
+  drain_overdue ();
+  while w.cur_tick < target do
+    if w.resident.(0) = 0 then begin
+      (* Nothing on level 0: jump straight to the next cascade boundary
+         (or to the target if it comes first). *)
+      let next_wrap = ((w.cur_tick lsr slot_bits) + 1) lsl slot_bits in
+      w.cur_tick <- min next_wrap target;
+      if w.cur_tick land slot_mask = 0 then cascade_from 1
+    end
+    else begin
+      w.cur_tick <- w.cur_tick + 1;
+      if w.cur_tick land slot_mask = 0 then cascade_from 1;
+      process_slot (w.cur_tick land slot_mask)
+    end;
+    drain_overdue ()
+  done
+
+(* Earliest tick holding a live entry, across all levels.  O(levels ×
+   slots + resident entries); runs once per alarm wake-up, not per
+   insert.  [advance] is exact regardless of level, so the alarm can aim
+   straight at the entry's own tick even when cascades lie between. *)
+let next_alarm () =
+  if w.live = 0 then None
+  else begin
+    let best = ref max_int in
+    Array.iter
+      (fun level ->
+        Array.iter
+          (fun cell ->
+            List.iter
+              (fun (e : entry) -> if (not (dead e)) && e.tick < !best then best := e.tick)
+              !cell)
+          level)
+      w.slot;
+    List.iter
+      (fun (e : entry) -> if (not (dead e)) && e.tick < !best then best := e.tick)
+      w.overdue;
+    if !best = max_int then None else Some (!best lsl granularity_bits)
+  end
+
+let rec arm deadline =
+  if deadline < w.armed_at then begin
+    w.armed_at <- deadline;
+    w.stats.alarms <- w.stats.alarms + 1;
+    let epoch = w.epoch in
+    Scheduler.fork (fun () ->
+        Scheduler.sleep (max 0 (deadline - Scheduler.now ()));
+        if w.epoch = epoch then begin
+          (* Handlers may start timers while we advance; claim the alarm
+             slot so they don't fork alarms we are about to supersede. *)
+          w.armed_at <- 0;
+          advance (Scheduler.now ());
+          w.armed_at <- max_int;
+          match next_alarm () with Some t -> arm t | None -> ()
+        end)
+  end
+
+let schedule handler us =
+  ensure_epoch ();
+  let now = Scheduler.now () in
+  let deadline = now + max 0 us in
+  let tick = (deadline + granularity_us - 1) asr granularity_bits in
+  let e = { tick; handler; born = w.epoch; cancelled = false; fired = false } in
+  w.live <- w.live + 1;
+  w.stats.scheduled <- w.stats.scheduled + 1;
+  place e;
+  (* Alarm at the entry's slot boundary: the slot is processed when the
+     wheel reaches [tick], i.e. at [tick * granularity_us] ≥ deadline. *)
+  arm (tick lsl granularity_bits);
+  e
+
+let cancel (e : entry) =
+  if not (dead e) then begin
+    e.cancelled <- true;
+    if e.born = w.epoch then begin
+      w.live <- w.live - 1;
+      w.stats.cancels <- w.stats.cancels + 1
+    end
+  end
+
+let cancelled (e : entry) = e.cancelled
+
+let pending () = w.live
+
+let stats () =
+  [
+    ("scheduled", w.stats.scheduled);
+    ("fired", w.stats.fires);
+    ("cancelled", w.stats.cancels);
+    ("cascaded", w.stats.cascades);
+    ("alarms", w.stats.alarms);
+  ]
+
+let reset_stats () =
+  w.stats.scheduled <- 0;
+  w.stats.fires <- 0;
+  w.stats.cancels <- 0;
+  w.stats.cascades <- 0;
+  w.stats.alarms <- 0

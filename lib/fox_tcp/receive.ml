@@ -48,14 +48,19 @@ let acceptable tcb seg =
 (* Out-of-order queue                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let insert_out_of_order tcb seg =
+let insert_out_of_order (params : params) tcb seg =
   tcb.ooo_segments <- tcb.ooo_segments + 1;
   let seq_of s = s.hdr.Tcp_header.seq in
   (* keep sorted; drop exact duplicates (same start) *)
   let rec ins = function
-    | [] -> [ seg ]
+    | [] ->
+      tcb.ooo_bytes <- tcb.ooo_bytes + Packet.length seg.data;
+      [ seg ]
     | s :: rest as all ->
-      if Seq.lt (seq_of seg) (seq_of s) then seg :: all
+      if Seq.lt (seq_of seg) (seq_of s) then begin
+        tcb.ooo_bytes <- tcb.ooo_bytes + Packet.length seg.data;
+        seg :: all
+      end
       else if Seq.equal (seq_of seg) (seq_of s) then begin
         tcb.dup_segments <- tcb.dup_segments + 1;
         Packet.release seg.data;
@@ -63,7 +68,23 @@ let insert_out_of_order tcb seg =
       end
       else s :: ins rest
   in
-  tcb.out_of_order <- ins tcb.out_of_order
+  tcb.out_of_order <- ins tcb.out_of_order;
+  (* Admission control on reassembly memory: while over the cap, evict
+     the entry furthest from [rcv_nxt] — the peer retransmits it anyway,
+     and dropping from the tail keeps the contiguity-restoring low end.
+     Each pass removes one entry, so the loop terminates. *)
+  if params.max_ooo_bytes > 0 then
+    while
+      tcb.ooo_bytes > params.max_ooo_bytes && tcb.out_of_order <> []
+    do
+      match List.rev tcb.out_of_order with
+      | [] -> ()
+      | last :: prefix_rev ->
+        tcb.out_of_order <- List.rev prefix_rev;
+        tcb.ooo_bytes <- tcb.ooo_bytes - Packet.length last.data;
+        tcb.ooo_trimmed <- tcb.ooo_trimmed + 1;
+        Packet.release last.data
+    done
 
 (* ------------------------------------------------------------------ *)
 (* In-order text delivery                                             *)
@@ -94,9 +115,11 @@ let deliver_text (params : params) tcb seg =
       add_to_do tcb (User_data fresh);
       tcb.rcv_nxt <- Seq.add seq data_len
     end
-    else if data_len > 0 then begin
-      (* nothing fresh: the segment is entirely old data *)
-      if offset > data_len then tcb.dup_segments <- tcb.dup_segments + 1;
+    else begin
+      (* nothing fresh — entirely old data, or a pure FIN whose
+         zero-length packet still owns a buffer: give it back *)
+      if data_len > 0 && offset > data_len then
+        tcb.dup_segments <- tcb.dup_segments + 1;
       Packet.release s.data
     end;
     (* consume the FIN if it is exactly next *)
@@ -112,6 +135,7 @@ let deliver_text (params : params) tcb seg =
     match tcb.out_of_order with
     | s :: rest when Seq.le s.hdr.Tcp_header.seq tcb.rcv_nxt ->
       tcb.out_of_order <- rest;
+      tcb.ooo_bytes <- tcb.ooo_bytes - Packet.length s.data;
       if Seq.ge (Seq.add s.hdr.Tcp_header.seq (seg_len s)) tcb.rcv_nxt then
         consume s
       else begin
@@ -283,7 +307,7 @@ let process_synchronized (params : params) state tcb seg ~now =
   (* first: sequence-number acceptability *)
   if not (acceptable tcb seg) then begin
     tcb.dup_segments <- tcb.dup_segments + 1;
-    if Packet.length seg.data > 0 then Packet.release seg.data;
+    Packet.release seg.data;
     if not h.Tcp_header.rst then begin
       ack_now tcb;
       (* RFC 793 p.73: in TIME-WAIT "the only thing that can arrive … is a
@@ -344,7 +368,7 @@ let process_synchronized (params : params) state tcb seg ~now =
     match state with
     | Syn_active _ | Syn_passive _ ->
       (* still waiting for the handshake ACK; nothing more to do *)
-      if Packet.length seg.data > 0 then Packet.release seg.data;
+      Packet.release seg.data;
       state
     | _ -> (
       match process_ack_common params tcb seg ~now with
@@ -386,7 +410,7 @@ let process_synchronized (params : params) state tcb seg ~now =
                 end
                 else begin
                   (* out of order: queue it and send a duplicate ACK *)
-                  insert_out_of_order tcb seg;
+                  insert_out_of_order params tcb seg;
                   ack_now tcb;
                   false
                 end
@@ -395,7 +419,7 @@ let process_synchronized (params : params) state tcb seg ~now =
             | _ ->
               (* past ESTABLISHED a FIN retransmission may still arrive;
                  any text is ignored, so drop its reference *)
-              if Packet.length seg.data > 0 then Packet.release seg.data;
+              Packet.release seg.data;
               h.Tcp_header.fin
               && Seq.equal (Seq.add h.Tcp_header.seq (Packet.length seg.data))
                    (Seq.add tcb.rcv_nxt (-1))
@@ -461,6 +485,8 @@ let fingerprint tcb =
     ("rtx_q", string_of_int (Deq.size tcb.rtx_q));
     ("rtx_timer_on", string_of_bool tcb.rtx_timer_on);
     ("out_of_order", string_of_int (List.length tcb.out_of_order));
+    ("ooo_bytes", string_of_int tcb.ooo_bytes);
+    ("ooo_trimmed", string_of_int tcb.ooo_trimmed);
     ("srtt_us", string_of_int tcb.srtt_us);
     ("rttvar_us", string_of_int tcb.rttvar_us);
     ("rto_us", string_of_int tcb.rto_us);

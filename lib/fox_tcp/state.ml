@@ -71,6 +71,29 @@ let passive_open (params : params) ~iss ~mss ~syn ~now =
   arm_user_timer params tcb;
   Syn_passive tcb
 
+(* A passive open completing from compact half-open state (SYN-cache hit
+   or a validated SYN cookie): the SYN/SYN-ACK exchange already happened
+   without a TCB, so the fresh TCB is born directly in ESTABLISHED with
+   its SYN consumed and acknowledged.  The engine feeds the promoting ACK
+   itself through the receive DAG afterwards, so any text or FIN riding
+   on it is processed normally. *)
+let promote_passive (params : params) ~iss ~irs ~mss ~peer_mss ~wnd =
+  let tcb = create_tcb_with_mss params ~iss ~mss in
+  tcb.snd_una <- Seq.add iss 1;
+  tcb.snd_nxt <- Seq.add iss 1;
+  tcb.irs <- irs;
+  tcb.rcv_nxt <- Seq.add irs 1;
+  tcb.snd_wnd <- wnd;
+  tcb.snd_wl1 <- Seq.add irs 1;
+  tcb.snd_wl2 <- Seq.add iss 1;
+  (match peer_mss with
+  | Some m -> tcb.snd_mss <- min tcb.snd_mss m
+  | None -> ());
+  tcb.cwnd <- 2 * tcb.snd_mss;
+  add_to_do tcb Complete_open;
+  arm_user_timer params tcb;
+  Estab tcb
+
 let close (params : params) state ~now =
   match state with
   | Closed | Listen -> Closed

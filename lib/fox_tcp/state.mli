@@ -19,6 +19,17 @@ val passive_open :
   Tcb.params -> iss:Seq.t -> mss:int -> syn:Tcb.segment -> now:int ->
   Tcb.tcp_state
 
+(** [promote_passive params ~iss ~irs ~mss ~peer_mss ~wnd] completes a
+    passive open whose half-open phase was held outside any TCB — in the
+    engine's compact SYN cache, or statelessly in a SYN cookie.  [iss] and
+    [irs] are the sequence numbers the handshake used, [mss] the path MSS,
+    [peer_mss] the peer's announced (or cookie-recovered) MSS, [wnd] the
+    peer's current window.  The TCB is created directly in ESTABLISHED
+    with [Complete_open] queued. *)
+val promote_passive :
+  Tcb.params -> iss:Seq.t -> irs:Seq.t -> mss:int -> peer_mss:int option ->
+  wnd:int -> Tcb.tcp_state
+
 (** [close params state ~now] performs the user's graceful close: a FIN is
     scheduled after any queued data, and the state advances per RFC 793
     p. 60. *)

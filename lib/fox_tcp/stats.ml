@@ -30,6 +30,10 @@ type t = {
   queued_bytes : int;
   rtx_queue_len : int;
   flight : int;
+  (* overload policy *)
+  ooo_bytes : int;
+  ooo_trimmed : int;
+  to_do_shed : int;
 }
 
 let of_tcb ~conn_id ~state ~now (tcb : Tcb.tcp_tcb) =
@@ -60,16 +64,19 @@ let of_tcb ~conn_id ~state ~now (tcb : Tcb.tcp_tcb) =
     queued_bytes = tcb.Tcb.queued_bytes;
     rtx_queue_len = Fox_basis.Deq.size tcb.Tcb.rtx_q;
     flight = Tcb.flight_size tcb;
+    ooo_bytes = tcb.Tcb.ooo_bytes;
+    ooo_trimmed = tcb.Tcb.ooo_trimmed;
+    to_do_shed = tcb.Tcb.to_do_shed;
   }
 
 let to_string s =
   Printf.sprintf
     "%s %s una=%d nxt=%d flight=%d snd_wnd=%d rcv_wnd=%d cwnd=%d ssthresh=%d \
      srtt=%dus rto=%dus backoff=%d segs=%d/%d bytes=%d/%d rtx=%d dup_acks=%d \
-     dups=%d ooo=%d fast=%d queued=%dB rtxq=%d"
+     dups=%d ooo=%d fast=%d queued=%dB rtxq=%d trimmed=%d shed=%d"
     s.conn_id s.state s.snd_una s.snd_nxt s.flight s.snd_wnd s.rcv_wnd s.cwnd
     s.ssthresh s.srtt_us s.rto_us s.backoff s.segs_out s.segs_in s.bytes_out
     s.bytes_in s.retransmissions s.dup_acks s.dup_segments s.ooo_segments
-    s.fast_path_hits s.queued_bytes s.rtx_queue_len
+    s.fast_path_hits s.queued_bytes s.rtx_queue_len s.ooo_trimmed s.to_do_shed
 
 let pp fmt s = Format.pp_print_string fmt (to_string s)

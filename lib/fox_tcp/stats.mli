@@ -42,6 +42,10 @@ type t = {
   queued_bytes : int;  (** user data not yet segmentised *)
   rtx_queue_len : int;
   flight : int;  (** sequence space sent and unacknowledged *)
+  (* overload policy *)
+  ooo_bytes : int;  (** bytes parked in the out-of-order list *)
+  ooo_trimmed : int;  (** out-of-order segments dropped by the byte cap *)
+  to_do_shed : int;  (** segments shed because the to_do queue was full *)
 }
 
 (** [of_tcb ~conn_id ~state ~now tcb] photographs [tcb]. *)

@@ -136,6 +136,10 @@ type params = {
       (** Van Jacobson header prediction: a guarded fast path for in-order,
           no-flags segments in ESTABLISHED that bypasses the general
           receive DAG (falls back to it on any mismatch) *)
+  max_ooo_bytes : int;
+      (** cap on buffered out-of-order text per connection; when an
+          insertion would exceed it, the entries furthest from [rcv_nxt]
+          are trimmed (and re-earned by retransmission).  0 = unbounded *)
 }
 
 let default_params =
@@ -155,6 +159,7 @@ let default_params =
     keepalive_us = 0;
     keepalive_probes = 5;
     header_prediction = true;
+    max_ooo_bytes = 65536;
   }
 
 (** The TCB proper (Figure 6's [tcp_tcb]). *)
@@ -181,9 +186,15 @@ type tcp_tcb = {
   mutable rtx_timer_on : bool;
   (* --- out-of-order queue (Figure 6's [out_of_order]) --- *)
   mutable out_of_order : segment list;  (** sorted by sequence number *)
+  mutable ooo_bytes : int;  (** text bytes held on [out_of_order] *)
+  mutable ooo_trimmed : int;
+      (** segments evicted by the [max_ooo_bytes] cap *)
   (* --- the to_do queue (two bands when latency-prioritised) --- *)
   mutable to_do : tcp_action Fifo.t;
   mutable to_do_urgent : tcp_action Fifo.t;
+  mutable to_do_len : int;  (** actions queued across both bands *)
+  mutable to_do_shed : int;
+      (** segments refused at the queue door by the engine's [max_to_do] *)
   prioritized : bool;
   (* --- RTT estimation (Karn & Jacobson, via [Resend]) --- *)
   mutable srtt_us : int;  (** -1 until the first sample *)
@@ -291,8 +302,12 @@ let create_tcb (params : params) ~iss =
     rtx_q = Deq.empty;
     rtx_timer_on = false;
     out_of_order = [];
+    ooo_bytes = 0;
+    ooo_trimmed = 0;
     to_do = Fifo.empty;
     to_do_urgent = Fifo.empty;
+    to_do_len = 0;
+    to_do_shed = 0;
     prioritized = params.prioritize_latency;
     srtt_us = -1;
     rttvar_us = 0;
@@ -339,6 +354,7 @@ let latency_critical = function
     [prioritize_latency] set, wire-bound actions go to the urgent band
     (FIFO within each band, so segment order is preserved). *)
 let add_to_do tcb action =
+  tcb.to_do_len <- tcb.to_do_len + 1;
   if tcb.prioritized && latency_critical action then
     tcb.to_do_urgent <- Fifo.add action tcb.to_do_urgent
   else tcb.to_do <- Fifo.add action tcb.to_do
@@ -348,12 +364,14 @@ let next_to_do tcb =
   match Fifo.next tcb.to_do_urgent with
   | Some (action, rest) ->
     tcb.to_do_urgent <- rest;
+    tcb.to_do_len <- tcb.to_do_len - 1;
     Some action
   | None -> (
     match Fifo.next tcb.to_do with
     | None -> None
     | Some (action, rest) ->
       tcb.to_do <- rest;
+      tcb.to_do_len <- tcb.to_do_len - 1;
       Some action)
 
 (** [pending_actions tcb] lists the queue (urgent band first, as it would

@@ -89,6 +89,49 @@ module type PARAMS = sig
       the less common cases").  Off, every segment takes the full DAG —
       the ablation baseline. *)
   val header_prediction : bool
+
+  (** {2 Overload policy}
+
+      The graceful-degradation knobs: what the engine does when offered
+      more connection attempts, reassembly data, or work than it can hold.
+      Every refusal is counted (and reported on the observability bus), so
+      overload is visible rather than silent. *)
+
+  (** Maximum half-open (SYN-RECEIVED) connections per listener — the
+      listen backlog.  0 = unbounded (the pre-overload behaviour). *)
+  val listen_backlog : int
+
+  (** Hold half-open connections as compact cache records instead of full
+      TCBs; the TCB is only built when the handshake ACK arrives.  A SYN
+      flood then pins a few dozen bytes per forged source, not a TCB. *)
+  val syn_cache : bool
+
+  (** When the SYN cache is full, fall back to stateless SYN cookies: the
+      SYN-ACK's sequence number encodes a keyed hash of the endpoints (and
+      the peer's MSS class), so a legitimate handshake ACK can be promoted
+      with {e zero} state held during the flood.  Requires [syn_cache]. *)
+  val syn_cookies : bool
+
+  (** Refuse surplus SYNs with an RST (fast client failure) instead of
+      dropping them silently (client retries while the flood clears). *)
+  val refuse_with_rst : bool
+
+  (** Per-connection cap on buffered out-of-order text (0 = unbounded). *)
+  val max_ooo_bytes : int
+
+  (** Per-connection cap on the [to_do] queue: segments arriving when this
+      many actions are already queued are shed at the door (0 = off). *)
+  val max_to_do : int
+
+  (** Global cap on simultaneously live TCBs accepted passively
+      (0 = unbounded).  Active opens are the user's own choice and are
+      not gated. *)
+  val max_connections : int
+
+  (** Bound on TCBs parked in TIME-WAIT; beyond it the oldest is recycled
+      early (its 2·MSL cut short), RFC 793 purity traded for survival.
+      0 = unbounded. *)
+  val max_time_wait : int
 end
 
 module Default_params : PARAMS = struct
@@ -112,6 +155,14 @@ module Default_params : PARAMS = struct
   let keepalive_us = 0
   let keepalive_probes = 5
   let header_prediction = true
+  let listen_backlog = 128
+  let syn_cache = false
+  let syn_cookies = false
+  let refuse_with_rst = false
+  let max_ooo_bytes = 65536
+  let max_to_do = 1024
+  let max_connections = 0
+  let max_time_wait = 0
 end
 
 (** Instance-wide statistics. *)
@@ -126,6 +177,14 @@ type stats = {
   wire_send_failures : int;
       (** sends refused by the lower layer ([Send_failed]); the segment is
           left to the retransmission machinery *)
+  syn_dropped : int;  (** SYNs silently dropped by the overload policy *)
+  backlog_refused : int;
+      (** connection attempts refused because a backlog or TCB cap was
+          full (whether answered with RST or dropped) *)
+  time_wait_recycled : int;
+      (** TIME-WAIT TCBs evicted early by the [max_time_wait] bound *)
+  to_do_shed : int;
+      (** segments shed at the [to_do] door by the [max_to_do] bound *)
 }
 
 (** Per-connection statistics, mostly straight out of the TCB. *)
@@ -214,6 +273,7 @@ end = struct
       keepalive_us = Params.keepalive_us;
       keepalive_probes = Params.keepalive_probes;
       header_prediction = Params.header_prediction;
+      max_ooo_bytes = Params.max_ooo_bytes;
     }
 
   type address = { peer : Aux.host; port : int; local_port : int option }
@@ -231,6 +291,21 @@ end = struct
   (* TCP header (up to 24 bytes with the MSS option) plus slack so user
      buffers never reallocate on the fast path. *)
   let tcp_headroom = 24
+
+  (* A half-open connection held compactly: everything the handshake ACK
+     needs to build the real TCB, a few dozen bytes instead of a [Tcb]
+     with its queues.  This is what a SYN flood pins. *)
+  type syn_cache_entry = {
+    sc_host : string;  (** [Aux.to_string] of the peer *)
+    sc_local_port : int;
+    sc_remote_port : int;
+    sc_iss : Seq.t;
+    sc_irs : Seq.t;
+    sc_peer_mss : int option;
+    mutable sc_created : int;
+        (** virtual time of the latest SYN, for lazy expiry — refreshed on
+            each retransmitted SYN so a live handshake never expires *)
+  }
 
   type connection = {
     tcp : t;
@@ -251,6 +326,10 @@ end = struct
     mutable open_done : bool;
     mutable close_reason : Status.t option;
     mutable dead : bool;
+    mutable in_time_wait : bool;  (** registered in the TIME-WAIT table *)
+    mutable half_open_of : listener option;
+        (** the listener whose backlog this (legacy-mode) half-open
+            connection occupies, until established or deleted *)
   }
 
   and listener = {
@@ -258,6 +337,9 @@ end = struct
     l_port : int;
     l_handler : handler;
     mutable l_active : bool;
+    mutable l_half_open : int;  (** legacy mode: SYN-RECEIVED TCBs held *)
+    mutable l_syn_cache : syn_cache_entry list;
+        (** oldest first; never longer than [Params.listen_backlog] *)
   }
 
   and handler = connection -> data_handler * status_handler
@@ -279,6 +361,14 @@ end = struct
     mutable unknown_dropped : int;
     mutable accepts : int;
     mutable wire_send_failures : int;
+    mutable syn_dropped : int;
+    mutable backlog_refused : int;
+    mutable time_wait_recycled : int;
+    mutable to_do_shed : int;
+    (* TIME-WAIT bound: connections in arrival order (entries may be
+       stale — already deleted by their own 2·MSL — and are skipped) *)
+    time_wait_q : connection Queue.t;
+    mutable time_wait_count : int;
   }
 
   let key host local_port remote_port =
@@ -352,6 +442,97 @@ end = struct
           ~headroom:(tcp_headroom + Lower.headroom lconn)
           ~tailroom:(Lower.tailroom lconn) len)
       ~send:lower_send ()
+
+  (* ---------------- SYN-flood defense primitives ---------------- *)
+
+  (* Cache entries expire lazily once the peer has been silent for longer
+     than any retransmission gap its engine would use (the largest is
+     [rto_max_us], at full backoff) — so a handshake still being retried
+     keeps its entry, while a flooder that went quiet loses it. *)
+  let syn_cache_ttl_us = 2 * Params.rto_max_us
+
+  (* SYN cookies: the SYN-ACK's sequence number is a keyed hash of the
+     endpoints and the client's ISN, with the low two bits encoding the
+     peer's MSS class.  The handshake ACK echoes it back (ack = iss + 1),
+     proving the peer saw our SYN-ACK — no state held in between. *)
+  let mss_classes = [| 536; 1220; 1460; 4096 |]
+
+  let mss_class_of mss =
+    let idx = ref 0 in
+    Array.iteri (fun i c -> if c <= mss then idx := i) mss_classes;
+    !idx
+
+  let cookie_hash host ~local_port ~remote_port ~irs =
+    let h = ref 0x5ca1ab1e in
+    let mix v = h := ((!h lxor v) * 0x01000193) land 0x3FFFFFFF in
+    String.iter (fun c -> mix (Char.code c)) (Aux.to_string host);
+    mix local_port;
+    mix remote_port;
+    mix (Seq.to_int irs);
+    (!h lxor (!h lsr 13)) land 0xFFFFFFFC
+
+  let cookie_iss host ~local_port ~remote_port ~irs ~peer_mss =
+    Seq.of_int
+      (cookie_hash host ~local_port ~remote_port ~irs
+      lor mss_class_of peer_mss)
+
+  (* [cookie_check] recovers the peer's MSS class iff [ack - 1] is the
+     cookie we would have minted for this handshake. *)
+  let cookie_check host ~local_port ~remote_port ~irs ~ack =
+    let c = Seq.to_int (Seq.add ack (-1)) in
+    if c land 0xFFFFFFFC = cookie_hash host ~local_port ~remote_port ~irs
+    then Some mss_classes.(c land 3)
+    else None
+
+  (* A stateless SYN-ACK, crafted like [send_rst_on] — no TCB behind it,
+     so no retransmission either: the client's SYN retransmit re-elicits
+     it. *)
+  let send_synack_on t ~lconn ~lower_send ~src_port ~dst_port ~iss ~irs
+      ~adv_mss =
+    t.segs_out <- t.segs_out + 1;
+    let hdr =
+      { (Tcp_header.basic ~src_port ~dst_port) with
+        Tcp_header.seq = iss;
+        syn = true;
+        ack_flag = true;
+        ack = Seq.add irs 1;
+        window = Params.initial_window;
+        mss = Some adv_mss;
+      }
+    in
+    let pseudo_for len =
+      if Params.compute_checksums then
+        Some (Aux.pseudo lconn ~proto:proto_number ~len)
+      else None
+    in
+    try
+      Action.externalize ~alg:Params.checksum_alg
+        ~defer:!Packet.offload_enabled ~pseudo_for ~hdr ~data:None
+        ~allocate:(fun len ->
+          Packet.create
+            ~headroom:(tcp_headroom + Lower.headroom lconn)
+            ~tailroom:(Lower.tailroom lconn) len)
+        ~send:lower_send ()
+    with Send_failed _ -> t.wire_send_failures <- t.wire_send_failures + 1
+
+  (* Refuse a connection attempt per policy: an RST gives the client a
+     fast failure; a silent drop makes its SYN retransmission the retry
+     that may find room once the flood clears. *)
+  let refuse_syn t lconn (hdr : Tcp_header.t) ~reason =
+    t.backlog_refused <- t.backlog_refused + 1;
+    if !Bus.live then
+      Bus.emit ~layer:"tcp" (Bus.Note ("syn refused: " ^ reason));
+    if Params.refuse_with_rst then begin
+      t.rsts_sent <- t.rsts_sent + 1;
+      let lower_send = Lower.prepare_send lconn in
+      try
+        send_rst_on ~lconn ~lower_send ~src_port:hdr.Tcp_header.dst_port
+          ~dst_port:hdr.Tcp_header.src_port ~seq:Seq.zero
+          ~ack_opt:(Some (Seq.add hdr.Tcp_header.seq 1))
+      with Send_failed _ ->
+        t.wire_send_failures <- t.wire_send_failures + 1
+    end
+    else t.syn_dropped <- t.syn_dropped + 1
 
   let externalize conn (ss : Tcb.send_segment) =
     let tcb = conn.tcb in
@@ -477,6 +658,11 @@ end = struct
   and delete_tcb conn =
     if not conn.dead then begin
       conn.dead <- true;
+      leave_half_open conn;
+      if conn.in_time_wait then begin
+        conn.in_time_wait <- false;
+        conn.tcp.time_wait_count <- conn.tcp.time_wait_count - 1
+      end;
       List.iter (fun (_, timer) -> Fox_sched.Timer.clear timer) conn.timers;
       conn.timers <- [];
       Hashtbl.remove conn.tcp.conns
@@ -492,8 +678,7 @@ end = struct
         conn.tcb.Tcb.rtx_q;
       Deq.iter Packet.release conn.tcb.Tcb.queued;
       List.iter
-        (fun (s : Tcb.segment) ->
-          if Packet.length s.Tcb.data > 0 then Packet.release s.Tcb.data)
+        (fun (s : Tcb.segment) -> Packet.release s.Tcb.data)
         conn.tcb.Tcb.out_of_order;
       let reason = Option.value conn.close_reason ~default:Status.Closed in
       if !Bus.live then
@@ -506,6 +691,42 @@ end = struct
       Fox_sched.Cond.broadcast conn.send_space ();
       conn.status reason
     end
+
+  (* A (legacy-mode) half-open connection stops occupying its listener's
+     backlog slot: it established, or it died. *)
+  and leave_half_open conn =
+    match conn.half_open_of with
+    | Some l ->
+      conn.half_open_of <- None;
+      l.l_half_open <- l.l_half_open - 1
+    | None -> ()
+
+  (* The connection just reached TIME-WAIT (detected at the post-execute
+     seam of [drain]): register it, and when the table is over its bound
+     recycle the oldest parked TCB — its 2·MSL is cut short, which is the
+     documented trade for surviving port churn under load. *)
+  and enter_time_wait conn =
+    let t = conn.tcp in
+    conn.in_time_wait <- true;
+    Queue.push conn t.time_wait_q;
+    t.time_wait_count <- t.time_wait_count + 1;
+    if Params.max_time_wait > 0 then
+      while t.time_wait_count > Params.max_time_wait do
+        match Queue.pop t.time_wait_q with
+        | exception Queue.Empty ->
+          (* unreachable: count > 0 implies a live entry is queued *)
+          t.time_wait_count <- 0
+        | victim ->
+          (* stale entries (already down via their own 2·MSL) are skipped;
+             a live one is recycled *)
+          if (not victim.dead) && victim.in_time_wait then begin
+            t.time_wait_recycled <- t.time_wait_recycled + 1;
+            if !Bus.live then
+              Bus.emit ~layer:"tcp" ~conn:victim.tcb.Tcb.obs_id
+                (Bus.Note "time-wait recycled");
+            delete_tcb victim
+          end
+      done
 
   (* ---------------- the quasi-synchronous executor ---------------- *)
 
@@ -554,6 +775,7 @@ end = struct
     | Tcb.Timer_expired kind ->
       conn.state <- State.timer_expired runtime_params conn.state kind ~now
     | Tcb.Complete_open ->
+      leave_half_open conn;
       if not conn.open_done then begin
         conn.open_done <- true;
         if Params.keepalive_us > 0 then begin
@@ -606,6 +828,12 @@ end = struct
                       now = Fox_sched.Scheduler.now ();
                       dead = conn.dead;
                     }));
+              (* TIME-WAIT entry is detected here, at the same seam, so
+                 the bounded table sees every arrival exactly once *)
+              (match conn.state with
+              | Tcb.Time_wait _ when not (conn.in_time_wait || conn.dead) ->
+                enter_time_wait conn
+              | _ -> ());
               (* wake senders blocked on the buffer bound *)
               if
                 conn.tcb.Tcb.queued_bytes < Params.send_buffer_bytes
@@ -645,6 +873,8 @@ end = struct
         open_done = false;
         close_reason = None;
         dead = false;
+        in_time_wait = false;
+        half_open_of = None;
       }
     in
     tcb.Tcb.obs_id <-
@@ -686,23 +916,197 @@ end = struct
     end
     else t.unknown_dropped <- t.unknown_dropped + 1
 
+  (* Global admission check: the engine refuses new connections (not new
+     segments) once [max_connections] TCBs are live. *)
+  let under_conn_cap t =
+    Params.max_connections = 0
+    || Hashtbl.length t.conns < Params.max_connections
+
+  (* Drop SYN-cache entries older than the TTL.  Lazy: runs whenever the
+     cache is consulted, so an idle listener keeps stale entries but they
+     cost only a few words each. *)
+  let purge_syn_cache l ~now =
+    if l.l_syn_cache <> [] then
+      l.l_syn_cache <-
+        List.filter
+          (fun e -> now - e.sc_created <= syn_cache_ttl_us)
+          l.l_syn_cache
+
+  let syn_cache_find l ~host ~local_port ~remote_port =
+    let host_key = Aux.to_string host in
+    List.find_opt
+      (fun e ->
+        e.sc_local_port = local_port
+        && e.sc_remote_port = remote_port
+        && String.equal e.sc_host host_key)
+      l.l_syn_cache
+
+  (* Complete a passive open whose half-open phase lived outside any TCB:
+     build the TCB directly in ESTABLISHED, then feed the promoting ACK
+     through the normal receive DAG so any text or FIN riding on it is
+     processed (and the segment buffer ownership follows the usual
+     path). *)
+  let promote t lconn (seg : Tcb.segment) listener ~iss ~irs ~peer_mss =
+    let host = Aux.source lconn in
+    let hdr = seg.Tcb.hdr in
+    if not (under_conn_cap t) then begin
+      refuse_syn t lconn hdr ~reason:"connection cap (promotion)";
+      Packet.release seg.Tcb.data
+    end
+    else begin
+      let mss = max 64 (Aux.mtu lconn - tcp_headroom) in
+      let state =
+        State.promote_passive runtime_params ~iss ~irs ~mss ~peer_mss
+          ~wnd:hdr.Tcp_header.window
+      in
+      t.accepts <- t.accepts + 1;
+      let conn =
+        install_connection t ~host ~local_port:hdr.Tcp_header.dst_port
+          ~remote_port:hdr.Tcp_header.src_port ~lower:lconn ~state
+          listener.l_handler
+      in
+      conn.tcb.Tcb.segs_in <- conn.tcb.Tcb.segs_in + 1;
+      Tcb.add_to_do conn.tcb (Tcb.Process_data seg);
+      drain conn
+    end
+
+  (* A bare ACK for a port we listen on but no connection we know: in
+     SYN-cache/cookie mode this may be the third step of a handshake whose
+     half-open state is compact (cache entry) or absent (cookie). *)
+  let handshake_ack t lconn (seg : Tcb.segment) listener =
+    let host = Aux.source lconn in
+    let hdr = seg.Tcb.hdr in
+    let local_port = hdr.Tcp_header.dst_port
+    and remote_port = hdr.Tcp_header.src_port in
+    purge_syn_cache listener ~now:(Fox_sched.Scheduler.now ());
+    match syn_cache_find listener ~host ~local_port ~remote_port with
+    | Some e ->
+      if
+        Seq.equal hdr.Tcp_header.ack (Seq.add e.sc_iss 1)
+        && Seq.equal hdr.Tcp_header.seq (Seq.add e.sc_irs 1)
+      then begin
+        listener.l_syn_cache <-
+          List.filter (fun e' -> e' != e) listener.l_syn_cache;
+        promote t lconn seg listener ~iss:e.sc_iss ~irs:e.sc_irs
+          ~peer_mss:e.sc_peer_mss
+      end
+      else begin
+        (* wrong sequence numbers: not our handshake *)
+        handle_unknown t lconn hdr (Packet.length seg.Tcb.data);
+        Packet.release seg.Tcb.data
+      end
+    | None ->
+      if Params.syn_cookies then begin
+        let irs = Seq.add hdr.Tcp_header.seq (-1) in
+        match
+          cookie_check host ~local_port ~remote_port ~irs
+            ~ack:hdr.Tcp_header.ack
+        with
+        | Some peer_mss ->
+          promote t lconn seg listener
+            ~iss:(Seq.add hdr.Tcp_header.ack (-1))
+            ~irs ~peer_mss:(Some peer_mss)
+        | None ->
+          (* a forged or stale cookie earns the standard RST *)
+          handle_unknown t lconn hdr (Packet.length seg.Tcb.data);
+          Packet.release seg.Tcb.data
+      end
+      else begin
+        handle_unknown t lconn hdr (Packet.length seg.Tcb.data);
+        Packet.release seg.Tcb.data
+      end
+
+  (* An incoming SYN on a listening port.  Three regimes:
+     - legacy ([syn_cache = false]): a full TCB is built per SYN, but the
+       number of half-open TCBs per listener is bounded by the backlog;
+     - SYN cache: half-open state is a compact record, promoted to a TCB
+       only by the handshake ACK;
+     - SYN cookies: when even the cache is full, the handshake state is
+       encoded in the SYN-ACK's sequence number and held by the client. *)
   let accept t lconn (seg : Tcb.segment) listener =
     let host = Aux.source lconn in
     let hdr = seg.Tcb.hdr in
-    let mss = max 64 (Aux.mtu lconn - tcp_headroom) in
+    let local_port = hdr.Tcp_header.dst_port
+    and remote_port = hdr.Tcp_header.src_port in
     let now = Fox_sched.Scheduler.now () in
-    let state =
-      State.passive_open runtime_params ~iss:(fresh_iss t) ~mss ~syn:seg ~now
-    in
-    t.accepts <- t.accepts + 1;
-    let conn =
-      install_connection t ~host ~local_port:hdr.Tcp_header.dst_port
-        ~remote_port:hdr.Tcp_header.src_port ~lower:lconn ~state
-        listener.l_handler
-    in
-    (* the SYN's buffer is not kept (any text on a SYN is ignored) *)
-    Packet.release seg.Tcb.data;
-    drain conn
+    if Params.syn_cache then begin
+      purge_syn_cache listener ~now;
+      let lower_send = Lower.prepare_send lconn in
+      match syn_cache_find listener ~host ~local_port ~remote_port with
+      | Some e ->
+        (* retransmitted SYN: our SYN-ACK was lost; resend it statelessly
+           and keep the entry alive *)
+        e.sc_created <- now;
+        send_synack_on t ~lconn ~lower_send ~src_port:local_port
+          ~dst_port:remote_port ~iss:e.sc_iss ~irs:e.sc_irs
+          ~adv_mss:(max 64 (Aux.mtu lconn - tcp_headroom));
+        Packet.release seg.Tcb.data
+      | None ->
+        let adv_mss = max 64 (Aux.mtu lconn - tcp_headroom) in
+        if
+          (Params.listen_backlog = 0
+          || List.length listener.l_syn_cache < Params.listen_backlog)
+          && under_conn_cap t
+        then begin
+          let iss = fresh_iss t in
+          listener.l_syn_cache <-
+            listener.l_syn_cache
+            @ [
+                {
+                  sc_host = Aux.to_string host;
+                  sc_local_port = local_port;
+                  sc_remote_port = remote_port;
+                  sc_iss = iss;
+                  sc_irs = hdr.Tcp_header.seq;
+                  sc_peer_mss = hdr.Tcp_header.mss;
+                  sc_created = now;
+                };
+              ];
+          send_synack_on t ~lconn ~lower_send ~src_port:local_port
+            ~dst_port:remote_port ~iss ~irs:hdr.Tcp_header.seq ~adv_mss;
+          Packet.release seg.Tcb.data
+        end
+        else if Params.syn_cookies && under_conn_cap t then begin
+          let peer_mss =
+            match hdr.Tcp_header.mss with Some m -> m | None -> adv_mss
+          in
+          let iss =
+            cookie_iss host ~local_port ~remote_port ~irs:hdr.Tcp_header.seq
+              ~peer_mss
+          in
+          send_synack_on t ~lconn ~lower_send ~src_port:local_port
+            ~dst_port:remote_port ~iss ~irs:hdr.Tcp_header.seq ~adv_mss;
+          Packet.release seg.Tcb.data
+        end
+        else begin
+          refuse_syn t lconn hdr ~reason:"backlog full";
+          Packet.release seg.Tcb.data
+        end
+    end
+    else if
+      (Params.listen_backlog > 0
+      && listener.l_half_open >= Params.listen_backlog)
+      || not (under_conn_cap t)
+    then begin
+      refuse_syn t lconn hdr ~reason:"backlog full";
+      Packet.release seg.Tcb.data
+    end
+    else begin
+      let mss = max 64 (Aux.mtu lconn - tcp_headroom) in
+      let state =
+        State.passive_open runtime_params ~iss:(fresh_iss t) ~mss ~syn:seg ~now
+      in
+      t.accepts <- t.accepts + 1;
+      let conn =
+        install_connection t ~host ~local_port ~remote_port ~lower:lconn
+          ~state listener.l_handler
+      in
+      conn.half_open_of <- Some listener;
+      listener.l_half_open <- listener.l_half_open + 1;
+      (* the SYN's buffer is not kept (any text on a SYN is ignored) *)
+      Packet.release seg.Tcb.data;
+      drain conn
+    end
 
   let receive t lconn packet =
     let now = Fox_sched.Scheduler.now () in
@@ -724,9 +1128,25 @@ end = struct
           (key host hdr.Tcp_header.dst_port hdr.Tcp_header.src_port)
       with
       | Some conn when not conn.dead ->
-        conn.tcb.Tcb.segs_in <- conn.tcb.Tcb.segs_in + 1;
-        Tcb.add_to_do conn.tcb (Tcb.Process_data seg);
-        drain conn
+        if
+          Params.max_to_do > 0
+          && conn.tcb.Tcb.to_do_len >= Params.max_to_do
+        then begin
+          (* load shedding: the connection's work queue is saturated, so
+             this segment is treated as lost on the wire — the peer's
+             retransmission is the retry *)
+          conn.tcb.Tcb.to_do_shed <- conn.tcb.Tcb.to_do_shed + 1;
+          t.to_do_shed <- t.to_do_shed + 1;
+          if !Bus.live then
+            Bus.emit ~layer:"tcp" ~conn:conn.tcb.Tcb.obs_id
+              (Bus.Note "segment shed: to_do full");
+          Packet.release seg.Tcb.data
+        end
+        else begin
+          conn.tcb.Tcb.segs_in <- conn.tcb.Tcb.segs_in + 1;
+          Tcb.add_to_do conn.tcb (Tcb.Process_data seg);
+          drain conn
+        end
       | _ -> (
         match Hashtbl.find_opt t.listeners hdr.Tcp_header.dst_port with
         | Some l
@@ -734,6 +1154,22 @@ end = struct
                && (not hdr.Tcp_header.ack_flag)
                && not hdr.Tcp_header.rst ->
           accept t lconn seg l
+        | Some l
+          when l.l_active && Params.syn_cache && hdr.Tcp_header.ack_flag
+               && (not hdr.Tcp_header.syn)
+               && not hdr.Tcp_header.rst ->
+          handshake_ack t lconn seg l
+        | Some l when l.l_active && Params.syn_cache && hdr.Tcp_header.rst ->
+          (* peer aborted a half-open handshake: forget its cache entry *)
+          (match
+             syn_cache_find l ~host ~local_port:hdr.Tcp_header.dst_port
+               ~remote_port:hdr.Tcp_header.src_port
+           with
+          | Some e ->
+            l.l_syn_cache <- List.filter (fun e' -> e' != e) l.l_syn_cache
+          | None -> ());
+          t.unknown_dropped <- t.unknown_dropped + 1;
+          Packet.release seg.Tcb.data
         | _ ->
           handle_unknown t lconn hdr (Packet.length seg.Tcb.data);
           Packet.release seg.Tcb.data))
@@ -799,7 +1235,14 @@ end = struct
         (Connection_failed
            (Printf.sprintf "tcp port %d already has a listener" local_port));
     let l =
-      { l_tcp = t; l_port = local_port; l_handler = handler; l_active = true }
+      {
+        l_tcp = t;
+        l_port = local_port;
+        l_handler = handler;
+        l_active = true;
+        l_half_open = 0;
+        l_syn_cache = [];
+      }
     in
     Hashtbl.replace t.listeners local_port l;
     l
@@ -895,6 +1338,10 @@ end = struct
       accepts = t.accepts;
       active_conns = Hashtbl.length t.conns;
       wire_send_failures = t.wire_send_failures;
+      syn_dropped = t.syn_dropped;
+      backlog_refused = t.backlog_refused;
+      time_wait_recycled = t.time_wait_recycled;
+      to_do_shed = t.to_do_shed;
     }
 
   let pp_address fmt { peer; port; local_port } =
@@ -902,6 +1349,9 @@ end = struct
       (match local_port with
       | Some p -> Printf.sprintf " (from :%d)" p
       | None -> "")
+
+  (* Engine instances within one functor application, for the bus id. *)
+  let engine_seq = ref 0
 
   let create lower =
     let t =
@@ -921,11 +1371,31 @@ end = struct
         unknown_dropped = 0;
         accepts = 0;
         wire_send_failures = 0;
+        syn_dropped = 0;
+        backlog_refused = 0;
+        time_wait_recycled = 0;
+        to_do_shed = 0;
+        time_wait_q = Queue.create ();
+        time_wait_count = 0;
       }
     in
     ignore
       (Lower.start_passive lower
          (Aux.default_pattern ~proto:proto_number)
          (fun lconn -> ((fun packet -> receive t lconn packet), ignore)));
+    (* engine-level counters on the bus, alongside the per-connection
+       snapshots: this is where the overload policy's refusals show up
+       even when the refused connection never existed *)
+    incr engine_seq;
+    Bus.register_stats
+      ~id:(Printf.sprintf "tcp-engine-%d" !engine_seq)
+      (fun () ->
+        let s = stats t in
+        Printf.sprintf
+          "engine conns=%d accepts=%d refused=%d syn_dropped=%d \
+           tw_recycled=%d shed=%d rsts=%d segs=%d/%d unknown=%d"
+          s.active_conns s.accepts s.backlog_refused s.syn_dropped
+          s.time_wait_recycled s.to_do_shed s.rsts_sent s.segs_in s.segs_out
+          s.unknown_dropped);
     t
 end
