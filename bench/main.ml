@@ -725,6 +725,88 @@ let ablation_fastpath () =
   print_endline "\nwrote BENCH_pr4.json"
 
 (* ------------------------------------------------------------------ *)
+(* Standing end-to-end headline (BENCH_table1.json)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One comparable Mb/s number per PR: the paper's Table 1 transfer (1 MB,
+   4096-byte window, 10 Mb/s Ethernet, DECstation cost model) next to a
+   modern transfer (1 GB on a gigabit wire, no cost model) with the
+   zero-copy fast path, the timing wheel and the buffer pool all on. *)
+let modern_transfer ~bytes =
+  Packet.offload_enabled := true;
+  Packet.pool_enabled := true;
+  Packet.pool_reset ();
+  let saved_wheel = !Fox_sched.Timer.use_wheel in
+  Fox_sched.Timer.use_wheel := true;
+  Fun.protect
+    ~finally:(fun () ->
+      Packet.offload_enabled := false;
+      Packet.pool_enabled := false;
+      Packet.pool_reset ();
+      Fox_sched.Timer.use_wheel := saved_wheel)
+    (fun () ->
+      let _, a, b =
+        Network.pair ~engine:Network.Bare ~netem:Fox_dev.Netem.gigabit ()
+      in
+      let ta = Stack.Tcp.create a.Network.metered_ip
+      and tb = Stack.Tcp.create b.Network.metered_ip in
+      let virt_us, wall_s =
+        generic_transfer (Fox_ops.ops ta) (Fox_ops.ops tb)
+          ~sender_addr:a.Network.addr ~bytes
+      in
+      let st = Stack.Tcp.stats ta in
+      (virt_us, wall_s, st.Fox_tcp.Tcp.segs_out))
+
+let table1_headline () =
+  section "Standing headline: paper Table 1 transfer + modern transfer";
+  let fox_tp, _, base_tp, _ = Experiments.table1 () in
+  let open Experiments in
+  Printf.printf
+    "paper (1 MB, 10 Mb/s Ethernet, cost model): %.2f Mb/s over %.2f s\n\
+     virtual (%d segments, %d retransmissions); x-kernel-like baseline\n\
+     %.2f Mb/s\n"
+    fox_tp.throughput_mbps
+    (float_of_int fox_tp.elapsed_us /. 1e6)
+    fox_tp.sender_segments fox_tp.retransmissions base_tp.throughput_mbps;
+  let modern_bytes = 1_000_000_000 in
+  let virt_us, wall_s, segs = modern_transfer ~bytes:modern_bytes in
+  let modern_mbps =
+    float_of_int modern_bytes *. 8.0 /. float_of_int virt_us
+  in
+  Printf.printf
+    "modern (1 GB, gigabit wire, fastpath+wheel+pool): %.1f Mb/s over\n\
+     %.3f s virtual (%d segments, %.1f s wall)\n"
+    modern_mbps
+    (float_of_int virt_us /. 1e6)
+    segs wall_s;
+  let oc = open_out "BENCH_table1.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"table1_headline\",\n\
+    \  \"paper_1mb\": {\n\
+    \    \"mbps\": %.3f,\n\
+    \    \"elapsed_virtual_s\": %.3f,\n\
+    \    \"segments\": %d,\n\
+    \    \"retransmissions\": %d,\n\
+    \    \"baseline_mbps\": %.3f\n\
+    \  },\n\
+    \  \"modern_1gb\": {\n\
+    \    \"mbps\": %.1f,\n\
+    \    \"elapsed_virtual_s\": %.3f,\n\
+    \    \"segments\": %d,\n\
+    \    \"wall_s\": %.1f\n\
+    \  }\n\
+     }\n"
+    fox_tp.throughput_mbps
+    (float_of_int fox_tp.elapsed_us /. 1e6)
+    fox_tp.sender_segments fox_tp.retransmissions base_tp.throughput_mbps
+    modern_mbps
+    (float_of_int virt_us /. 1e6)
+    segs wall_s;
+  close_out oc;
+  print_endline "\nwrote BENCH_table1.json"
+
+(* ------------------------------------------------------------------ *)
 (* Overload survival: timer backends under load and the flood soak    *)
 (* ------------------------------------------------------------------ *)
 
@@ -859,6 +941,7 @@ let () =
   match Sys.argv with
   | [| _; "fastpath" |] -> ablation_fastpath ()
   | [| _; "soak" |] -> bench_soak ()
+  | [| _; "table1" |] -> table1_headline ()
   | [| _ |] ->
     Printf.printf
       "Fox Net benchmark harness — reproduces the evaluation of\n\
@@ -876,5 +959,5 @@ let () =
     bench_soak ();
     Printf.printf "\n%s\ndone.\n" line
   | _ ->
-    prerr_endline "usage: main [fastpath|soak]";
+    prerr_endline "usage: main [fastpath|soak|table1]";
     exit 2

@@ -22,9 +22,52 @@ let netem_of loss seed =
   if loss > 0.0 then Netem.adverse ~loss ~seed Netem.ethernet_10mbps
   else Netem.ethernet_10mbps
 
+let validate_cc cc =
+  if not (List.mem cc Fox_tcp.Congestion.names) then begin
+    Printf.eprintf "unknown congestion control %s (have: %s)\n" cc
+      (String.concat ", " Fox_tcp.Congestion.names);
+    exit 2
+  end
+
 (* ---------------- transfer ---------------- *)
 
-let transfer bytes loss seed decstation baseline offload pool =
+(* Non-Reno transfers run through the scenario harness: the standard
+   two-host network is hard-wired to the Reno stack, while the harness
+   builds the same Eth/IP/TCP composition around any congestion module
+   (no cost-model support there). *)
+let transfer_cc cc bytes loss seed =
+  let module Scenarios = Fox_check.Scenarios in
+  let scn =
+    {
+      Scenarios.name = "transfer";
+      descr = "CLI transfer";
+      netem = netem_of loss seed;
+      flows = 1;
+      bytes;
+      quick_bytes = bytes;
+    }
+  in
+  let r = Scenarios.run_cell ~cc scn in
+  List.iter
+    (fun f -> Printf.eprintf "invariant violation: %s\n" f)
+    r.Scenarios.invariant_faults;
+  if not r.Scenarios.complete then begin
+    Printf.eprintf "transfer incomplete\n";
+    exit 1
+  end;
+  Printf.printf "%d bytes in %.3f s (virtual) = %.3f Mb/s; cc=%s, %d rtx\n"
+    bytes
+    (float_of_int r.Scenarios.end_time /. 1e6)
+    r.Scenarios.aggregate_goodput_mbps cc r.Scenarios.retransmissions
+
+let transfer bytes loss seed decstation baseline offload pool cc =
+  validate_cc cc;
+  if cc <> "reno" && baseline then begin
+    Printf.eprintf "--cc applies to the structured engine only\n";
+    exit 2
+  end;
+  if cc <> "reno" then transfer_cc cc bytes loss seed
+  else begin
   let engine = if baseline then Network.Baseline else Network.Fox in
   let cost =
     if decstation then
@@ -56,6 +99,7 @@ let transfer bytes loss seed decstation baseline offload pool =
     result.bytes
     (float_of_int result.elapsed_us /. 1e6)
     result.throughput_mbps result.sender_segments result.retransmissions
+  end
 
 (* ---------------- ping (ICMP echo) ---------------- *)
 
@@ -132,33 +176,54 @@ let table2 () =
 
 (* ---------------- fuzz (differential, deterministic) ---------------- *)
 
-let fuzz seed iters verbose =
+let fuzz seed iters verbose cc matrix =
   let module Fuzz = Fox_check.Fuzz in
-  let checked = ref 0 in
-  let failures =
-    Fuzz.run_seeds
-      ~log:(fun v ->
-        incr checked;
-        if verbose then
-          Printf.printf "seed %d: %s\n%!" v.Fuzz.schedule.Fuzz.seed
-            (if v.Fuzz.problems = [] then "ok"
-             else String.concat "; " v.Fuzz.problems)
-        else if !checked mod 50 = 0 then
-          Printf.printf "%d/%d schedules checked\n%!" !checked iters)
-      ~seed ~iters ()
+  let run_one label engine =
+    let checked = ref 0 in
+    let failures =
+      Fuzz.run_seeds
+        ~log:(fun v ->
+          incr checked;
+          if verbose then
+            Printf.printf "%sseed %d: %s\n%!" label v.Fuzz.schedule.Fuzz.seed
+              (if v.Fuzz.problems = [] then "ok"
+               else String.concat "; " v.Fuzz.problems)
+          else if !checked mod 50 = 0 then
+            Printf.printf "%s%d/%d schedules checked\n%!" label !checked iters)
+        ?engine ~seed ~iters ()
+    in
+    match failures with
+    | [] ->
+      Printf.printf "fuzz: %s%d schedules ok (seeds %d..%d)\n" label iters seed
+        (seed + iters - 1);
+      true
+    | fs ->
+      List.iter (fun f -> print_endline f.Fuzz.report) fs;
+      Printf.printf "fuzz: %s%d of %d schedules FAILED\n" label
+        (List.length fs) iters;
+      false
   in
-  match failures with
-  | [] ->
-    Printf.printf "fuzz: %d schedules ok (seeds %d..%d)\n" iters seed
-      (seed + iters - 1)
-  | fs ->
-    List.iter (fun f -> print_endline f.Fuzz.report) fs;
-    Printf.printf "fuzz: %d of %d schedules FAILED\n" (List.length fs) iters;
-    exit 1
+  let ok =
+    if matrix then
+      List.for_all
+        (fun (cc, engine) -> run_one (cc ^ ": ") (Some engine))
+        Fuzz.fox_engines
+    else
+      match Fuzz.fox_engine_of_cc cc with
+      | None ->
+        Printf.eprintf "unknown congestion control %s\n" cc;
+        exit 2
+      | Some engine ->
+        run_one
+          (if cc = "reno" then "" else cc ^ ": ")
+          (Some engine)
+  in
+  if not ok then exit 1
 
 (* ---------------- soak (deterministic overload survival) ---------------- *)
 
-let soak conns conn_bytes flood bad_acks seed loss heap verbose =
+let soak conns conn_bytes flood bad_acks seed loss heap verbose cc matrix =
+  validate_cc cc;
   let module Soak = Fox_check.Soak in
   let cfg =
     {
@@ -170,21 +235,92 @@ let soak conns conn_bytes flood bad_acks seed loss heap verbose =
       flood_bad_acks = bad_acks;
       loss;
       wheel = not heap;
+      cc;
     }
   in
-  Printf.printf
-    "soak: %d conns x %dB, flood %d SYNs + %d forged ACKs, loss %.2f, seed \
-     %d, %s timers (runs twice for determinism)\n%!"
-    conns conn_bytes flood bad_acks loss seed
-    (if heap then "heap" else "wheel");
   let log = if verbose then print_endline else fun _ -> () in
-  let report, problems = Soak.check ~log cfg in
-  print_endline (Soak.report_to_string report);
-  match problems with
-  | [] -> print_endline "soak: PASS"
-  | ps ->
-    List.iter (fun p -> print_endline ("soak: FAIL: " ^ p)) ps;
+  let run_one cfg =
+    Printf.printf
+      "soak: %d conns x %dB, flood %d SYNs + %d forged ACKs, loss %.2f, seed \
+       %d, %s timers, cc %s (runs twice for determinism)\n%!"
+      conns conn_bytes flood bad_acks loss seed
+      (if heap then "heap" else "wheel")
+      cfg.Soak.cc;
+    let report, problems = Soak.check ~log cfg in
+    print_endline (Soak.report_to_string report);
+    match problems with
+    | [] ->
+      print_endline "soak: PASS";
+      true
+    | ps ->
+      List.iter (fun p -> print_endline ("soak: FAIL: " ^ p)) ps;
+      false
+  in
+  let ok =
+    if matrix then
+      List.for_all
+        (fun cc -> run_one { cfg with Soak.cc })
+        Soak.engine_names
+    else run_one cfg
+  in
+  if not ok then exit 1
+
+(* ---------------- scenarios (adverse-network CC matrix) ---------------- *)
+
+let scenarios cc scenario quick markdown =
+  let module Scenarios = Fox_check.Scenarios in
+  let ccs =
+    match cc with
+    | None -> Scenarios.cc_names
+    | Some c when List.mem c Scenarios.cc_names -> [ c ]
+    | Some c ->
+      Printf.eprintf "unknown congestion control %s\n" c;
+      exit 2
+  in
+  let scns =
+    match scenario with
+    | None -> Scenarios.all
+    | Some name -> (
+      match Scenarios.find name with
+      | Some s -> [ s ]
+      | None ->
+        Printf.eprintf "unknown scenario %s (have: %s)\n" name
+          (String.concat ", " Scenarios.scenario_names);
+        exit 2)
+  in
+  let results =
+    Scenarios.run_matrix
+      ~log:(fun r ->
+        if not markdown then print_endline (Scenarios.result_to_string r))
+      ~quick ~scenarios:scns ~ccs ()
+  in
+  if markdown then print_string (Scenarios.to_markdown results);
+  let bad =
+    List.filter
+      (fun r ->
+        (not r.Scenarios.complete) || r.Scenarios.invariant_faults <> [])
+      results
+  in
+  if bad <> [] then begin
+    List.iter
+      (fun r ->
+        Printf.eprintf "scenario %s/%s: %s\n" r.Scenarios.scenario
+          r.Scenarios.cc
+          (if not r.Scenarios.complete then "INCOMPLETE"
+           else "invariant faults");
+        List.iter
+          (fun f -> Printf.eprintf "  %s\n" f)
+          r.Scenarios.invariant_faults;
+        (* the cell's flight-recorder ring, for post-mortem from the CI
+           log without reproducing locally *)
+        Printf.eprintf "  [flight] %d events:\n"
+          (List.length r.Scenarios.flight);
+        List.iter
+          (fun l -> Printf.eprintf "  [flight] %s\n" l)
+          r.Scenarios.flight)
+      bad;
     exit 1
+  end
 
 (* ---------------- stat (live TCB snapshots) ---------------- *)
 
@@ -295,12 +431,23 @@ let pool =
           "Recycle packet buffers through the size-classed pool; prints \
            pool statistics after the run.")
 
+let cc_arg =
+  Arg.(
+    value
+    & opt string "reno"
+    & info [ "cc" ] ~doc:"Congestion control: reno|newreno|cubic|bbr.")
+
+let matrix_flag =
+  Arg.(
+    value & flag
+    & info [ "matrix" ] ~doc:"Run once per congestion-control algorithm.")
+
 let transfer_cmd =
   Cmd.v
     (Cmd.info "transfer" ~doc:"One-way TCP throughput run")
     Term.(
       const transfer $ bytes $ loss $ seed $ decstation $ baseline $ offload
-      $ pool)
+      $ pool $ cc_arg)
 
 let ping_cmd =
   Cmd.v
@@ -396,7 +543,7 @@ let soak_cmd =
           run replays bit-identically from its seed")
     Term.(
       const soak $ conns $ conn_bytes $ flood $ bad_acks $ seed $ soak_loss
-      $ heap $ verbose)
+      $ heap $ verbose $ cc_arg $ matrix_flag)
 
 let fuzz_cmd =
   Cmd.v
@@ -405,7 +552,41 @@ let fuzz_cmd =
          "Differential fuzz: run seeded event schedules through the \
           structured and the monolithic TCP over a fault-injecting stack \
           and compare the outcomes")
-    Term.(const fuzz $ seed $ iters $ verbose)
+    Term.(const fuzz $ seed $ iters $ verbose $ cc_arg $ matrix_flag)
+
+let scenario_cc =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cc" ] ~doc:"Run only this algorithm (default: all).")
+
+let scenario_name =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario" ] ~doc:"Run only this scenario (default: all).")
+
+let quick_flag =
+  Arg.(
+    value & flag
+    & info [ "quick" ] ~doc:"Short transfers (the CI smoke variant).")
+
+let markdown_flag =
+  Arg.(
+    value & flag
+    & info [ "markdown" ] ~doc:"Emit the EXPERIMENTS.md matrix table.")
+
+let scenarios_cmd =
+  Cmd.v
+    (Cmd.info "scenarios"
+       ~doc:
+         "Adverse-network scenario matrix: run every congestion-control \
+          algorithm through deterministic loss-burst, reordering, \
+          bufferbloat, asymmetric-RTT, and shared-bottleneck scenarios \
+          with the TCB invariants installed, reporting goodput and Jain \
+          fairness per cell")
+    Term.(const scenarios $ scenario_cc $ scenario_name $ quick_flag
+          $ markdown_flag)
 
 let () =
   exit
@@ -415,5 +596,5 @@ let () =
              ~doc:"The Fox Net structured TCP/IP stack, simulated")
           [
             transfer_cmd; ping_cmd; rtt_cmd; table1_cmd; table2_cmd; fuzz_cmd;
-            soak_cmd; stat_cmd; trace_cmd;
+            soak_cmd; scenarios_cmd; stat_cmd; trace_cmd;
           ]))

@@ -17,7 +17,8 @@
       module Ip = Fox_ip.Ip.Make (Feth) (Fox_ip.Ip.Default_params)
       module Fip = Faulty.Make (Ip)
       module Tcp =                       (* Tcp(Faulty(Ip(Faulty(Eth)))) *)
-        Fox_tcp.Tcp.Make (Fip) (Fip.Lift_aux (Fox_ip.Ip_aux.Make (Ip))) (...)
+        Fox_tcp.Tcp.Make (Fip) (Fip.Lift_aux (Fox_ip.Ip_aux.Make (Ip)))
+          (Fox_tcp.Congestion.Reno) (...)
     ]}
 
     exercising the error handling of every layer above it from below. *)

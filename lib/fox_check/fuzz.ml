@@ -67,7 +67,6 @@ module Baseline_params : Fox_baseline.Tcp_monolithic.PARAMS = struct
   let listen_backlog = 4
 end
 
-module Tcp = Fox_tcp.Tcp.Make (Fip) (Faux) (Tcp_params)
 module Baseline = Fox_baseline.Tcp_monolithic.Make (Fip) (Faux) (Baseline_params)
 module Flood = Synflood.Make (Fip) (Faux)
 
@@ -261,12 +260,20 @@ module type ENGINE = sig
   val stats_line : t -> string
 end
 
-module Fox_engine : ENGINE with type t = Tcp.t = struct
+(* The structured engine is built per congestion-control algorithm: the
+   differential oracle (delivery, prefix-on-abort, connect agreement) is
+   algorithm-independent, so the same schedules can fuzz Reno against the
+   baseline and then re-run under NewReno/CUBIC/BBR with only the
+   invariants and the oracle — the baseline always runs its own fixed
+   congestion control. *)
+module Make_fox (Cc : Fox_tcp.Congestion.S) : ENGINE = struct
+  module Tcp = Fox_tcp.Tcp.Make (Fip) (Faux) (Cc) (Tcp_params)
+
   type t = Tcp.t
 
   type connection = Tcp.connection
 
-  let name = "fox"
+  let name = "fox+" ^ Cc.name
 
   let create = Tcp.create
 
@@ -295,6 +302,20 @@ module Fox_engine : ENGINE with type t = Tcp.t = struct
       s.Fox_tcp.Tcp.segs_in s.Fox_tcp.Tcp.segs_out s.Fox_tcp.Tcp.rsts_sent
       s.Fox_tcp.Tcp.wire_send_failures s.Fox_tcp.Tcp.active_conns
 end
+
+module Fox_engine = Make_fox (Fox_tcp.Congestion.Reno)
+
+(* One structured engine per algorithm, instantiated once — the fuzz and
+   the per-algorithm schedule matrix share them. *)
+let fox_engines : (string * (module ENGINE)) list =
+  [
+    ("reno", (module Fox_engine));
+    ("newreno", (module Make_fox (Fox_tcp.Congestion.Newreno)));
+    ("cubic", (module Make_fox (Fox_tcp.Congestion.Cubic)));
+    ("bbr", (module Make_fox (Fox_tcp.Congestion.Bbr_lite)));
+  ]
+
+let fox_engine_of_cc cc = List.assoc_opt cc fox_engines
 
 module Baseline_engine : ENGINE with type t = Baseline.t = struct
   type t = Baseline.t
@@ -517,12 +538,12 @@ let is_prefix p whole =
   String.length p <= String.length whole
   && String.equal p (String.sub whole 0 (String.length p))
 
-(** [check_schedule s] runs [s] through both engines and returns the
-    differential verdict plus the combined event trace. *)
-let check_schedule s =
-  let fox =
-    run_engine (module Fox_engine) s ~engine_salt:1 ~with_invariants:true
-  in
+(** [check_schedule ?engine s] runs [s] through the structured engine
+    ([engine], default Reno) and the baseline, returning the differential
+    verdict plus the combined event trace. *)
+let check_schedule ?(engine = (module Fox_engine : ENGINE)) s =
+  let (module Fox : ENGINE) = engine in
+  let fox = run_engine (module Fox) s ~engine_salt:1 ~with_invariants:true in
   let base =
     run_engine (module Baseline_engine) s ~engine_salt:2 ~with_invariants:false
   in
@@ -597,8 +618,8 @@ let check_schedule s =
 
 (* Greedy shrink: drop or halve chunks and zero fault knobs while the
    schedule still fails, within a bounded number of re-runs. *)
-let minimize s0 =
-  let fails s = (check_schedule s).problems <> [] in
+let minimize ?engine s0 =
+  let fails s = (check_schedule ?engine s).problems <> [] in
   let candidates s =
     let n = List.length s.chunks in
     let drop_chunk i = List.filteri (fun j _ -> j <> i) s.chunks in
@@ -649,16 +670,17 @@ type failure = { seed : int; minimized : schedule; report : string }
 
 (** [run_seeds ~seed ~iters ()] fuzzes schedules for seeds
     [seed .. seed+iters-1] and returns the failures, each with a
-    minimized, replayable schedule.  [log] observes every verdict. *)
-let run_seeds ?(log = fun _ -> ()) ~seed ~iters () =
+    minimized, replayable schedule.  [log] observes every verdict;
+    [engine] selects the structured engine (default Reno). *)
+let run_seeds ?(log = fun _ -> ()) ?engine ~seed ~iters () =
   let failures = ref [] in
   for i = 0 to iters - 1 do
     let s = generate ~seed:(seed + i) in
-    let v = check_schedule s in
+    let v = check_schedule ?engine s in
     log v;
     if v.problems <> [] then begin
-      let minimized = minimize s in
-      let mv = check_schedule minimized in
+      let minimized = minimize ?engine s in
+      let mv = check_schedule ?engine minimized in
       let mv, minimized =
         (* minimization is best-effort: fall back to the original *)
         if mv.problems <> [] then (mv, minimized) else (v, s)
@@ -681,5 +703,20 @@ let run_seeds ?(log = fun _ -> ()) ~seed ~iters () =
   List.rev !failures
 
 (** [trace_of_seed ~seed] is the full deterministic event trace for one
-    generated schedule — identical across runs for the same seed. *)
+    generated schedule under the default (Reno) engine — identical across
+    runs for the same seed, and the fingerprint the Reno refactor must
+    preserve. *)
 let trace_of_seed ~seed = (check_schedule (generate ~seed)).trace
+
+(** [run_matrix ~seed ~iters ()] runs the same seed range once per
+    congestion-control algorithm and returns [(cc, failures)] rows.  The
+    delivery oracle and {!Tcb_invariants} apply to every algorithm; only
+    Reno additionally promises trace equality with the pre-refactor
+    engine. *)
+let run_matrix ?(log = fun _ _ -> ()) ?engines ~seed ~iters () =
+  let engines = match engines with Some e -> e | None -> fox_engines in
+  List.map
+    (fun (cc, engine) ->
+      let failures = run_seeds ~log:(log cc) ~engine ~seed ~iters () in
+      (cc, failures))
+    engines

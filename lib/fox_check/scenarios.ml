@@ -1,0 +1,384 @@
+(** The adverse-network scenario matrix.
+
+    Each scenario is a deterministic virtual network shaped to expose one
+    congestion-control pathology: bursty loss (fast retransmit vs RTO),
+    reordering (spurious dup-ACKs), bufferbloat (a deep FIFO a
+    window-filling algorithm must blow up and a pacing algorithm should
+    not), asymmetric RTT (a slow ACK path), and N flows contending for
+    one bottleneck (fairness).  Every algorithm from {!Fox_tcp.Congestion}
+    runs the same scenario over the same seeded wire, with
+    {!Tcb_invariants} installed, and the matrix reports per-flow goodput,
+    aggregate goodput, and the Jain fairness index.
+
+    Everything derives from the scenario's fixed seed, so a matrix cell
+    reproduces byte-for-byte; the quick variant trims the transfer for
+    CI. *)
+
+open Fox_basis
+module Bus = Fox_obs.Bus
+module Scheduler = Fox_sched.Scheduler
+module Link = Fox_dev.Link
+module Netem = Fox_dev.Netem
+module Device = Fox_dev.Device
+module Mac = Fox_eth.Mac
+module Ipv4_addr = Fox_ip.Ipv4_addr
+module Route = Fox_ip.Route
+
+module Eth = Fox_eth.Eth.Standard
+module Ip = Fox_ip.Ip.Make (Eth) (Fox_ip.Ip.Default_params)
+module Ip_aux = Fox_ip.Ip_aux.Make (Ip)
+
+(* Modest RTO floors keep loss-scenario virtual spans small without
+   hiding the recovery machinery.  The advertised window is raised far
+   above the paper's 4096 so the congestion window — not flow control —
+   is the binding constraint: with the library default, every algorithm
+   saturates the 8-segment receive window and the matrix cannot tell
+   them apart. *)
+module Scn_params : Fox_tcp.Tcp.PARAMS = struct
+  include Fox_tcp.Tcp.Default_params
+
+  let initial_window = 65_535
+  let time_wait_us = 500_000
+  let rto_min_us = 100_000
+  let rto_initial_us = 300_000
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scenario definitions                                               *)
+(* ------------------------------------------------------------------ *)
+
+type scenario = {
+  name : string;
+  descr : string;
+  netem : Netem.t;  (** the wire, seed included — identical per algorithm *)
+  flows : int;  (** concurrent client connections *)
+  bytes : int;  (** payload per flow (full mode) *)
+  quick_bytes : int;  (** payload per flow (quick / CI mode) *)
+}
+
+let base = Netem.ethernet_10mbps
+
+let all : scenario list =
+  [
+    {
+      name = "loss_burst";
+      descr = "2% loss in bursts of 4 frames";
+      netem = Netem.adverse ~loss:0.02 ~loss_burst:4 ~seed:0x10551 base;
+      flows = 1;
+      bytes = 262_144;
+      quick_bytes = 32_768;
+    };
+    {
+      name = "reorder";
+      descr = "5% of frames jittered up to 3 ms";
+      netem =
+        { (Netem.adverse ~reorder:0.05 ~seed:0x20e0 base) with
+          reorder_jitter_us = 3_000;
+        };
+      flows = 1;
+      bytes = 262_144;
+      quick_bytes = 32_768;
+    };
+    {
+      name = "bufferbloat";
+      descr = "10 Mb/s, 5 ms path, 256-frame FIFO";
+      netem =
+        Netem.adverse ~queue_frames:256 ~seed:0x3b1 { base with propagation_us = 5_000 };
+      flows = 1;
+      bytes = 524_288;
+      quick_bytes = 65_536;
+    };
+    {
+      name = "asym_rtt";
+      descr = "1 ms forward, 20 ms reverse path";
+      netem =
+        Netem.adverse ~reverse_propagation_us:20_000 ~seed:0x45a
+          { base with propagation_us = 1_000 };
+      flows = 1;
+      bytes = 262_144;
+      quick_bytes = 32_768;
+    };
+    {
+      name = "bottleneck_4";
+      descr = "4 flows share one 10 Mb/s, 32-frame queue";
+      netem =
+        Netem.adverse ~queue_frames:32 ~seed:0x5b0 { base with propagation_us = 1_000 };
+      flows = 4;
+      bytes = 131_072;
+      quick_bytes = 16_384;
+    };
+  ]
+
+let scenario_names = List.map (fun s -> s.name) all
+
+let find name = List.find_opt (fun s -> s.name = name) all
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type flow_result = {
+  delivered : int;  (** bytes the server received on this stream *)
+  finished_at_us : int;  (** virtual time of the last byte, or end time *)
+  goodput_mbps : float;
+}
+
+type result = {
+  scenario : string;
+  cc : string;
+  flow_results : flow_result list;
+  aggregate_goodput_mbps : float;
+      (** total payload over the span to the last flow's finish *)
+  fairness : float;  (** Jain index over per-flow goodputs; 1.0 = equal *)
+  retransmissions : int;
+  wire_drops : int;  (** lossy/queue drops the wire recorded *)
+  end_time : int;  (** virtual µs at quiescence *)
+  invariant_faults : string list;
+  complete : bool;  (** every flow delivered its full payload *)
+  flight : string list;
+      (** the flight-recorder ring (rendered, oldest first) — captured
+          only when the cell failed, for post-mortem without a re-run *)
+}
+
+(* Jain's fairness index: (sum x)^2 / (n * sum x^2), 1/n..1. *)
+let jain = function
+  | [] -> 1.0
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    let s = List.fold_left ( +. ) 0.0 xs in
+    let s2 = List.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+    if s2 = 0.0 then 1.0 else s *. s /. (n *. s2)
+
+(* ------------------------------------------------------------------ *)
+(* One matrix cell                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let port = 7777
+
+let mac_of addr =
+  Mac.of_string
+    (Printf.sprintf "02:00:00:00:02:%02x" (Ipv4_addr.to_int addr land 0xff))
+
+let make_host link index ~addr =
+  let dev = Device.create (Link.port link index) in
+  let eth = Eth.create dev ~mac:(mac_of addr) in
+  Ip.create eth
+    {
+      Ip.local_ip = addr;
+      route = Route.local ~network:(Ipv4_addr.of_string "10.2.0.0") ~prefix:24;
+      lower_address =
+        (fun next_hop ->
+          { Fox_eth.Eth.dest = mac_of next_hop;
+            proto = Fox_eth.Frame.ethertype_ipv4 });
+      lower_pattern = { Fox_eth.Eth.match_proto = Fox_eth.Frame.ethertype_ipv4 };
+    }
+
+let payload_for scn ~bytes i =
+  Bytes.to_string
+    (Rng.bytes (Rng.create (scn.netem.Netem.seed lxor (i * 7919))) bytes)
+
+module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
+  module Tcp = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Cc) (Scn_params)
+
+  let run ?(quick = false) scn =
+    let bytes = if quick then scn.quick_bytes else scn.bytes in
+    (* flows share the same point-to-point wire: the forward medium (and
+       its finite queue) is the bottleneck they contend for *)
+    let link = Link.point_to_point scn.netem in
+    let client_ip = make_host link 0 ~addr:(Ipv4_addr.of_string "10.2.0.1") in
+    let server_ip = make_host link 1 ~addr:(Ipv4_addr.of_string "10.2.0.2") in
+    let server_addr = Ipv4_addr.of_string "10.2.0.2" in
+    let faults = ref [] in
+    Tcb_invariants.install
+      ~on_violation:(fun info msgs ->
+        faults :=
+          !faults
+          @ List.map
+              (Printf.sprintf "t=%d after %s: %s" info.Fox_tcp.Check_hook.now
+                 (Fox_tcp.Tcb.action_name info.Fox_tcp.Check_hook.action))
+              msgs)
+      ();
+    let saved_offload = !Packet.offload_enabled in
+    let saved_pool = !Packet.pool_enabled in
+    Packet.offload_enabled := true;
+    Packet.pool_enabled := true;
+    (* as in the fuzz harness, the flight recorder runs for every cell so
+       a failing verdict carries the ring; state restored on every exit *)
+    let bus_was_live = !Bus.live in
+    Bus.reset ();
+    Bus.enable ();
+    let flight = ref [] in
+    let server_t = Tcp.create server_ip in
+    let client_t = Tcp.create client_ip in
+    (* accept order = flow order for scoring; all flows carry the same
+       number of bytes, so identity does not affect the fairness index *)
+    let streams : (Buffer.t * int ref) list ref = ref [] in
+    (* client-side connections survive closure as records, so their final
+       TCB counters can be read after quiescence *)
+    let client_conns : Tcp.connection list ref = ref [] in
+    let r =
+    Fun.protect
+      ~finally:(fun () ->
+        Packet.offload_enabled := saved_offload;
+        Packet.pool_enabled := saved_pool;
+        Packet.pool_reset ();
+        flight := Bus.dump ();
+        Bus.reset ();
+        if not bus_was_live then Bus.disable ();
+        Tcb_invariants.uninstall ())
+      (fun () ->
+        let stats =
+          Scheduler.run (fun () ->
+              ignore
+                (Tcp.start_passive server_t { Tcp.local_port = port }
+                   (fun conn ->
+                     let buf = Buffer.create bytes in
+                     let finished = ref 0 in
+                     streams := (buf, finished) :: !streams;
+                     ( (fun packet ->
+                         Buffer.add_string buf (Packet.to_string packet);
+                         Packet.release packet;
+                         if Buffer.length buf >= bytes && !finished = 0 then
+                           finished := Scheduler.now ()),
+                       function
+                       | Fox_proto.Status.Remote_close -> Tcp.close conn
+                       | _ -> () )));
+              for i = 0 to scn.flows - 1 do
+                Scheduler.fork (fun () ->
+                    (* a tiny stagger keeps simultaneous SYNs from
+                       colliding on the half-open path; the flows still
+                       overlap for >99% of the transfer *)
+                    Scheduler.sleep (i * 500);
+                    match
+                      Tcp.connect client_t
+                        { Tcp.peer = server_addr; port; local_port = None }
+                        (fun _conn -> (ignore, ignore))
+                    with
+                    | exception Fox_proto.Common.Connection_failed _ -> ()
+                    | conn ->
+                      client_conns := conn :: !client_conns;
+                      let payload = payload_for scn ~bytes i in
+                      let p = Tcp.allocate_send conn (String.length payload) in
+                      Packet.blit_from_string payload 0 p 0
+                        (String.length payload);
+                      (match Tcp.send conn p with
+                      | () -> ()
+                      | exception Fox_proto.Common.Send_failed _ -> ());
+                      Tcp.close conn)
+              done)
+        in
+        let end_time = stats.Scheduler.end_time in
+        let flow_results =
+          List.rev_map
+            (fun (buf, finished) ->
+              let delivered = Buffer.length buf in
+              let finished_at_us =
+                if !finished > 0 then !finished else end_time
+              in
+              let span = max 1 finished_at_us in
+              {
+                delivered;
+                finished_at_us;
+                goodput_mbps = float_of_int (delivered * 8) /. float_of_int span;
+              })
+            !streams
+        in
+        let total_delivered =
+          List.fold_left (fun a f -> a + f.delivered) 0 flow_results
+        in
+        let last_finish =
+          List.fold_left (fun a f -> max a f.finished_at_us) 1 flow_results
+        in
+        let retransmissions =
+          List.fold_left
+            (fun a conn ->
+              a + (Tcp.conn_stats conn).Fox_tcp.Tcp.retransmissions)
+            0 !client_conns
+        in
+        let drops i =
+          let s = Link.stats link i in
+          s.Link.dropped + s.Link.queue_drops
+        in
+        {
+          scenario = scn.name;
+          cc = Cc.name;
+          flow_results;
+          aggregate_goodput_mbps =
+            float_of_int (total_delivered * 8) /. float_of_int last_finish;
+          fairness = jain (List.map (fun f -> f.goodput_mbps) flow_results);
+          retransmissions;
+          wire_drops = drops 0 + drops 1;
+          end_time;
+          invariant_faults = !faults;
+          complete =
+            (List.length flow_results = scn.flows
+            && List.for_all (fun f -> f.delivered = bytes) flow_results);
+          flight = [];
+        })
+    in
+    if r.complete && r.invariant_faults = [] then r
+    else { r with flight = !flight }
+end
+
+module Reno_engine = Make_engine (Fox_tcp.Congestion.Reno)
+module Newreno_engine = Make_engine (Fox_tcp.Congestion.Newreno)
+module Cubic_engine = Make_engine (Fox_tcp.Congestion.Cubic)
+module Bbr_engine = Make_engine (Fox_tcp.Congestion.Bbr_lite)
+
+let cc_names = [ "reno"; "newreno"; "cubic"; "bbr" ]
+
+let run_cell ?quick ~cc scn =
+  match cc with
+  | "reno" -> Reno_engine.run ?quick scn
+  | "newreno" -> Newreno_engine.run ?quick scn
+  | "cubic" -> Cubic_engine.run ?quick scn
+  | "bbr" -> Bbr_engine.run ?quick scn
+  | other -> invalid_arg ("Scenarios.run_cell: unknown congestion control " ^ other)
+
+(** [run_matrix ()] runs every scenario under every algorithm (or the
+    given subsets) and returns the cells in scenario-major order. *)
+let run_matrix ?(log = fun _ -> ()) ?quick ?(scenarios = all)
+    ?(ccs = cc_names) () =
+  List.concat_map
+    (fun scn ->
+      List.map
+        (fun cc ->
+          let r = run_cell ?quick ~cc scn in
+          log r;
+          r)
+        ccs)
+    scenarios
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "%-12s %-8s goodput %6.2f Mb/s  fairness %.3f  rtx %4d  drops %4d  \
+     %.3fs%s%s"
+    r.scenario r.cc r.aggregate_goodput_mbps r.fairness r.retransmissions
+    r.wire_drops
+    (float_of_int r.end_time /. 1e6)
+    (if r.complete then "" else "  INCOMPLETE")
+    (match r.invariant_faults with
+    | [] -> ""
+    | fs -> Printf.sprintf "  %d INVARIANT FAULTS" (List.length fs))
+
+let result_to_string r = Format.asprintf "%a" pp_result r
+
+(** Markdown table of a full matrix, scenario-major (the EXPERIMENTS.md
+    format). *)
+let to_markdown results =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "| scenario | cc | goodput (Mb/s) | fairness | rtx | wire drops |\n";
+  Buffer.add_string b "|---|---|---|---|---|---|\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "| %s | %s | %.2f | %.3f | %d | %d |\n" r.scenario
+           r.cc r.aggregate_goodput_mbps r.fairness r.retransmissions
+           r.wire_drops))
+    results;
+  Buffer.contents b

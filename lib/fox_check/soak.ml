@@ -65,7 +65,6 @@ module Soak_params : Fox_tcp.Tcp.PARAMS = struct
   let max_connections = 4096
 end
 
-module Tcp = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Soak_params)
 module Flood = Synflood.Make (Ip) (Ip_aux)
 
 (* ------------------------------------------------------------------ *)
@@ -82,6 +81,7 @@ type config = {
   flood_bad_acks : int;  (** forged-cookie bare ACKs *)
   loss : float;
   wheel : bool;  (** drive timers through the timing wheel (vs the heap) *)
+  cc : string;  (** congestion-control algorithm for both endpoints *)
 }
 
 let default_config =
@@ -95,6 +95,7 @@ let default_config =
     flood_bad_acks = 16;
     loss = 0.01;
     wheel = true;
+    cc = "reno";
   }
 
 type report = {
@@ -169,216 +170,262 @@ let payload_for cfg i =
 (* The run                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(log = fun _ -> ()) cfg =
-  let netem =
-    Netem.adverse ~loss:cfg.loss ~reorder:0.02 ~queue_frames:64
-      ~seed:(cfg.seed lxor 0x50a) Netem.ethernet_10mbps
-  in
-  let link = Link.hub ~ports:3 netem in
-  let client_ip = make_host link 0 ~addr:(Ipv4_addr.of_string "10.1.0.1") in
-  let server_ip = make_host link 1 ~addr:(Ipv4_addr.of_string "10.1.0.2") in
-  let atk_ip = make_host link 2 ~addr:(Ipv4_addr.of_string "10.1.0.3") in
-  let server_addr = Ipv4_addr.of_string "10.1.0.2" in
-  let faults = ref [] in
-  Tcb_invariants.install
-    ~on_violation:(fun info msgs ->
-      faults :=
-        !faults
-        @ List.map
-            (Printf.sprintf "t=%d after %s: %s" info.Fox_tcp.Check_hook.now
-               (Fox_tcp.Tcb.action_name info.Fox_tcp.Check_hook.action))
-            msgs)
-    ();
-  let saved_offload = !Packet.offload_enabled in
-  let saved_pool = !Packet.pool_enabled in
-  let saved_wheel = !Timer.use_wheel in
-  Packet.offload_enabled := true;
-  Packet.pool_enabled := true;
-  Timer.use_wheel := cfg.wheel;
-  let live_before = Packet.live_packets () in
-  let server_t = Tcp.create server_ip in
-  let client_t = Tcp.create client_ip in
-  let streams = ref [] in
-  let connect_failures = ref 0 in
-  let flood_sent = ref 0 in
-  Fun.protect
-    ~finally:(fun () ->
-      Packet.offload_enabled := saved_offload;
-      Packet.pool_enabled := saved_pool;
-      Timer.use_wheel := saved_wheel;
-      Tcb_invariants.uninstall ())
-    (fun () ->
-      let stats =
-        Scheduler.run (fun () ->
-            ignore
-              (Tcp.start_passive server_t { Tcp.local_port = port }
-                 (fun conn ->
-                   let buf = Buffer.create cfg.bytes_per_conn in
-                   streams := buf :: !streams;
-                   ( (fun packet ->
-                       Buffer.add_string buf (Packet.to_string packet);
-                       Packet.release packet),
-                     (* close our half when the peer closes theirs, so the
-                        passive side tears down and the client (the active
-                        closer) carries the TIME-WAIT load *)
-                     function
-                     | Fox_proto.Status.Remote_close -> Tcp.close conn
-                     | _ -> () )));
-            (* the flood: scripted, mid-run, while early connections are
-               still transferring and later ones are still arriving *)
-            if cfg.flood_syns > 0 || cfg.flood_bad_acks > 0 then
-              Scheduler.fork (fun () ->
-                  Scheduler.sleep cfg.flood_at_us;
-                  let flood = Flood.create atk_ip ~target:server_addr in
-                  let ports = ref [] in
-                  for _ = 1 to cfg.flood_syns do
-                    ports := Flood.syn flood ~dst_port:port :: !ports;
-                    Scheduler.sleep 200
-                  done;
-                  for _ = 1 to cfg.flood_bad_acks do
-                    Flood.bare_ack flood ~dst_port:port;
-                    Scheduler.sleep 200
-                  done;
-                  (* a third of the flood handshakes are later abandoned,
-                     covering the RST-clears-cache-entry path *)
-                  List.iteri
-                    (fun i src_port ->
-                      if i mod 3 = 0 then begin
-                        Flood.rst flood ~src_port ~dst_port:port;
-                        Scheduler.sleep 200
-                      end)
-                    (List.rev !ports);
-                  flood_sent := Flood.sent flood;
-                  log
-                    (Printf.sprintf "t=%d flood done: %d segments"
-                       (Scheduler.now ()) !flood_sent));
-            (* the client fleet *)
-            for i = 0 to cfg.conns - 1 do
-              Scheduler.fork (fun () ->
-                  Scheduler.sleep (i * cfg.spacing_us);
-                  match
-                    Tcp.connect client_t
-                      { Tcp.peer = server_addr; port; local_port = None }
-                      (fun _conn -> (ignore, ignore))
-                  with
-                  | exception Fox_proto.Common.Connection_failed msg ->
-                    incr connect_failures;
-                    log (Printf.sprintf "conn %d failed to open: %s" i msg)
-                  | conn ->
-                    let payload = payload_for cfg i in
-                    let p = Tcp.allocate_send conn (String.length payload) in
-                    Packet.blit_from_string payload 0 p 0
-                      (String.length payload);
-                    (match Tcp.send conn p with
-                    | () -> ()
-                    | exception Fox_proto.Common.Send_failed msg ->
-                      log (Printf.sprintf "conn %d send failed: %s" i msg));
-                    Tcp.close conn)
-            done)
-      in
-      let end_time = stats.Scheduler.end_time in
-      (* score the delivered streams against the expected multiset *)
-      let expected =
-        List.init cfg.conns (fun i -> Digest.string (payload_for cfg i))
-        |> List.sort compare
-      in
-      let got =
-        List.map (fun b -> Digest.string (Buffer.contents b)) !streams
-        |> List.sort compare
-      in
-      let rec matches exp got =
-        match (exp, got) with
-        | [], _ | _, [] -> 0
-        | e :: erest, g :: grest ->
-          if String.equal e g then 1 + matches erest grest
-          else if e < g then matches erest got
-          else matches exp grest
-      in
-      let completed = matches expected got in
-      let delivery_mismatches = List.length got - completed in
-      let s = Tcp.stats server_t in
-      let c = Tcp.stats client_t in
-      let wire_queue_drops =
-        List.fold_left
-          (fun acc i -> acc + (Link.stats link i).Link.queue_drops)
-          0 [ 0; 1; 2 ]
-      in
-      let leaked_packets = Packet.live_packets () - live_before in
-      let invariant_faults = !faults in
-      let fingerprint =
-        Digest.to_hex
-          (Digest.string
-             (String.concat "|"
-                (got
-                @ [
-                    string_of_int end_time;
-                    string_of_int completed;
-                    string_of_int !connect_failures;
-                    string_of_int leaked_packets;
-                    string_of_int s.Fox_tcp.Tcp.accepts;
-                    string_of_int s.Fox_tcp.Tcp.backlog_refused;
-                    string_of_int s.Fox_tcp.Tcp.syn_dropped;
-                    string_of_int s.Fox_tcp.Tcp.rsts_sent;
-                    string_of_int c.Fox_tcp.Tcp.time_wait_recycled;
-                    string_of_int
-                      (s.Fox_tcp.Tcp.to_do_shed + c.Fox_tcp.Tcp.to_do_shed);
-                    string_of_int wire_queue_drops;
-                  ])))
-      in
-      {
-        conns = cfg.conns;
-        completed;
-        connect_failures = !connect_failures;
-        delivery_mismatches;
-        invariant_faults;
-        leaked_packets;
-        end_time;
-        flood_sent = !flood_sent;
-        server_accepts = s.Fox_tcp.Tcp.accepts;
-        backlog_refused = s.Fox_tcp.Tcp.backlog_refused;
-        syn_dropped = s.Fox_tcp.Tcp.syn_dropped;
-        time_wait_recycled =
-          s.Fox_tcp.Tcp.time_wait_recycled + c.Fox_tcp.Tcp.time_wait_recycled;
-        to_do_shed = s.Fox_tcp.Tcp.to_do_shed + c.Fox_tcp.Tcp.to_do_shed;
-        rsts_sent = s.Fox_tcp.Tcp.rsts_sent;
-        wire_queue_drops;
-        fingerprint;
-      })
+(* The soak is generic in the congestion-control algorithm: the
+   graceful-degradation contract (full delivery, starved flood, silent
+   invariants, no leaks, determinism) must hold whichever algorithm
+   drives the windows, so the same harness runs once per instance. *)
+module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
+  module Tcp = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Cc) (Soak_params)
+
+  let run ?(log = fun _ -> ()) cfg =
+    let netem =
+      Netem.adverse ~loss:cfg.loss ~reorder:0.02 ~queue_frames:64
+        ~seed:(cfg.seed lxor 0x50a) Netem.ethernet_10mbps
+    in
+    let link = Link.hub ~ports:3 netem in
+    let client_ip = make_host link 0 ~addr:(Ipv4_addr.of_string "10.1.0.1") in
+    let server_ip = make_host link 1 ~addr:(Ipv4_addr.of_string "10.1.0.2") in
+    let atk_ip = make_host link 2 ~addr:(Ipv4_addr.of_string "10.1.0.3") in
+    let server_addr = Ipv4_addr.of_string "10.1.0.2" in
+    let faults = ref [] in
+    Tcb_invariants.install
+      ~on_violation:(fun info msgs ->
+        faults :=
+          !faults
+          @ List.map
+              (Printf.sprintf "t=%d after %s: %s" info.Fox_tcp.Check_hook.now
+                 (Fox_tcp.Tcb.action_name info.Fox_tcp.Check_hook.action))
+              msgs)
+      ();
+    let saved_offload = !Packet.offload_enabled in
+    let saved_pool = !Packet.pool_enabled in
+    let saved_wheel = !Timer.use_wheel in
+    Packet.offload_enabled := true;
+    Packet.pool_enabled := true;
+    Timer.use_wheel := cfg.wheel;
+    let live_before = Packet.live_packets () in
+    let server_t = Tcp.create server_ip in
+    let client_t = Tcp.create client_ip in
+    let streams = ref [] in
+    let connect_failures = ref 0 in
+    let flood_sent = ref 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        Packet.offload_enabled := saved_offload;
+        Packet.pool_enabled := saved_pool;
+        Timer.use_wheel := saved_wheel;
+        Tcb_invariants.uninstall ())
+      (fun () ->
+        let stats =
+          Scheduler.run (fun () ->
+              ignore
+                (Tcp.start_passive server_t { Tcp.local_port = port }
+                   (fun conn ->
+                     let buf = Buffer.create cfg.bytes_per_conn in
+                     streams := buf :: !streams;
+                     ( (fun packet ->
+                         Buffer.add_string buf (Packet.to_string packet);
+                         Packet.release packet),
+                       (* close our half when the peer closes theirs, so the
+                          passive side tears down and the client (the active
+                          closer) carries the TIME-WAIT load *)
+                       function
+                       | Fox_proto.Status.Remote_close -> Tcp.close conn
+                       | _ -> () )));
+              (* the flood: scripted, mid-run, while early connections are
+                 still transferring and later ones are still arriving *)
+              if cfg.flood_syns > 0 || cfg.flood_bad_acks > 0 then
+                Scheduler.fork (fun () ->
+                    Scheduler.sleep cfg.flood_at_us;
+                    let flood = Flood.create atk_ip ~target:server_addr in
+                    let ports = ref [] in
+                    for _ = 1 to cfg.flood_syns do
+                      ports := Flood.syn flood ~dst_port:port :: !ports;
+                      Scheduler.sleep 200
+                    done;
+                    for _ = 1 to cfg.flood_bad_acks do
+                      Flood.bare_ack flood ~dst_port:port;
+                      Scheduler.sleep 200
+                    done;
+                    (* a third of the flood handshakes are later abandoned,
+                       covering the RST-clears-cache-entry path *)
+                    List.iteri
+                      (fun i src_port ->
+                        if i mod 3 = 0 then begin
+                          Flood.rst flood ~src_port ~dst_port:port;
+                          Scheduler.sleep 200
+                        end)
+                      (List.rev !ports);
+                    flood_sent := Flood.sent flood;
+                    log
+                      (Printf.sprintf "t=%d flood done: %d segments"
+                         (Scheduler.now ()) !flood_sent));
+              (* the client fleet *)
+              for i = 0 to cfg.conns - 1 do
+                Scheduler.fork (fun () ->
+                    Scheduler.sleep (i * cfg.spacing_us);
+                    match
+                      Tcp.connect client_t
+                        { Tcp.peer = server_addr; port; local_port = None }
+                        (fun _conn -> (ignore, ignore))
+                    with
+                    | exception Fox_proto.Common.Connection_failed msg ->
+                      incr connect_failures;
+                      log (Printf.sprintf "conn %d failed to open: %s" i msg)
+                    | conn ->
+                      let payload = payload_for cfg i in
+                      let p = Tcp.allocate_send conn (String.length payload) in
+                      Packet.blit_from_string payload 0 p 0
+                        (String.length payload);
+                      (match Tcp.send conn p with
+                      | () -> ()
+                      | exception Fox_proto.Common.Send_failed msg ->
+                        log (Printf.sprintf "conn %d send failed: %s" i msg));
+                      Tcp.close conn)
+              done)
+        in
+        let end_time = stats.Scheduler.end_time in
+        (* score the delivered streams against the expected multiset *)
+        let expected =
+          List.init cfg.conns (fun i -> Digest.string (payload_for cfg i))
+          |> List.sort compare
+        in
+        let got =
+          List.map (fun b -> Digest.string (Buffer.contents b)) !streams
+          |> List.sort compare
+        in
+        let rec matches exp got =
+          match (exp, got) with
+          | [], _ | _, [] -> 0
+          | e :: erest, g :: grest ->
+            if String.equal e g then 1 + matches erest grest
+            else if e < g then matches erest got
+            else matches exp grest
+        in
+        let completed = matches expected got in
+        let delivery_mismatches = List.length got - completed in
+        let s = Tcp.stats server_t in
+        let c = Tcp.stats client_t in
+        let wire_queue_drops =
+          List.fold_left
+            (fun acc i -> acc + (Link.stats link i).Link.queue_drops)
+            0 [ 0; 1; 2 ]
+        in
+        let leaked_packets = Packet.live_packets () - live_before in
+        let invariant_faults = !faults in
+        let fingerprint =
+          Digest.to_hex
+            (Digest.string
+               (String.concat "|"
+                  (got
+                  @ [
+                      string_of_int end_time;
+                      string_of_int completed;
+                      string_of_int !connect_failures;
+                      string_of_int leaked_packets;
+                      string_of_int s.Fox_tcp.Tcp.accepts;
+                      string_of_int s.Fox_tcp.Tcp.backlog_refused;
+                      string_of_int s.Fox_tcp.Tcp.syn_dropped;
+                      string_of_int s.Fox_tcp.Tcp.rsts_sent;
+                      string_of_int c.Fox_tcp.Tcp.time_wait_recycled;
+                      string_of_int
+                        (s.Fox_tcp.Tcp.to_do_shed + c.Fox_tcp.Tcp.to_do_shed);
+                      string_of_int wire_queue_drops;
+                    ])))
+        in
+        {
+          conns = cfg.conns;
+          completed;
+          connect_failures = !connect_failures;
+          delivery_mismatches;
+          invariant_faults;
+          leaked_packets;
+          end_time;
+          flood_sent = !flood_sent;
+          server_accepts = s.Fox_tcp.Tcp.accepts;
+          backlog_refused = s.Fox_tcp.Tcp.backlog_refused;
+          syn_dropped = s.Fox_tcp.Tcp.syn_dropped;
+          time_wait_recycled =
+            s.Fox_tcp.Tcp.time_wait_recycled + c.Fox_tcp.Tcp.time_wait_recycled;
+          to_do_shed = s.Fox_tcp.Tcp.to_do_shed + c.Fox_tcp.Tcp.to_do_shed;
+          rsts_sent = s.Fox_tcp.Tcp.rsts_sent;
+          wire_queue_drops;
+          fingerprint;
+        })
+
+  (* ------------------------------------------------------------------ *)
+  (* The verdict                                                        *)
+  (* ------------------------------------------------------------------ *)
+
+  (** [check cfg] runs the soak twice and returns the first run's report
+      plus the problems found (empty = pass): non-determinism between the
+      two runs, incomplete connections, a flood handshake that slipped
+      through, invariant violations, or leaked buffers. *)
+  let check ?log cfg =
+    let r1 = run ?log cfg in
+    let r2 = run ?log cfg in
+    let problems = ref [] in
+    let problem fmt =
+      Printf.ksprintf (fun msg -> problems := msg :: !problems) fmt
+    in
+    if not (String.equal r1.fingerprint r2.fingerprint) then
+      problem "non-deterministic: fingerprints %s vs %s differ" r1.fingerprint
+        r2.fingerprint;
+    if r1.completed <> cfg.conns then
+      problem "%d of %d connections did not deliver their payload"
+        (cfg.conns - r1.completed) cfg.conns;
+    if r1.connect_failures > 0 then
+      problem "%d connects failed outright" r1.connect_failures;
+    if r1.delivery_mismatches > 0 then
+      problem "%d streams delivered wrong bytes" r1.delivery_mismatches;
+    List.iter (fun f -> problem "invariant violation: %s" f) r1.invariant_faults;
+    if r1.leaked_packets <> 0 then
+      problem "%d packet buffers leaked" r1.leaked_packets;
+    if r1.server_accepts > cfg.conns then
+      problem "flood completed %d handshakes (accepts %d > %d legit conns)"
+        (r1.server_accepts - cfg.conns)
+        r1.server_accepts cfg.conns;
+    if
+      cfg.flood_syns + cfg.flood_bad_acks > 0
+      && r1.rsts_sent + r1.backlog_refused + r1.syn_dropped = 0
+    then problem "flood ran but left no trace on the defenses (inert?)";
+    (r1, List.rev !problems)
+end
 
 (* ------------------------------------------------------------------ *)
-(* The verdict                                                        *)
+(* Per-algorithm dispatch                                             *)
 (* ------------------------------------------------------------------ *)
 
-(** [check cfg] runs the soak twice and returns the first run's report
-    plus the problems found (empty = pass): non-determinism between the
-    two runs, incomplete connections, a flood handshake that slipped
-    through, invariant violations, or leaked buffers. *)
+module Reno_engine = Make_engine (Fox_tcp.Congestion.Reno)
+module Newreno_engine = Make_engine (Fox_tcp.Congestion.Newreno)
+module Cubic_engine = Make_engine (Fox_tcp.Congestion.Cubic)
+module Bbr_engine = Make_engine (Fox_tcp.Congestion.Bbr_lite)
+
+let engine_names = [ "reno"; "newreno"; "cubic"; "bbr" ]
+
+(** [run cfg] / [check cfg] dispatch on [cfg.cc]; unknown names raise
+    [Invalid_argument]. *)
+let run ?log cfg =
+  match cfg.cc with
+  | "reno" -> Reno_engine.run ?log cfg
+  | "newreno" -> Newreno_engine.run ?log cfg
+  | "cubic" -> Cubic_engine.run ?log cfg
+  | "bbr" -> Bbr_engine.run ?log cfg
+  | other -> invalid_arg ("Soak.run: unknown congestion control " ^ other)
+
 let check ?log cfg =
-  let r1 = run ?log cfg in
-  let r2 = run ?log cfg in
-  let problems = ref [] in
-  let problem fmt =
-    Printf.ksprintf (fun msg -> problems := msg :: !problems) fmt
-  in
-  if not (String.equal r1.fingerprint r2.fingerprint) then
-    problem "non-deterministic: fingerprints %s vs %s differ" r1.fingerprint
-      r2.fingerprint;
-  if r1.completed <> cfg.conns then
-    problem "%d of %d connections did not deliver their payload"
-      (cfg.conns - r1.completed) cfg.conns;
-  if r1.connect_failures > 0 then
-    problem "%d connects failed outright" r1.connect_failures;
-  if r1.delivery_mismatches > 0 then
-    problem "%d streams delivered wrong bytes" r1.delivery_mismatches;
-  List.iter (fun f -> problem "invariant violation: %s" f) r1.invariant_faults;
-  if r1.leaked_packets <> 0 then
-    problem "%d packet buffers leaked" r1.leaked_packets;
-  if r1.server_accepts > cfg.conns then
-    problem "flood completed %d handshakes (accepts %d > %d legit conns)"
-      (r1.server_accepts - cfg.conns)
-      r1.server_accepts cfg.conns;
-  if
-    cfg.flood_syns + cfg.flood_bad_acks > 0
-    && r1.rsts_sent + r1.backlog_refused + r1.syn_dropped = 0
-  then problem "flood ran but left no trace on the defenses (inert?)";
-  (r1, List.rev !problems)
+  match cfg.cc with
+  | "reno" -> Reno_engine.check ?log cfg
+  | "newreno" -> Newreno_engine.check ?log cfg
+  | "cubic" -> Cubic_engine.check ?log cfg
+  | "bbr" -> Bbr_engine.check ?log cfg
+  | other -> invalid_arg ("Soak.check: unknown congestion control " ^ other)
+
+(** [check_matrix cfg] runs the soak contract once per congestion-control
+    algorithm, returning [(cc, report, problems)] rows. *)
+let check_matrix ?log cfg =
+  List.map
+    (fun cc ->
+      let r, problems = check ?log { cfg with cc } in
+      (cc, r, problems))
+    engine_names

@@ -68,9 +68,44 @@ let effective_armed (info : Check_hook.info) kind =
     (List.mem kind info.Check_hook.armed)
     info.Check_hook.pending
 
+(* ------------------------------------------------------------------ *)
+(* Recovery-exit monotonicity                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [violations] itself is stateless, but "the window was deflated when
+   loss recovery ended" is a property of two consecutive observations, so
+   the checker keeps one memo cell per connection: whether the congestion
+   algorithm reported [in_recovery] at the previous check.  Keyed by
+   (obs_id, iss) so a recycled port starts fresh; entries die with the
+   connection. *)
+let recovery_memo : (string, bool) Hashtbl.t = Hashtbl.create 64
+
+let memo_key tcb =
+  tcb.Tcb.obs_id ^ "#" ^ Seq.to_string tcb.Tcb.iss
+
+(* On the transition out of recovery the algorithm must have deflated:
+   cwnd may not exceed ssthresh by more than the one MSS a simultaneous
+   congestion-avoidance increase can add. *)
+let check_recovery_exit tcb note =
+  let key = memo_key tcb in
+  let now_rec = Congestion.in_recovery tcb.Tcb.cc in
+  (match Hashtbl.find_opt recovery_memo key with
+  | Some true when not now_rec ->
+    if tcb.Tcb.cwnd > tcb.Tcb.ssthresh + tcb.Tcb.snd_mss then
+      note
+        (Printf.sprintf "recovery exit left cwnd %d above ssthresh %d + mss %d"
+           tcb.Tcb.cwnd tcb.Tcb.ssthresh tcb.Tcb.snd_mss)
+  | _ -> ());
+  Hashtbl.replace recovery_memo key now_rec
+
 let violations (info : Check_hook.info) : string list =
   incr checks_performed;
-  if info.Check_hook.dead then []
+  if info.Check_hook.dead then begin
+    (match Tcb.tcb_of info.Check_hook.after with
+    | Some tcb -> Hashtbl.remove recovery_memo (memo_key tcb)
+    | None -> ());
+    []
+  end
   else
     match Tcb.tcb_of info.Check_hook.after with
     | None -> []
@@ -111,12 +146,14 @@ let violations (info : Check_hook.info) : string list =
         | _ -> []
       in
       ignore (pairwise entries);
-      (* congestion machinery floors *)
+      (* congestion machinery floors — hold for every CONGESTION
+         instance, because Resend clamps each hook's reaction *)
       if tcb.Tcb.cwnd < tcb.Tcb.snd_mss then
         fail "cwnd %d below one MSS (%d)" tcb.Tcb.cwnd tcb.Tcb.snd_mss;
       if tcb.Tcb.ssthresh < 2 * tcb.Tcb.snd_mss then
         fail "ssthresh %d below two MSS (%d)" tcb.Tcb.ssthresh
           (2 * tcb.Tcb.snd_mss);
+      check_recovery_exit tcb (fun msg -> faults := msg :: !faults);
       (* counters that must never go negative *)
       if tcb.Tcb.rcv_wnd < 0 then fail "rcv_wnd %d negative" tcb.Tcb.rcv_wnd;
       if tcb.Tcb.snd_wnd < 0 then fail "snd_wnd %d negative" tcb.Tcb.snd_wnd;
@@ -164,6 +201,9 @@ let violations (info : Check_hook.info) : string list =
       if tcb.Tcb.ack_timer_on <> effective_armed info Tcb.Delayed_ack then
         fail "ack_timer_on=%b inconsistent with timers/to_do"
           tcb.Tcb.ack_timer_on;
+      if tcb.Tcb.pacing_timer_on <> effective_armed info Tcb.Pacing then
+        fail "pacing_timer_on=%b inconsistent with timers/to_do"
+          tcb.Tcb.pacing_timer_on;
       (* RFC 793 transition legality *)
       if not (legal_transition info.Check_hook.before info.Check_hook.after)
       then
@@ -189,6 +229,9 @@ let check info =
     in the process.  The default [on_violation] raises {!Violation} out of
     the drain loop. *)
 let install ?on_violation () =
+  (* connections from a previous harness run may reuse (obs_id, iss)
+     keys; their recovery memos must not leak into this run *)
+  Hashtbl.reset recovery_memo;
   match on_violation with
   | None -> Check_hook.install check
   | Some f ->

@@ -41,6 +41,11 @@ type t = {
   (* frames currently waiting (not yet serialising) per medium, for the
      finite egress queue *)
   queued : int array;
+  (* remaining frames of a loss burst still to drop (loss_burst > 1) *)
+  mutable burst_left : int;
+  (* virtual time the live burst expires: a burst is an episode (a fade,
+     an overrun), so frames sent after this are not part of it *)
+  mutable burst_until : int;
 }
 
 let new_port_state () =
@@ -112,7 +117,17 @@ let transmit t src frame =
   end;
   let tx_time = Netem.tx_time_us t.netem len in
   t.medium_free_at.(medium) <- start + tx_time;
-  let base_arrival = start + tx_time + t.netem.Netem.propagation_us in
+  (* asymmetric-RTT modelling: the reverse direction of a point-to-point
+     link may have its own propagation delay *)
+  let propagation =
+    if
+      (not t.shared_medium)
+      && src = 1
+      && t.netem.Netem.reverse_propagation_us > 0
+    then t.netem.Netem.reverse_propagation_us
+    else t.netem.Netem.propagation_us
+  in
+  let base_arrival = start + tx_time + propagation in
   let destinations =
     if t.shared_medium then
       List.filter (fun i -> i <> src) (List.init (Array.length t.ports) Fun.id)
@@ -120,7 +135,25 @@ let transmit t src frame =
   in
   List.iter
     (fun dst ->
-      if Rng.bool t.rng t.netem.Netem.loss then ps.dropped <- ps.dropped + 1
+      (* burst loss: once the rng decides a frame is lost, the following
+         [loss_burst - 1] frames are lost too without consulting it — so a
+         loss_burst of 1 leaves the rng stream exactly as before.  The
+         burst dies when its frame budget or its time window
+         ([loss_burst_us]) runs out, whichever comes first *)
+      if t.burst_left > 0 && start > t.burst_until then t.burst_left <- 0;
+      let lost =
+        if t.burst_left > 0 then begin
+          t.burst_left <- t.burst_left - 1;
+          true
+        end
+        else if Rng.bool t.rng t.netem.Netem.loss then begin
+          t.burst_left <- t.netem.Netem.loss_burst - 1;
+          t.burst_until <- start + t.netem.Netem.loss_burst_us;
+          true
+        end
+        else false
+      in
+      if lost then ps.dropped <- ps.dropped + 1
       else begin
         let frame, arrival =
           if Rng.bool t.rng t.netem.Netem.corrupt then begin
@@ -152,6 +185,8 @@ let make ~ports ~shared netem =
     shared_medium = shared;
     medium_free_at = Array.make mediums 0;
     queued = Array.make mediums 0;
+    burst_left = 0;
+    burst_until = 0;
   }
 
 let point_to_point netem = make ~ports:2 ~shared:false netem

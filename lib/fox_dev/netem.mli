@@ -10,7 +10,23 @@ type t = {
   bandwidth_bps : int;
       (** serialisation rate in bits/second; [0] means infinitely fast *)
   propagation_us : int;  (** one-way propagation delay *)
+  reverse_propagation_us : int;
+      (** propagation for the reverse direction of a point-to-point link
+          (port 1 → port 0); [0] = symmetric.  Models asymmetric-RTT
+          paths.  Ignored on a shared-medium hub *)
   loss : float;  (** probability a frame is dropped *)
+  loss_burst : int;
+      (** frames dropped per loss event: [1] is independent loss, larger
+          values drop the following [loss_burst - 1] frames too (bursty
+          loss as produced by fades or buffer overruns) *)
+  loss_burst_us : int;
+      (** how long a loss burst stays live: frames entering the wire more
+          than this many µs after the burst began are no longer part of
+          it.  A fade or overrun is an episode in time, not a curse on
+          the next N frames — without the bound, a burst started during
+          a retransmission-timeout lull would silently eat consecutive
+          retransmissions spread over seconds.  Irrelevant when
+          [loss_burst = 1] *)
   duplicate : float;  (** probability a frame is delivered twice *)
   reorder : float;  (** probability a frame gets extra jitter delay *)
   reorder_jitter_us : int;  (** maximum extra delay for jittered frames *)
@@ -33,14 +49,19 @@ val ethernet_10mbps : t
 val gigabit : t
 
 (** [adverse ~seed ?loss ?duplicate ?reorder ?corrupt ?queue_frames base]
-    overlays impairments on [base].  [queue_frames] defaults to the
-    base's value. *)
+    overlays impairments on [base].  [queue_frames] and
+    [reverse_propagation_us] default to the base's values; [loss_burst]
+    defaults to 1 (independent loss) and [loss_burst_us] to the base's
+    burst window. *)
 val adverse :
   ?loss:float ->
+  ?loss_burst:int ->
+  ?loss_burst_us:int ->
   ?duplicate:float ->
   ?reorder:float ->
   ?corrupt:float ->
   ?queue_frames:int ->
+  ?reverse_propagation_us:int ->
   seed:int ->
   t ->
   t

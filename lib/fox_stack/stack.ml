@@ -49,8 +49,26 @@ module Udp =
 
 (** The structured TCP over the standard stack — the paper's
     [Standard_Tcp], with the benchmark's 4096-byte window (the library
-    default). *)
-module Tcp = Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Tcp.Default_params)
+    default) and the paper-era Reno congestion control.  The congestion
+    algorithm is a functor argument (DESIGN §12): swapping it is one more
+    application below. *)
+module Tcp = Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Congestion.Reno) (Fox_tcp.Tcp.Default_params)
+
+(** The same stack under the other congestion algorithms — the CONGESTION
+    argument is the only difference, so runs are directly comparable. *)
+
+module Tcp_newreno =
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Congestion.Newreno)
+    (Fox_tcp.Tcp.Default_params)
+
+module Tcp_cubic =
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Congestion.Cubic)
+    (Fox_tcp.Tcp.Default_params)
+
+module Tcp_bbr =
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux)
+    (Fox_tcp.Congestion.Bbr_lite)
+    (Fox_tcp.Tcp.Default_params)
 
 (** The monolithic baseline over the very same lower layers. *)
 module Baseline_tcp =
@@ -62,7 +80,7 @@ module Baseline_tcp =
 module Eth_aux = Fox_eth.Eth_aux.Make (Eth_checked)
 
 module Special_tcp =
-  Fox_tcp.Tcp.Make (Eth_checked) (Eth_aux)
+  Fox_tcp.Tcp.Make (Eth_checked) (Eth_aux) (Fox_tcp.Congestion.Reno)
     (struct
       include Fox_tcp.Tcp.Default_params
 
@@ -73,7 +91,7 @@ module Special_tcp =
     All share the metered IP below, so runs are directly comparable. *)
 
 module Tcp_no_delayed_ack =
-  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux)
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Congestion.Reno)
     (struct
       include Fox_tcp.Tcp.Default_params
 
@@ -81,7 +99,7 @@ module Tcp_no_delayed_ack =
     end)
 
 module Tcp_no_nagle =
-  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux)
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Congestion.Reno)
     (struct
       include Fox_tcp.Tcp.Default_params
 
@@ -89,7 +107,7 @@ module Tcp_no_nagle =
     end)
 
 module Tcp_no_checksums =
-  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux)
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Congestion.Reno)
     (struct
       include Fox_tcp.Tcp.Default_params
 
@@ -97,7 +115,7 @@ module Tcp_no_checksums =
     end)
 
 module Tcp_basic_checksum =
-  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux)
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Congestion.Reno)
     (struct
       include Fox_tcp.Tcp.Default_params
 
@@ -107,7 +125,7 @@ module Tcp_basic_checksum =
 (** Without header prediction: every segment takes the full receive DAG —
     the baseline for the fast-path ablation. *)
 module Tcp_no_prediction =
-  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux)
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Congestion.Reno)
     (struct
       include Fox_tcp.Tcp.Default_params
 
@@ -117,7 +135,7 @@ module Tcp_no_prediction =
 (** The paper's suggested scheduler refinement: a priority to_do queue
     that lets wire-bound actions overtake local deliveries. *)
 module Tcp_prioritized =
-  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux)
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Congestion.Reno)
     (struct
       include Fox_tcp.Tcp.Default_params
 
@@ -126,7 +144,7 @@ module Tcp_prioritized =
 
 (** With RFC 1122 keepalive probing every 30 s of idleness. *)
 module Tcp_keepalive =
-  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux)
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Congestion.Reno)
     (struct
       include Fox_tcp.Tcp.Default_params
 
@@ -137,7 +155,7 @@ module Tcp_keepalive =
     as in Figure 4, so each point of the sweep is its own application). *)
 
 module Tcp_w1024 =
-  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux)
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Congestion.Reno)
     (struct
       include Fox_tcp.Tcp.Default_params
 
@@ -145,7 +163,7 @@ module Tcp_w1024 =
     end)
 
 module Tcp_w2048 =
-  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux)
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Congestion.Reno)
     (struct
       include Fox_tcp.Tcp.Default_params
 
@@ -153,7 +171,7 @@ module Tcp_w2048 =
     end)
 
 module Tcp_w8192 =
-  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux)
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Congestion.Reno)
     (struct
       include Fox_tcp.Tcp.Default_params
 
@@ -161,7 +179,7 @@ module Tcp_w8192 =
     end)
 
 module Tcp_w16384 =
-  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux)
+  Fox_tcp.Tcp.Make (Metered_ip) (Metered_ip_aux) (Fox_tcp.Congestion.Reno)
     (struct
       include Fox_tcp.Tcp.Default_params
 

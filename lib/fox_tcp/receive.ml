@@ -463,7 +463,10 @@ let on_mismatch : (string -> unit) ref =
 (* A shallow clone shares the persistent queues (Fifo/Deq/list) and the
    segment packets; the general path replayed on it never reads payload
    bytes, so sharing buffers with the already-run fast path is safe. *)
-let clone_tcb (tcb : tcp_tcb) = { tcb with iss = tcb.iss }
+(* The congestion instance is mutable private state: the shadow must get
+   its own deep copy, or replaying the hooks on the shadow would also
+   advance the real connection's algorithm. *)
+let clone_tcb (tcb : tcp_tcb) = { tcb with cc = Congestion.copy tcb.cc }
 
 (* Everything [process] may change on a fast-path-eligible segment, plus
    the queued actions ([fast_path_hits] is deliberately absent). *)
@@ -498,6 +501,8 @@ let fingerprint tcb =
     ("cwnd", string_of_int tcb.cwnd);
     ("ssthresh", string_of_int tcb.ssthresh);
     ("dup_acks", string_of_int tcb.dup_acks);
+    ("cc", Congestion.describe tcb.cc);
+    ("pacing_until", string_of_int tcb.pacing_until);
     ("ack_pending", string_of_bool tcb.ack_pending);
     ("ack_timer_on", string_of_bool tcb.ack_timer_on);
     ("last_activity", string_of_int tcb.last_activity);

@@ -55,13 +55,19 @@ let track (params : params) tcb entry ~now =
   | _ -> ());
   set_rtx_timer params tcb
 
-(* Grow cwnd on new data acknowledged: exponentially below ssthresh (slow
-   start), by one MSS per window above it (congestion avoidance). *)
-let open_cwnd tcb ~acked =
-  if tcb.cwnd < tcb.ssthresh then tcb.cwnd <- tcb.cwnd + min acked tcb.snd_mss
-  else
-    tcb.cwnd <-
-      tcb.cwnd + max 1 (tcb.snd_mss * tcb.snd_mss / max tcb.cwnd 1)
+(* The read-only snapshot every congestion hook receives. *)
+let cc_ctx (params : params) tcb ~now =
+  {
+    Congestion.mss = tcb.snd_mss;
+    flight = flight_size tcb;
+    cwnd = tcb.cwnd;
+    ssthresh = tcb.ssthresh;
+    una = tcb.snd_una;
+    nxt = tcb.snd_nxt;
+    srtt_us = tcb.srtt_us;
+    rto_us = rto params tcb;
+    now;
+  }
 
 let resend_entry tcb entry =
   entry.sent_count <- entry.sent_count + 1;
@@ -88,6 +94,19 @@ let resend_entry tcb entry =
          out_mss = entry.rtx_mss;
          out_is_rtx = true;
        })
+
+(* Apply a congestion hook's decision, clamping to the global invariants
+   (cwnd ≥ 1 MSS, ssthresh ≥ 2 MSS) the checkers assert for every
+   algorithm.  [retransmit_front] is NewReno's partial-ACK retransmission:
+   after [process_ack] trimmed the queue, the front entry is the next
+   unacknowledged hole. *)
+let apply_reaction tcb (r : Congestion.reaction) =
+  tcb.cwnd <- max tcb.snd_mss r.Congestion.next_cwnd;
+  tcb.ssthresh <- max (2 * tcb.snd_mss) r.Congestion.next_ssthresh;
+  if r.Congestion.retransmit_front then
+    match Deq.peek_front tcb.rtx_q with
+    | Some entry -> resend_entry tcb entry
+    | None -> ()
 
 let process_ack (params : params) tcb ~ack ~now =
   if Seq.le ack tcb.snd_una then false
@@ -118,7 +137,10 @@ let process_ack (params : params) tcb ~ack ~now =
       sample params tcb ~sample_us:(now - sent_at)
     | _ -> ());
     tcb.backoff <- 0;
-    if params.congestion_control then open_cwnd tcb ~acked;
+    if params.congestion_control then begin
+      let r = Congestion.on_ack tcb.cc (cc_ctx params tcb ~now) ~acked in
+      apply_reaction tcb r
+    end;
     if Deq.is_empty tcb.rtx_q then clear_rtx_timer tcb
     else begin
       (* restart the timer for the remaining data *)
@@ -129,16 +151,16 @@ let process_ack (params : params) tcb ~ack ~now =
   end
 
 let duplicate_ack (params : params) tcb ~now =
-  ignore now;
   if params.fast_retransmit && not (Deq.is_empty tcb.rtx_q) then begin
     tcb.dup_acks <- tcb.dup_acks + 1;
+    if params.congestion_control then
+      apply_reaction tcb
+        (Congestion.on_dup_ack tcb.cc (cc_ctx params tcb ~now)
+           ~count:tcb.dup_acks);
     if tcb.dup_acks = 3 then begin
-      (* fast retransmit: resend the first unacknowledged segment and
-         deflate the congestion window *)
-      if params.congestion_control then begin
-        tcb.ssthresh <- max (flight_size tcb / 2) (2 * tcb.snd_mss);
-        tcb.cwnd <- tcb.ssthresh
-      end;
+      (* fast retransmit: resend the first unacknowledged segment —
+         algorithm-independent loss repair (the window reaction above is
+         the algorithm's business) *)
       notef tcb "fast retransmit cwnd=%d ssthresh=%d" tcb.cwnd tcb.ssthresh;
       match Deq.peek_front tcb.rtx_q with
       | Some entry -> resend_entry tcb entry
@@ -147,17 +169,15 @@ let duplicate_ack (params : params) tcb ~now =
   end
 
 let retransmit (params : params) tcb ~now =
-  ignore now;
   tcb.rtx_timer_on <- false;
   match Deq.peek_front tcb.rtx_q with
   | None -> true (* spurious: nothing outstanding *)
   | Some entry ->
     if entry.sent_count > params.max_retransmits then false
     else begin
-      if params.congestion_control then begin
-        tcb.ssthresh <- max (flight_size tcb / 2) (2 * tcb.snd_mss);
-        tcb.cwnd <- tcb.snd_mss
-      end;
+      if params.congestion_control then
+        apply_reaction tcb
+          (Congestion.on_rto tcb.cc (cc_ctx params tcb ~now));
       tcb.backoff <- min (tcb.backoff + 1) 16;
       notef tcb "rto expired backoff=%d cwnd=%d ssthresh=%d rto=%dus"
         tcb.backoff tcb.cwnd tcb.ssthresh (rto params tcb);

@@ -5,11 +5,22 @@
     segments from the retransmit queue.  It also carries the RFC 1122
     congestion machinery (slow start, congestion avoidance, and optional
     fast retransmit), each switchable through {!Tcb.params} so the
-    benchmark harness can ablate them.
+    benchmark harness can ablate them.  Since the CONGESTION refactor the
+    window arithmetic itself lives behind {!Congestion.S} hooks — this
+    module owns {e when} the hooks fire and applies their decisions.
 
     All functions operate on a {!Tcb.tcp_tcb} and communicate with the rest
     of TCP exclusively by queuing {!Tcb.tcp_action}s — nothing here sends a
     packet or touches a real timer. *)
+
+(** [cc_ctx params tcb ~now] is the read-only snapshot handed to every
+    congestion hook. *)
+val cc_ctx : Tcb.params -> Tcb.tcp_tcb -> now:int -> Congestion.ctx
+
+(** [apply_reaction tcb reaction] applies a hook's decision, clamping to
+    cwnd ≥ 1 MSS and ssthresh ≥ 2 MSS, and performs the requested
+    partial-ACK retransmission of the front queue entry. *)
+val apply_reaction : Tcb.tcp_tcb -> Congestion.reaction -> unit
 
 (** [track params tcb entry ~now] appends a freshly sent segment to the
     retransmission queue, starts RTT timing for it when no segment is being
@@ -29,9 +40,9 @@ val track : Tcb.params -> Tcb.tcp_tcb -> Tcb.rtx_entry -> now:int -> unit
     Returns [true] when the ACK acknowledged new data. *)
 val process_ack : Tcb.params -> Tcb.tcp_tcb -> ack:Seq.t -> now:int -> bool
 
-(** [duplicate_ack params tcb ~now] counts a duplicate ACK; on the third,
-    when fast retransmit is enabled, retransmits the first queue entry and
-    deflates the congestion window. *)
+(** [duplicate_ack params tcb ~now] counts a duplicate ACK and lets the
+    congestion algorithm react; on the third, when fast retransmit is
+    enabled, retransmits the first queue entry. *)
 val duplicate_ack : Tcb.params -> Tcb.tcp_tcb -> now:int -> unit
 
 (** [retransmit params tcb ~now] handles a retransmission timeout: resends

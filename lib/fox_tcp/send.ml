@@ -64,7 +64,30 @@ let emit_segment (params : params) tcb ~now ~data ~fin =
          out_mss = None;
          out_is_rtx = false;
        });
-  Resend.track params tcb entry ~now
+  Resend.track params tcb entry ~now;
+  tcb.last_emit_at <- now;
+  (* a pacing algorithm may space the next emission; window-only
+     algorithms return None and this segment costs nothing extra *)
+  if params.congestion_control && len > 0 then
+    match
+      Congestion.pacing_gap_us tcb.cc
+        (Resend.cc_ctx params tcb ~now)
+        ~seg_bytes:len
+    with
+    | Some gap when gap > 0 -> tcb.pacing_until <- now + gap
+    | _ -> ()
+
+(* When the congestion module asked for an inter-segment gap, hold
+   segmentation and arm the [Pacing] timer for the residual wait. *)
+let paced_out (params : params) tcb ~now =
+  params.congestion_control
+  && tcb.pacing_until > now
+  &&
+  (if not tcb.pacing_timer_on then begin
+     tcb.pacing_timer_on <- true;
+     add_to_do tcb (Set_timer (Pacing, tcb.pacing_until - now))
+   end;
+   true)
 
 let may_send_fin tcb =
   tcb.fin_pending && (not tcb.fin_sent) && tcb.queued_bytes = 0
@@ -83,6 +106,7 @@ let rec segmentize (params : params) tcb ~now =
       (* Nagle: while data is in flight, hold sub-MSS segments back *)
       params.nagle && size < tcb.snd_mss && flight_size tcb > 0
     then ()
+    else if paced_out params tcb ~now then ()
     else begin
       match take_bytes tcb size with
       | None -> ()
@@ -100,6 +124,18 @@ let rec segmentize (params : params) tcb ~now =
   end
 
 let enqueue params tcb packet ~now =
+  (* RFC 5681 §4.1: let the algorithm react to a send restarting after an
+     idle period (nothing in flight, nothing queued).  Reno keeps the
+     pre-refactor behaviour: no reaction. *)
+  if
+    params.congestion_control && tcb.queued_bytes = 0
+    && Deq.is_empty tcb.rtx_q && tcb.last_emit_at > 0
+    && now > tcb.last_emit_at
+  then
+    Resend.apply_reaction tcb
+      (Congestion.on_idle_restart tcb.cc
+         (Resend.cc_ctx params tcb ~now)
+         ~idle_us:(now - tcb.last_emit_at));
   tcb.queued <- Deq.push_back packet tcb.queued;
   tcb.queued_bytes <- tcb.queued_bytes + Packet.length packet;
   segmentize params tcb ~now

@@ -89,7 +89,7 @@ let promote_passive (params : params) ~iss ~irs ~mss ~peer_mss ~wnd =
   (match peer_mss with
   | Some m -> tcb.snd_mss <- min tcb.snd_mss m
   | None -> ());
-  tcb.cwnd <- 2 * tcb.snd_mss;
+  tcb.cwnd <- Congestion.initial_cwnd params.cc ~mss:tcb.snd_mss;
   add_to_do tcb Complete_open;
   arm_user_timer params tcb;
   Estab tcb
@@ -171,6 +171,11 @@ let timer_expired (params : params) state kind ~now =
       | _ -> state)
     | Window_probe ->
       Send.probe params tcb ~now;
+      state
+    | Pacing ->
+      (* the requested inter-segment gap elapsed: resume segmentation *)
+      tcb.pacing_timer_on <- false;
+      Send.segmentize params tcb ~now;
       state
     | Keepalive ->
       (* RFC 1122 keepalive: if the connection has been idle for the whole

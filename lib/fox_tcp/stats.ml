@@ -12,6 +12,9 @@ type t = {
   cwnd : int;
   ssthresh : int;
   dup_acks : int;
+  cc_name : string;  (** active congestion-control algorithm *)
+  cc_state : (string * string) list;  (** the algorithm's private state *)
+  in_recovery : bool;
   (* RTT estimation *)
   srtt_us : int;
   rttvar_us : int;
@@ -49,6 +52,9 @@ let of_tcb ~conn_id ~state ~now (tcb : Tcb.tcp_tcb) =
     cwnd = tcb.Tcb.cwnd;
     ssthresh = tcb.Tcb.ssthresh;
     dup_acks = tcb.Tcb.dup_acks;
+    cc_name = Congestion.name tcb.Tcb.cc;
+    cc_state = Congestion.debug tcb.Tcb.cc;
+    in_recovery = Congestion.in_recovery tcb.Tcb.cc;
     srtt_us = tcb.Tcb.srtt_us;
     rttvar_us = tcb.Tcb.rttvar_us;
     rto_us = tcb.Tcb.rto_us;
@@ -70,13 +76,24 @@ let of_tcb ~conn_id ~state ~now (tcb : Tcb.tcp_tcb) =
   }
 
 let to_string s =
+  let cc =
+    match s.cc_state with
+    | [] -> s.cc_name
+    | kvs ->
+      s.cc_name ^ "["
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+      ^ "]"
+  in
   Printf.sprintf
-    "%s %s una=%d nxt=%d flight=%d snd_wnd=%d rcv_wnd=%d cwnd=%d ssthresh=%d \
-     srtt=%dus rto=%dus backoff=%d segs=%d/%d bytes=%d/%d rtx=%d dup_acks=%d \
-     dups=%d ooo=%d fast=%d queued=%dB rtxq=%d trimmed=%d shed=%d"
-    s.conn_id s.state s.snd_una s.snd_nxt s.flight s.snd_wnd s.rcv_wnd s.cwnd
-    s.ssthresh s.srtt_us s.rto_us s.backoff s.segs_out s.segs_in s.bytes_out
-    s.bytes_in s.retransmissions s.dup_acks s.dup_segments s.ooo_segments
-    s.fast_path_hits s.queued_bytes s.rtx_queue_len s.ooo_trimmed s.to_do_shed
+    "%s %s una=%d nxt=%d flight=%d snd_wnd=%d rcv_wnd=%d cc=%s cwnd=%d \
+     ssthresh=%d%s srtt=%dus rto=%dus backoff=%d segs=%d/%d bytes=%d/%d \
+     rtx=%d dup_acks=%d dups=%d ooo=%d fast=%d queued=%dB rtxq=%d trimmed=%d \
+     shed=%d"
+    s.conn_id s.state s.snd_una s.snd_nxt s.flight s.snd_wnd s.rcv_wnd cc
+    s.cwnd s.ssthresh
+    (if s.in_recovery then " RECOVERY" else "")
+    s.srtt_us s.rto_us s.backoff s.segs_out s.segs_in s.bytes_out s.bytes_in
+    s.retransmissions s.dup_acks s.dup_segments s.ooo_segments s.fast_path_hits
+    s.queued_bytes s.rtx_queue_len s.ooo_trimmed s.to_do_shed
 
 let pp fmt s = Format.pp_print_string fmt (to_string s)

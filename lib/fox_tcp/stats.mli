@@ -24,6 +24,10 @@ type t = {
   cwnd : int;
   ssthresh : int;
   dup_acks : int;
+  cc_name : string;  (** active congestion-control algorithm *)
+  cc_state : (string * string) list;
+      (** the algorithm's private state, from {!Congestion.S.debug} *)
+  in_recovery : bool;  (** inside the algorithm's loss recovery *)
   (* RTT estimation *)
   srtt_us : int;  (** -1 until the first sample *)
   rttvar_us : int;

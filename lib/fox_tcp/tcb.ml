@@ -24,6 +24,7 @@ type timer_kind =
   | User_timeout  (** the paper's [user_timeout] functor parameter *)
   | Window_probe  (** zero-window probing *)
   | Keepalive  (** RFC 1122 §4.2.3.6 idle-connection probing *)
+  | Pacing  (** inter-segment gap requested by the congestion module *)
 
 let timer_kind_name = function
   | Retransmit -> "retransmit"
@@ -32,6 +33,7 @@ let timer_kind_name = function
   | User_timeout -> "user-timeout"
   | Window_probe -> "window-probe"
   | Keepalive -> "keepalive"
+  | Pacing -> "pacing"
 
 (** An internalised incoming segment: decoded header plus text. *)
 type segment = {
@@ -140,6 +142,9 @@ type params = {
       (** cap on buffered out-of-order text per connection; when an
           insertion would exceed it, the entries furthest from [rcv_nxt]
           are trimmed (and re-earned by retransmission).  0 = unbounded *)
+  cc : (module Congestion.S);
+      (** the congestion-control algorithm; every cwnd/ssthresh decision
+          is delegated to it (see {!Congestion} and DESIGN §12) *)
 }
 
 let default_params =
@@ -160,6 +165,7 @@ let default_params =
     keepalive_probes = 5;
     header_prediction = true;
     max_ooo_bytes = 65536;
+    cc = (module Congestion.Reno);
   }
 
 (** The TCB proper (Figure 6's [tcp_tcb]). *)
@@ -206,6 +212,13 @@ type tcp_tcb = {
   mutable cwnd : int;
   mutable ssthresh : int;
   mutable dup_acks : int;
+  mutable cc : Congestion.instance;
+      (** the algorithm's private per-connection state *)
+  mutable pacing_until : int;
+      (** no data segment may be emitted before this virtual time *)
+  mutable pacing_timer_on : bool;
+  mutable last_emit_at : int;
+      (** when the last data segment was emitted (idle-restart detection) *)
   (* --- delayed-ACK state --- *)
   mutable ack_pending : bool;
   mutable ack_timer_on : bool;
@@ -314,9 +327,13 @@ let create_tcb (params : params) ~iss =
     rto_us = params.rto_initial_us;
     backoff = 0;
     timing = None;
-    cwnd = 2 * 536;
+    cwnd = Congestion.initial_cwnd params.cc ~mss:536;
     ssthresh = 65535;
     dup_acks = 0;
+    cc = Congestion.make params.cc;
+    pacing_until = 0;
+    pacing_timer_on = false;
+    last_emit_at = 0;
     ack_pending = false;
     ack_timer_on = false;
     last_activity = 0;
@@ -337,7 +354,7 @@ let create_tcb (params : params) ~iss =
 let create_tcb_with_mss params ~iss ~mss =
   let tcb = create_tcb params ~iss in
   tcb.snd_mss <- mss;
-  tcb.cwnd <- 2 * mss;
+  tcb.cwnd <- Congestion.initial_cwnd params.cc ~mss;
   { tcb with adv_mss = mss }
 
 (** Actions that put a packet on the wire — the ones that "affect the

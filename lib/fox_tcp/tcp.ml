@@ -202,6 +202,8 @@ type conn_stats = {
   rto_us : int;
   snd_wnd : int;
   cwnd : int;
+  ssthresh : int;
+  cc_name : string;  (** active congestion-control algorithm *)
 }
 
 module Make
@@ -212,6 +214,7 @@ module Make
              with type lower_address = Lower.address
               and type lower_pattern = Lower.address_pattern
               and type lower_connection = Lower.connection)
+    (Cc : Congestion.S)
     (Params : PARAMS) : sig
   (** [local_port = None] asks for an ephemeral port. *)
   type address = { peer : Aux.host; port : int; local_port : int option }
@@ -274,6 +277,7 @@ end = struct
       keepalive_probes = Params.keepalive_probes;
       header_prediction = Params.header_prediction;
       max_ooo_bytes = Params.max_ooo_bytes;
+      cc = (module Cc);
     }
 
   type address = { peer : Aux.host; port : int; local_port : int option }
@@ -1326,6 +1330,8 @@ end = struct
       rto_us = tcb.Tcb.rto_us;
       snd_wnd = tcb.Tcb.snd_wnd;
       cwnd = tcb.Tcb.cwnd;
+      ssthresh = tcb.Tcb.ssthresh;
+      cc_name = Congestion.name tcb.Tcb.cc;
     }
 
   let stats t =

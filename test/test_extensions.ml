@@ -339,7 +339,7 @@ let test_prioritized_tcp_end_to_end () =
 (* ------------------------------------------------------------------ *)
 
 module Tcp_ka =
-  Fox_tcp.Tcp.Make (Stack.Metered_ip) (Stack.Metered_ip_aux)
+  Fox_tcp.Tcp.Make (Stack.Metered_ip) (Stack.Metered_ip_aux) (Fox_tcp.Congestion.Reno)
     (struct
       include Fox_tcp.Tcp.Default_params
 

@@ -76,7 +76,7 @@ module Rst_params = struct
   let refuse_with_rst = true
 end
 
-module Tcp_rst = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Rst_params)
+module Tcp_rst = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Fox_tcp.Congestion.Reno) (Rst_params)
 
 let test_backlog_refusal_rst () =
   let _client_ip, server_ip, atk_ip = three_hosts () in
@@ -106,7 +106,7 @@ module Drop_params = struct
   let refuse_with_rst = false
 end
 
-module Tcp_drop = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Drop_params)
+module Tcp_drop = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Fox_tcp.Congestion.Reno) (Drop_params)
 
 let test_backlog_refusal_silent () =
   let _client_ip, server_ip, atk_ip = three_hosts () in
@@ -140,7 +140,7 @@ module Cache_params = struct
   let refuse_with_rst = true
 end
 
-module Tcp_cache = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Cache_params)
+module Tcp_cache = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Fox_tcp.Congestion.Reno) (Cache_params)
 
 let test_syn_cache_promotion_and_expiry () =
   let client_ip, server_ip, atk_ip = three_hosts () in
@@ -210,7 +210,7 @@ module Cookie_params = struct
   let syn_cookies = true
 end
 
-module Tcp_cookie = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Cookie_params)
+module Tcp_cookie = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Fox_tcp.Congestion.Reno) (Cookie_params)
 
 let test_syn_cookie_round_trip () =
   let client_ip, server_ip, atk_ip = three_hosts () in
@@ -270,7 +270,7 @@ module Tw_params = struct
   let max_time_wait = 2
 end
 
-module Tcp_tw = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Tw_params)
+module Tcp_tw = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Fox_tcp.Congestion.Reno) (Tw_params)
 
 let test_time_wait_recycling () =
   let client_ip, server_ip, _atk_ip = three_hosts () in

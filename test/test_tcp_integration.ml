@@ -28,7 +28,7 @@ module Tcp_params : Fox_tcp.Tcp.PARAMS = struct
   let rto_initial_us = 200_000
 end
 
-module Tcp = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Tcp_params)
+module Tcp = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Fox_tcp.Congestion.Reno) (Tcp_params)
 
 type host = {
   dev : Device.t;
@@ -458,7 +458,7 @@ module Special_tcp_params : Fox_tcp.Tcp.PARAMS = struct
   let time_wait_us = 1_000_000
 end
 
-module Special_tcp = Fox_tcp.Tcp.Make (EthC) (Eth_aux) (Special_tcp_params)
+module Special_tcp = Fox_tcp.Tcp.Make (EthC) (Eth_aux) (Fox_tcp.Congestion.Reno) (Special_tcp_params)
 
 let test_tcp_directly_over_ethernet () =
   let link = Link.point_to_point Netem.ethernet_10mbps in
