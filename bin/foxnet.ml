@@ -45,6 +45,7 @@ let transfer_cc cc bytes loss seed =
       flows = 1;
       bytes;
       quick_bytes = bytes;
+      attack = None;
     }
   in
   let r = Scenarios.run_cell ~cc scn in
@@ -176,7 +177,39 @@ let table2 () =
 
 (* ---------------- fuzz (differential, deterministic) ---------------- *)
 
-let fuzz seed iters verbose cc matrix =
+(* The mutation variant: instead of fault-injecting layers, a gremlin
+   station on the shared hub re-injects mutated duplicates of every TCP
+   frame; each seed runs against both engines. *)
+let fuzz_mutate seed iters verbose =
+  let module Mutate = Fox_check.Mutate in
+  let checked = ref 0 in
+  let failures =
+    Mutate.run_seeds
+      ~log:(fun o ->
+        incr checked;
+        if verbose then
+          Printf.printf "mutate seed %d (%s): %d mutants, %s\n%!"
+            o.Mutate.seed o.Mutate.engine o.Mutate.mutants
+            (if o.Mutate.problems = [] then "ok"
+             else String.concat "; " o.Mutate.problems)
+        else if !checked mod 100 = 0 then
+          Printf.printf "%d/%d mutated runs checked\n%!" !checked (2 * iters))
+      ~seed ~iters ()
+  in
+  (match failures with
+  | [] ->
+    Printf.printf
+      "fuzz --mutate: %d seeds x 2 engines ok (seeds %d..%d)\n" iters seed
+      (seed + iters - 1)
+  | fs ->
+    List.iter (fun o -> print_endline (Mutate.report o)) fs;
+    Printf.printf "fuzz --mutate: %d of %d mutated runs FAILED\n"
+      (List.length fs) (2 * iters);
+    exit 1)
+
+let fuzz seed iters verbose cc matrix mutate =
+  if mutate then fuzz_mutate seed iters verbose
+  else begin
   let module Fuzz = Fox_check.Fuzz in
   let run_one label engine =
     let checked = ref 0 in
@@ -219,6 +252,7 @@ let fuzz seed iters verbose cc matrix =
           (Some engine)
   in
   if not ok then exit 1
+  end
 
 (* ---------------- soak (deterministic overload survival) ---------------- *)
 
@@ -545,6 +579,16 @@ let soak_cmd =
       const soak $ conns $ conn_bytes $ flood $ bad_acks $ seed $ soak_loss
       $ heap $ verbose $ cc_arg $ matrix_flag)
 
+let mutate_flag =
+  Arg.(
+    value & flag
+    & info [ "mutate" ]
+        ~doc:
+          "Wire-format mutation fuzz instead: a gremlin station re-injects \
+           mutated duplicates (bit flips, truncations, bad offsets, \
+           malformed options, flag soup, garbage checksums) of every TCP \
+           frame, against both engines.")
+
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
@@ -552,7 +596,8 @@ let fuzz_cmd =
          "Differential fuzz: run seeded event schedules through the \
           structured and the monolithic TCP over a fault-injecting stack \
           and compare the outcomes")
-    Term.(const fuzz $ seed $ iters $ verbose $ cc_arg $ matrix_flag)
+    Term.(const fuzz $ seed $ iters $ verbose $ cc_arg $ matrix_flag
+          $ mutate_flag)
 
 let scenario_cc =
   Arg.(

@@ -48,6 +48,14 @@ module type PARAMS = sig
   (** Half-open (SYN-RECEIVED) connections a listener may hold; further
       SYNs are silently dropped.  0 = unbounded. *)
   val listen_backlog : int
+
+  (** RFC 5961 blind-attack defenses: exact-match RST acceptance, SYN
+      challenge instead of reset, ACK-range validation.  Off restores the
+      literal RFC 793 rules (and the blind-forgery weaknesses that come
+      with them).  Unlike the structured engine, the baseline sends its
+      challenge ACKs unthrottled — straight-line code has nowhere natural
+      to hang a global budget, which is itself part of the comparison. *)
+  val rfc5961 : bool
 end
 
 module Default_params : PARAMS = struct
@@ -60,6 +68,7 @@ module Default_params : PARAMS = struct
   let time_wait_us = 60_000_000
   let send_buffer_bytes = 65536
   let listen_backlog = 128
+  let rfc5961 = true
 end
 
 type stats = {
@@ -161,6 +170,9 @@ end = struct
     mutable snd_una : Seq.t;
     mutable snd_nxt : Seq.t;
     mutable snd_wnd : int;
+    mutable max_snd_wnd : int;
+        (* largest window the peer ever advertised — the RFC 5961 §5
+           tolerance for how far behind snd_una an acceptable ACK may sit *)
     mutable irs : Seq.t;
     mutable rcv_nxt : Seq.t;
     mutable mss : int;
@@ -443,9 +455,27 @@ end = struct
       clamp Params.rto_min_us Params.rto_max_us
         (conn.srtt + max 1 (4 * conn.rttvar))
 
+  let ack_now conn = transmit conn ~seq:conn.snd_nxt ~syn:false ~fin:false
+      ~rst:false ~ack:true ~data:None ~mss_opt:None
+
+  (* [false] means RFC 5961 ack validation rejected the segment: a
+     challenge ACK went out and the caller must drop the rest (text
+     riding on an unacceptable ack is exactly the blind data-injection
+     vector).  Legacy mode accepts any ack value, as the original
+     straight-line code did. *)
   let process_ack conn (hdr : Tcp_header.t) =
-    if hdr.Tcp_header.ack_flag then begin
+    if not hdr.Tcp_header.ack_flag then true
+    else begin
       let ack = hdr.Tcp_header.ack in
+      if
+        Params.rfc5961
+        && (Seq.gt ack conn.snd_nxt
+           || Seq.lt ack (Seq.add conn.snd_una (-conn.max_snd_wnd)))
+      then begin
+        ack_now conn;
+        false
+      end
+      else begin
       if Seq.gt ack conn.snd_una && Seq.le ack conn.snd_nxt then begin
         conn.snd_una <- ack;
         conn.backoff <- 0;
@@ -467,7 +497,10 @@ end = struct
         Fox_sched.Cond.broadcast conn.send_space ()
       end;
       conn.snd_wnd <- hdr.Tcp_header.window;
-      push_output conn
+      conn.max_snd_wnd <- max conn.max_snd_wnd hdr.Tcp_header.window;
+      push_output conn;
+      true
+      end
     end
 
   (* deliver in-order text (and any contiguous out-of-order backlog);
@@ -507,9 +540,6 @@ end = struct
     absorb ();
     !fin_seen
 
-  let ack_now conn = transmit conn ~seq:conn.snd_nxt ~syn:false ~fin:false
-      ~rst:false ~ack:true ~data:None ~mss_opt:None
-
   let enter_time_wait conn =
     conn.st <- TIME_WAIT;
     (match conn.wait_timer with
@@ -542,6 +572,7 @@ end = struct
         conn.rcv_nxt <- Seq.add hdr.Tcp_header.seq 1;
         conn.snd_una <- hdr.Tcp_header.ack;
         conn.snd_wnd <- hdr.Tcp_header.window;
+        conn.max_snd_wnd <- hdr.Tcp_header.window;
         (match hdr.Tcp_header.mss with
         | Some m -> conn.mss <- min conn.mss m
         | None -> ());
@@ -574,14 +605,26 @@ end = struct
         if not hdr.Tcp_header.rst then ack_now conn
       end
       else if hdr.Tcp_header.rst then begin
-        conn.close_reason <- Some Status.Reset;
-        teardown conn Status.Reset
+        (* RFC 5961 §3: only an RST at exactly rcv_nxt tears the
+           connection down; a merely in-window one draws a challenge ACK
+           so a blind forger has to hit one sequence number in 2^32 *)
+        if (not Params.rfc5961) || Seq.equal seq conn.rcv_nxt then begin
+          conn.close_reason <- Some Status.Reset;
+          teardown conn Status.Reset
+        end
+        else ack_now conn
       end
       else if hdr.Tcp_header.syn && Seq.ge seq conn.rcv_nxt then begin
-        transmit conn ~seq:conn.snd_nxt ~syn:false ~fin:false ~rst:true
-          ~ack:false ~data:None ~mss_opt:None;
-        conn.close_reason <- Some Status.Reset;
-        teardown conn Status.Reset
+        (* RFC 5961 §4: challenge instead of reset — the legitimate peer
+           answers a challenge with a RST at the exact sequence number,
+           a forger gets nothing *)
+        if Params.rfc5961 then ack_now conn
+        else begin
+          transmit conn ~seq:conn.snd_nxt ~syn:false ~fin:false ~rst:true
+            ~ack:false ~data:None ~mss_opt:None;
+          conn.close_reason <- Some Status.Reset;
+          teardown conn Status.Reset
+        end
       end
       else begin
         (* SYN-RCVD completes on any acceptable ack *)
@@ -596,8 +639,8 @@ end = struct
           Fox_sched.Cond.signal conn.open_mb (Ok ());
           conn.status Status.Connected
         end;
-        process_ack conn hdr;
-        if conn.st = DEAD then ()
+        if not (process_ack conn hdr) then ()
+        else if conn.st = DEAD then ()
         else begin
           (* state follow-ups of our FIN being acked *)
           (match conn.st with
@@ -651,6 +694,7 @@ end = struct
       snd_una = iss;
       snd_nxt = iss;
       snd_wnd = 0;
+      max_snd_wnd = 0;
       irs = Seq.zero;
       rcv_nxt = Seq.zero;
       mss = 536;
@@ -690,6 +734,7 @@ end = struct
     conn.irs <- hdr.Tcp_header.seq;
     conn.rcv_nxt <- Seq.add hdr.Tcp_header.seq 1;
     conn.snd_wnd <- hdr.Tcp_header.window;
+    conn.max_snd_wnd <- hdr.Tcp_header.window;
     conn.mss <- max 64 (Aux.mtu lconn - 24);
     (match hdr.Tcp_header.mss with
     | Some m -> conn.mss <- min conn.mss m

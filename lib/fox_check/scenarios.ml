@@ -47,6 +47,25 @@ end
 (* Scenario definitions                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* A hostile station sharing the wire: kind, sequence model, probes per
+   virtual second, and how many probes to fire (pacing starts shortly
+   after the transfer connects, so the attack covers the established
+   connection). *)
+type attack = {
+  kind : Attack.kind;
+  model : Attack.seq_model;
+  pps : int;
+  probes : int;
+}
+
+(* The attacker has modeled the stack's RFC 793-style clock-driven ISN
+   generator (the classic prediction attack), so its probes sweep the low
+   band the victim's sequence numbers actually live in, in steps smaller
+   than the 64 KB advertised window.  Under RFC 793 rules one landing in
+   the window kills the connection or injects; under RFC 5961 the same
+   sweep draws nothing but rate-limited challenge ACKs. *)
+let isn_sweep = Attack.Sweep { base = 0; stride = 8_192; span = 1 lsl 20 }
+
 type scenario = {
   name : string;
   descr : string;
@@ -54,6 +73,7 @@ type scenario = {
   flows : int;  (** concurrent client connections *)
   bytes : int;  (** payload per flow (full mode) *)
   quick_bytes : int;  (** payload per flow (quick / CI mode) *)
+  attack : attack option;  (** a blind adversary on the shared wire *)
 }
 
 let base = Netem.ethernet_10mbps
@@ -67,6 +87,7 @@ let all : scenario list =
       flows = 1;
       bytes = 262_144;
       quick_bytes = 32_768;
+      attack = None;
     };
     {
       name = "reorder";
@@ -78,6 +99,7 @@ let all : scenario list =
       flows = 1;
       bytes = 262_144;
       quick_bytes = 32_768;
+      attack = None;
     };
     {
       name = "bufferbloat";
@@ -87,6 +109,7 @@ let all : scenario list =
       flows = 1;
       bytes = 524_288;
       quick_bytes = 65_536;
+      attack = None;
     };
     {
       name = "asym_rtt";
@@ -97,6 +120,7 @@ let all : scenario list =
       flows = 1;
       bytes = 262_144;
       quick_bytes = 32_768;
+      attack = None;
     };
     {
       name = "bottleneck_4";
@@ -106,6 +130,47 @@ let all : scenario list =
       flows = 4;
       bytes = 131_072;
       quick_bytes = 16_384;
+      attack = None;
+    };
+    (* The hostile-wire cells: a clean medium, all adversity from the
+       blind attacker.  With the RFC 5961 defenses on (the default) every
+       cell must complete with zero injected bytes; the unguarded variant
+       of the same cells is the teeth-check. *)
+    {
+      name = "blind_rst";
+      descr = "2k/s forged RSTs, ISN-predicting sweep";
+      netem = Netem.adverse ~seed:0x6a10 base;
+      flows = 1;
+      bytes = 262_144;
+      quick_bytes = 32_768;
+      attack =
+        Some
+          { kind = Attack.Blind_rst; model = isn_sweep; pps = 2_000;
+            probes = 4_000 };
+    };
+    {
+      name = "blind_syn";
+      descr = "2k/s forged SYNs on the established connection";
+      netem = Netem.adverse ~seed:0x6a20 base;
+      flows = 1;
+      bytes = 262_144;
+      quick_bytes = 32_768;
+      attack =
+        Some
+          { kind = Attack.Blind_syn; model = isn_sweep; pps = 2_000;
+            probes = 4_000 };
+    };
+    {
+      name = "blind_data";
+      descr = "1k/s forged 512B data segments, swept SEQ, random ACK";
+      netem = Netem.adverse ~seed:0x6a30 base;
+      flows = 1;
+      bytes = 262_144;
+      quick_bytes = 32_768;
+      attack =
+        Some
+          { kind = Attack.Blind_data; model = isn_sweep; pps = 1_000;
+            probes = 2_000 };
     };
   ]
 
@@ -135,6 +200,10 @@ type result = {
   end_time : int;  (** virtual µs at quiescence *)
   invariant_faults : string list;
   complete : bool;  (** every flow delivered its full payload *)
+  attack_probes : int;  (** blind probes the adversary put on the wire *)
+  injected_bytes : int;
+      (** delivered bytes that differ from the legitimate payload (plus
+          any surplus) — forged data the stack accepted; must be 0 *)
   flight : string list;
       (** the flight-recorder ring (rendered, oldest first) — captured
           only when the cell failed, for post-mortem without a re-run *)
@@ -177,17 +246,53 @@ let payload_for scn ~bytes i =
   Bytes.to_string
     (Rng.bytes (Rng.create (scn.netem.Netem.seed lxor (i * 7919))) bytes)
 
-module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
-  module Tcp = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Cc) (Scn_params)
+module Atk = Attack.Make (Ip) (Ip_aux)
+
+(* Count delivered bytes that are not the legitimate payload: mismatches
+   within the common prefix plus any surplus beyond the expected length.
+   Missing bytes are incompleteness, not injection. *)
+let injected_in delivered expected =
+  let n = min (String.length delivered) (String.length expected) in
+  let c = ref (max 0 (String.length delivered - String.length expected)) in
+  for i = 0 to n - 1 do
+    if delivered.[i] <> expected.[i] then incr c
+  done;
+  !c
+
+(* The engine is built over both the congestion-control algorithm and the
+   TCP parameter pack, so the same cells can run with the RFC 5961
+   defenses on (the default, {!Scn_params}) and off (the teeth-check,
+   {!Unguarded_params}). *)
+module Make_engine_p (Cc : Fox_tcp.Congestion.S) (P : Fox_tcp.Tcp.PARAMS) =
+struct
+  module Tcp = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Cc) (P)
 
   let run ?(quick = false) scn =
     let bytes = if quick then scn.quick_bytes else scn.bytes in
-    (* flows share the same point-to-point wire: the forward medium (and
-       its finite queue) is the bottleneck they contend for *)
-    let link = Link.point_to_point scn.netem in
+    (* flows share the same wire: the forward medium (and its finite
+       queue) is the bottleneck they contend for.  An attack scenario
+       gets a hub with a third port for the adversary's station. *)
+    let link =
+      match scn.attack with
+      | None -> Link.point_to_point scn.netem
+      | Some _ -> Link.hub ~ports:3 scn.netem
+    in
     let client_ip = make_host link 0 ~addr:(Ipv4_addr.of_string "10.2.0.1") in
     let server_ip = make_host link 1 ~addr:(Ipv4_addr.of_string "10.2.0.2") in
     let server_addr = Ipv4_addr.of_string "10.2.0.2" in
+    (* the adversary spoofs the client: its IP instance claims the
+       client's address, so every probe is stamped and checksummed as if
+       the legitimate peer had sent it (see {!Attack}) *)
+    let attacker =
+      match scn.attack with
+      | None -> None
+      | Some cfg ->
+        let atk_ip = make_host link 2 ~addr:(Ipv4_addr.of_string "10.2.0.1") in
+        Some
+          ( cfg,
+            Atk.create ~model:cfg.model atk_ip ~target:server_addr
+              ~seed:scn.netem.Netem.seed )
+    in
     let faults = ref [] in
     Tcb_invariants.install
       ~on_violation:(fun info msgs ->
@@ -243,6 +348,16 @@ module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
                        function
                        | Fox_proto.Status.Remote_close -> Tcp.close conn
                        | _ -> () )));
+              (match attacker with
+              | None -> ()
+              | Some (cfg, atk) ->
+                Scheduler.fork (fun () ->
+                    (* the probes target the established connection's
+                       four-tuple: the stack's first ephemeral port,
+                       once the handshake has settled *)
+                    Scheduler.sleep 10_000;
+                    Atk.launch atk ~kind:cfg.kind ~src_port:49152
+                      ~dst_port:port ~pps:cfg.pps ~probes:cfg.probes));
               for i = 0 to scn.flows - 1 do
                 Scheduler.fork (fun () ->
                     (* a tiny stagger keeps simultaneous SYNs from
@@ -268,6 +383,16 @@ module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
               done)
         in
         let end_time = stats.Scheduler.end_time in
+        (* Streams that never carried a byte are not transfer flows: under
+           a blind-SYN storm the listener legitimately accepts (and the
+           real peer promptly resets) embryonic connections for forged
+           SYNs once the tuple is free again — ordinary TCP, not a
+           defense failure, and not a flow to score.  A legitimate flow
+           that truly delivered nothing still fails the completeness
+           check below, since fewer than [scn.flows] streams remain. *)
+        let scored =
+          List.filter (fun (buf, _) -> Buffer.length buf > 0) !streams
+        in
         let flow_results =
           List.rev_map
             (fun (buf, finished) ->
@@ -281,7 +406,7 @@ module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
                 finished_at_us;
                 goodput_mbps = float_of_int (delivered * 8) /. float_of_int span;
               })
-            !streams
+            scored
         in
         let total_delivered =
           List.fold_left (fun a f -> a + f.delivered) 0 flow_results
@@ -299,6 +424,16 @@ module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
           let s = Link.stats link i in
           s.Link.dropped + s.Link.queue_drops
         in
+        let injected_bytes =
+          match scn.attack with
+          | None -> 0
+          | Some _ ->
+            let expected = payload_for scn ~bytes 0 in
+            List.fold_left
+              (fun a (buf, _) ->
+                a + injected_in (Buffer.contents buf) expected)
+              0 !streams
+        in
         {
           scenario = scn.name;
           cc = Cc.name;
@@ -313,12 +448,34 @@ module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
           complete =
             (List.length flow_results = scn.flows
             && List.for_all (fun f -> f.delivered = bytes) flow_results);
+          attack_probes =
+            (match attacker with
+            | None -> 0
+            | Some (_, atk) -> Atk.sent atk);
+          injected_bytes;
           flight = [];
         })
     in
-    if r.complete && r.invariant_faults = [] then r
+    if r.complete && r.invariant_faults = [] && r.injected_bytes = 0 then r
     else { r with flight = !flight }
 end
+
+module Make_engine (Cc : Fox_tcp.Congestion.S) = Make_engine_p (Cc) (Scn_params)
+
+(* RFC 5961 switched off: RFC 793's original acceptance rules.  The
+   blind cells run demonstrably worse here — the teeth-check that the
+   defenses, not luck, carry the guarded matrix. *)
+module Unguarded_params : Fox_tcp.Tcp.PARAMS = struct
+  include Scn_params
+
+  let rfc5961 = false
+end
+
+module Unguarded_reno = Make_engine_p (Fox_tcp.Congestion.Reno) (Unguarded_params)
+
+(** [run_cell_unguarded scn] runs one cell under Reno with the RFC 5961
+    defenses disabled. *)
+let run_cell_unguarded ?quick scn = Unguarded_reno.run ?quick scn
 
 module Reno_engine = Make_engine (Fox_tcp.Congestion.Reno)
 module Newreno_engine = Make_engine (Fox_tcp.Congestion.Newreno)
@@ -356,11 +513,15 @@ let run_matrix ?(log = fun _ -> ()) ?quick ?(scenarios = all)
 let pp_result fmt r =
   Format.fprintf fmt
     "%-12s %-8s goodput %6.2f Mb/s  fairness %.3f  rtx %4d  drops %4d  \
-     %.3fs%s%s"
+     %.3fs%s%s%s%s"
     r.scenario r.cc r.aggregate_goodput_mbps r.fairness r.retransmissions
     r.wire_drops
     (float_of_int r.end_time /. 1e6)
+    (if r.attack_probes = 0 then ""
+     else Printf.sprintf "  %d probes" r.attack_probes)
     (if r.complete then "" else "  INCOMPLETE")
+    (if r.injected_bytes = 0 then ""
+     else Printf.sprintf "  %dB INJECTED" r.injected_bytes)
     (match r.invariant_faults with
     | [] -> ""
     | fs -> Printf.sprintf "  %d INVARIANT FAULTS" (List.length fs))
@@ -372,13 +533,15 @@ let result_to_string r = Format.asprintf "%a" pp_result r
 let to_markdown results =
   let b = Buffer.create 1024 in
   Buffer.add_string b
-    "| scenario | cc | goodput (Mb/s) | fairness | rtx | wire drops |\n";
-  Buffer.add_string b "|---|---|---|---|---|---|\n";
+    "| scenario | cc | goodput (Mb/s) | fairness | rtx | wire drops | \
+     probes | injected | survived |\n";
+  Buffer.add_string b "|---|---|---|---|---|---|---|---|---|\n";
   List.iter
     (fun r ->
       Buffer.add_string b
-        (Printf.sprintf "| %s | %s | %.2f | %.3f | %d | %d |\n" r.scenario
-           r.cc r.aggregate_goodput_mbps r.fairness r.retransmissions
-           r.wire_drops))
+        (Printf.sprintf "| %s | %s | %.2f | %.3f | %d | %d | %d | %d | %s |\n"
+           r.scenario r.cc r.aggregate_goodput_mbps r.fairness
+           r.retransmissions r.wire_drops r.attack_probes r.injected_bytes
+           (if r.complete then "yes" else "NO")))
     results;
   Buffer.contents b

@@ -29,6 +29,54 @@ let ack_data (params : params) tcb =
   end
 
 (* ------------------------------------------------------------------ *)
+(* RFC 5961 challenge ACKs                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One process-wide budget across all engines (the RFC's ACK throttling):
+   a per-connection budget would let an attacker multiply challenges by
+   spraying many connections at once.  The window is one virtual second;
+   the clock restarting below the window start (a fresh [Scheduler.run]
+   in a test or harness) resets it, so sequential deterministic runs do
+   not see each other's spend. *)
+let challenge_window_start = ref 0
+let challenge_sent_in_window = ref 0
+
+let challenge_budget_reset () =
+  challenge_window_start := 0;
+  challenge_sent_in_window := 0
+
+let challenge_budget_ok (params : params) ~now =
+  params.challenge_ack_limit <= 0
+  || begin
+       if
+         now < !challenge_window_start
+         || now - !challenge_window_start >= 1_000_000
+       then begin
+         challenge_window_start := now;
+         challenge_sent_in_window := 0
+       end;
+       if !challenge_sent_in_window < params.challenge_ack_limit then begin
+         incr challenge_sent_in_window;
+         true
+       end
+       else false
+     end
+
+(* A challenge ACK is an ordinary pure ACK at the current snd_nxt/rcv_nxt:
+   a legitimate peer that really lost sync answers it with an exact-match
+   RST, while a blind attacker learns nothing and burns its probe. *)
+let challenge_ack (params : params) tcb ~now ~kind =
+  (match kind with
+  | `Rst -> tcb.rst_challenges <- tcb.rst_challenges + 1
+  | `Syn -> tcb.syn_challenges <- tcb.syn_challenges + 1
+  | `Ack -> tcb.ack_challenges <- tcb.ack_challenges + 1);
+  if challenge_budget_ok params ~now then begin
+    tcb.challenge_acks_sent <- tcb.challenge_acks_sent + 1;
+    ack_now tcb
+  end
+  else tcb.challenge_acks_limited <- tcb.challenge_acks_limited + 1
+
+(* ------------------------------------------------------------------ *)
 (* Segment acceptability (RFC 793 p. 69, the four-case table)          *)
 (* ------------------------------------------------------------------ *)
 
@@ -164,8 +212,25 @@ let process_ack_common (params : params) tcb seg ~now =
   else begin
     let ack = h.Tcp_header.ack in
     if Seq.gt ack tcb.snd_nxt then begin
-      (* acking the future: ack and drop *)
-      ack_now tcb;
+      (* acking the future: ack and drop (rate-limited under 5961, since
+         a blind attacker can force these at wire speed) *)
+      if params.rfc5961 then begin
+        Packet.release seg.data;
+        challenge_ack params tcb ~now ~kind:`Ack
+      end
+      else ack_now tcb;
+      `Drop
+    end
+    else if
+      (* RFC 5961 §5: an ACK further behind snd_una than the largest
+         window the peer ever advertised cannot be a delayed legitimate
+         ACK; challenge and drop — this is what keeps blind data
+         injection (which must guess an acceptable ACK too) out *)
+      params.rfc5961
+      && Seq.lt ack (Seq.add tcb.snd_una (-tcb.max_snd_wnd))
+    then begin
+      Packet.release seg.data;
+      challenge_ack params tcb ~now ~kind:`Ack;
       `Drop
     end
     else begin
@@ -187,6 +252,7 @@ let process_ack_common (params : params) tcb seg ~now =
         let changed = h.Tcp_header.window <> tcb.snd_wnd in
         let opening = h.Tcp_header.window > tcb.snd_wnd in
         tcb.snd_wnd <- h.Tcp_header.window;
+        tcb.max_snd_wnd <- max tcb.max_snd_wnd h.Tcp_header.window;
         tcb.snd_wl1 <- h.Tcp_header.seq;
         tcb.snd_wl2 <- ack;
         (* A window update is not a duplicate ACK (RFC 5681): end the
@@ -267,6 +333,7 @@ let process_syn_sent (params : params) tcb seg ~now =
       (* our SYN is acknowledged: connection established *)
       ignore (Resend.process_ack params tcb ~ack:h.Tcp_header.ack ~now);
       tcb.snd_wnd <- h.Tcp_header.window;
+      tcb.max_snd_wnd <- max tcb.max_snd_wnd h.Tcp_header.window;
       tcb.snd_wl1 <- h.Tcp_header.seq;
       tcb.snd_wl2 <- h.Tcp_header.ack;
       ack_now tcb;
@@ -280,6 +347,7 @@ let process_syn_sent (params : params) tcb seg ~now =
     else begin
       (* simultaneous open: SYN without ACK; answer with SYN-ACK *)
       tcb.snd_wnd <- h.Tcp_header.window;
+      tcb.max_snd_wnd <- max tcb.max_snd_wnd h.Tcp_header.window;
       tcb.snd_wl1 <- h.Tcp_header.seq;
       tcb.snd_wl2 <- Seq.zero;
       add_to_do tcb
@@ -321,29 +389,51 @@ let process_synchronized (params : params) state tcb seg ~now =
     state
   end
   else if h.Tcp_header.rst then begin
-    (* second: RST *)
-    add_to_do tcb Peer_reset;
-    add_to_do tcb Delete_tcb;
-    Closed
+    (* second: RST.  RFC 5961 §3: tear down only when the RST sits exactly
+       at [rcv_nxt]; a merely-in-window RST earns a rate-limited challenge
+       ACK instead, so a blind attacker must hit one sequence number in
+       2^32 rather than any of a window's worth.  A desynchronised but
+       honest peer answers the challenge with an exact-match RST. *)
+    if (not params.rfc5961) || Seq.equal h.Tcp_header.seq tcb.rcv_nxt
+    then begin
+      add_to_do tcb Peer_reset;
+      add_to_do tcb Delete_tcb;
+      Closed
+    end
+    else begin
+      Packet.release seg.data;
+      challenge_ack params tcb ~now ~kind:`Rst;
+      state
+    end
   end
   else if h.Tcp_header.syn && Seq.ge h.Tcp_header.seq tcb.rcv_nxt then begin
-    (* fourth: SYN in the window is an error; reset the connection *)
-    add_to_do tcb
-      (Send_segment
-         {
-           out_seq = tcb.snd_nxt;
-           out_syn = false;
-           out_fin = false;
-           out_rst = true;
-           out_psh = false;
-           out_ack = false;
-           out_data = None;
-           out_mss = None;
-           out_is_rtx = false;
-         });
-    add_to_do tcb Peer_reset;
-    add_to_do tcb Delete_tcb;
-    Closed
+    (* fourth: SYN in the window.  RFC 793 resets the connection — which
+       lets a blind SYN kill it as surely as a blind RST.  RFC 5961 §4
+       challenges instead: a genuinely restarted peer answers the
+       challenge ACK with an exact RST, everything else is noise. *)
+    if params.rfc5961 then begin
+      Packet.release seg.data;
+      challenge_ack params tcb ~now ~kind:`Syn;
+      state
+    end
+    else begin
+      add_to_do tcb
+        (Send_segment
+           {
+             out_seq = tcb.snd_nxt;
+             out_syn = false;
+             out_fin = false;
+             out_rst = true;
+             out_psh = false;
+             out_ack = false;
+             out_data = None;
+             out_mss = None;
+             out_is_rtx = false;
+           });
+      add_to_do tcb Peer_reset;
+      add_to_do tcb Delete_tcb;
+      Closed
+    end
   end
   else begin
     (* fifth: ACK *)
@@ -357,6 +447,7 @@ let process_synchronized (params : params) state tcb seg ~now =
           && Seq.le h.Tcp_header.ack tcb.snd_nxt
         then begin
           tcb.snd_wnd <- h.Tcp_header.window;
+          tcb.max_snd_wnd <- max tcb.max_snd_wnd h.Tcp_header.window;
           tcb.snd_wl1 <- h.Tcp_header.seq;
           tcb.snd_wl2 <- h.Tcp_header.ack;
           add_to_do tcb Complete_open;
@@ -476,6 +567,7 @@ let fingerprint tcb =
     ("snd_una", seq tcb.snd_una);
     ("snd_nxt", seq tcb.snd_nxt);
     ("snd_wnd", string_of_int tcb.snd_wnd);
+    ("max_snd_wnd", string_of_int tcb.max_snd_wnd);
     ("snd_wl1", seq tcb.snd_wl1);
     ("snd_wl2", seq tcb.snd_wl2);
     ("rcv_nxt", seq tcb.rcv_nxt);
@@ -514,6 +606,10 @@ let fingerprint tcb =
     ("retransmissions", string_of_int tcb.retransmissions);
     ("dup_segments", string_of_int tcb.dup_segments);
     ("ooo_segments", string_of_int tcb.ooo_segments);
+    ( "challenges",
+      Printf.sprintf "%d/%d r%d s%d a%d" tcb.challenge_acks_sent
+        tcb.challenge_acks_limited tcb.rst_challenges tcb.syn_challenges
+        tcb.ack_challenges );
     ( "actions",
       String.concat "," (List.map action_name (pending_actions tcb)) );
   ]
@@ -563,6 +659,7 @@ let fast_path (params : params) tcb seg ~now =
         let changed = h.Tcp_header.window <> tcb.snd_wnd in
         let opening = h.Tcp_header.window > tcb.snd_wnd in
         tcb.snd_wnd <- h.Tcp_header.window;
+        tcb.max_snd_wnd <- max tcb.max_snd_wnd h.Tcp_header.window;
         tcb.snd_wl1 <- h.Tcp_header.seq;
         tcb.snd_wl2 <- ack;
         if changed then tcb.dup_acks <- 0;

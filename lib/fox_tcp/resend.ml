@@ -74,13 +74,12 @@ let resend_entry tcb entry =
   tcb.retransmissions <- tcb.retransmissions + 1;
   (* the queued send action takes its own reference to the text *)
   (match entry.rtx_data with Some d -> Packet.retain d | None -> ());
-  (* Karn: a retransmitted sequence range must not produce an RTT sample. *)
-  (match tcb.timing with
-  | Some (timed_end, _)
-    when Seq.in_window ~base:entry.rtx_seq ~size:entry.rtx_len
-           (Seq.add timed_end (-1)) ->
-    tcb.timing <- None
-  | _ -> ());
+  (* Karn: no RTT sample may survive any retransmission during the timed
+     flight.  Clearing only when the timed octet itself was resent (the
+     earlier rule) let an RTO chain retransmit older holes while the timed
+     segment waited in the queue; the eventual cumulative ACK covering it
+     then yielded a multi-second "sample" that poisoned srtt. *)
+  tcb.timing <- None;
   add_to_do tcb
     (Send_segment
        {

@@ -62,6 +62,7 @@ let passive_open (params : params) ~iss ~mss ~syn ~now =
   tcb.irs <- h.Tcp_header.seq;
   tcb.rcv_nxt <- Seq.add h.Tcp_header.seq 1;
   tcb.snd_wnd <- h.Tcp_header.window;
+  tcb.max_snd_wnd <- h.Tcp_header.window;
   tcb.snd_wl1 <- h.Tcp_header.seq;
   tcb.snd_wl2 <- Seq.zero;
   (match h.Tcp_header.mss with
@@ -84,6 +85,7 @@ let promote_passive (params : params) ~iss ~irs ~mss ~peer_mss ~wnd =
   tcb.irs <- irs;
   tcb.rcv_nxt <- Seq.add irs 1;
   tcb.snd_wnd <- wnd;
+  tcb.max_snd_wnd <- wnd;
   tcb.snd_wl1 <- Seq.add irs 1;
   tcb.snd_wl2 <- Seq.add iss 1;
   (match peer_mss with

@@ -37,6 +37,12 @@ type t = {
   ooo_bytes : int;
   ooo_trimmed : int;
   to_do_shed : int;
+  (* RFC 5961 challenge accounting *)
+  challenge_acks_sent : int;
+  challenge_acks_limited : int;
+  rst_challenges : int;
+  syn_challenges : int;
+  ack_challenges : int;
 }
 
 let of_tcb ~conn_id ~state ~now (tcb : Tcb.tcp_tcb) =
@@ -73,6 +79,11 @@ let of_tcb ~conn_id ~state ~now (tcb : Tcb.tcp_tcb) =
     ooo_bytes = tcb.Tcb.ooo_bytes;
     ooo_trimmed = tcb.Tcb.ooo_trimmed;
     to_do_shed = tcb.Tcb.to_do_shed;
+    challenge_acks_sent = tcb.Tcb.challenge_acks_sent;
+    challenge_acks_limited = tcb.Tcb.challenge_acks_limited;
+    rst_challenges = tcb.Tcb.rst_challenges;
+    syn_challenges = tcb.Tcb.syn_challenges;
+    ack_challenges = tcb.Tcb.ack_challenges;
   }
 
 let to_string s =
@@ -88,12 +99,14 @@ let to_string s =
     "%s %s una=%d nxt=%d flight=%d snd_wnd=%d rcv_wnd=%d cc=%s cwnd=%d \
      ssthresh=%d%s srtt=%dus rto=%dus backoff=%d segs=%d/%d bytes=%d/%d \
      rtx=%d dup_acks=%d dups=%d ooo=%d fast=%d queued=%dB rtxq=%d trimmed=%d \
-     shed=%d"
+     shed=%d chall=%d/%d(r%d,s%d,a%d)"
     s.conn_id s.state s.snd_una s.snd_nxt s.flight s.snd_wnd s.rcv_wnd cc
     s.cwnd s.ssthresh
     (if s.in_recovery then " RECOVERY" else "")
     s.srtt_us s.rto_us s.backoff s.segs_out s.segs_in s.bytes_out s.bytes_in
     s.retransmissions s.dup_acks s.dup_segments s.ooo_segments s.fast_path_hits
     s.queued_bytes s.rtx_queue_len s.ooo_trimmed s.to_do_shed
+    s.challenge_acks_sent s.challenge_acks_limited s.rst_challenges
+    s.syn_challenges s.ack_challenges
 
 let pp fmt s = Format.pp_print_string fmt (to_string s)

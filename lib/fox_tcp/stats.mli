@@ -50,6 +50,12 @@ type t = {
   ooo_bytes : int;  (** bytes parked in the out-of-order list *)
   ooo_trimmed : int;  (** out-of-order segments dropped by the byte cap *)
   to_do_shed : int;  (** segments shed because the to_do queue was full *)
+  (* RFC 5961 challenge accounting *)
+  challenge_acks_sent : int;  (** challenge ACKs actually emitted *)
+  challenge_acks_limited : int;  (** challenges suppressed by the budget *)
+  rst_challenges : int;  (** in-window (not exact) RSTs challenged *)
+  syn_challenges : int;  (** SYNs on a synchronized connection challenged *)
+  ack_challenges : int;  (** ACKs outside the acceptable range challenged *)
 }
 
 (** [of_tcb ~conn_id ~state ~now tcb] photographs [tcb]. *)

@@ -142,6 +142,15 @@ type params = {
       (** cap on buffered out-of-order text per connection; when an
           insertion would exceed it, the entries furthest from [rcv_nxt]
           are trimmed (and re-earned by retransmission).  0 = unbounded *)
+  rfc5961 : bool;
+      (** blind-attack defenses on synchronized connections (RFC 5961):
+          tear down only on an exact-[rcv_nxt] RST, answer merely-in-window
+          RSTs and SYNs with a rate-limited challenge ACK, and drop ACKs
+          outside [snd_una - max_snd_wnd, snd_nxt].  Off restores the
+          RFC 793 rules the paper implemented. *)
+  challenge_ack_limit : int;
+      (** global (per-process) challenge-ACK budget per virtual second;
+          challenges beyond it are counted but not sent.  0 = unlimited *)
   cc : (module Congestion.S);
       (** the congestion-control algorithm; every cwnd/ssthresh decision
           is delegated to it (see {!Congestion} and DESIGN §12) *)
@@ -165,6 +174,8 @@ let default_params =
     keepalive_probes = 5;
     header_prediction = true;
     max_ooo_bytes = 65536;
+    rfc5961 = true;
+    challenge_ack_limit = 100;
     cc = (module Congestion.Reno);
   }
 
@@ -174,6 +185,9 @@ type tcp_tcb = {
   mutable snd_una : Seq.t;
   mutable snd_nxt : Seq.t;
   mutable snd_wnd : int;
+  mutable max_snd_wnd : int;
+      (** largest window the peer ever advertised — the RFC 5961 §5
+          tolerance for how far behind [snd_una] a legitimate ACK can be *)
   mutable snd_wl1 : Seq.t;
   mutable snd_wl2 : Seq.t;
   mutable irs : Seq.t;
@@ -234,6 +248,13 @@ type tcp_tcb = {
   mutable fast_path_hits : int;
   mutable dup_segments : int;
   mutable ooo_segments : int;
+  (* --- RFC 5961 challenge accounting --- *)
+  mutable challenge_acks_sent : int;
+  mutable challenge_acks_limited : int;
+      (** challenges suppressed by the global budget *)
+  mutable rst_challenges : int;  (** in-window (not exact) RSTs deflected *)
+  mutable syn_challenges : int;  (** in-window SYNs deflected *)
+  mutable ack_challenges : int;  (** ACKs outside the 5961 window *)
   (* --- observability --- *)
   mutable obs_id : string;
       (** flight-recorder connection id (["-"] until installed) *)
@@ -300,6 +321,7 @@ let create_tcb (params : params) ~iss =
     snd_una = iss;
     snd_nxt = iss;
     snd_wnd = 0;
+    max_snd_wnd = 0;
     snd_wl1 = Seq.zero;
     snd_wl2 = Seq.zero;
     irs = Seq.zero;
@@ -346,6 +368,11 @@ let create_tcb (params : params) ~iss =
     fast_path_hits = 0;
     dup_segments = 0;
     ooo_segments = 0;
+    challenge_acks_sent = 0;
+    challenge_acks_limited = 0;
+    rst_challenges = 0;
+    syn_challenges = 0;
+    ack_challenges = 0;
     obs_id = "-";
   }
 

@@ -119,6 +119,19 @@ module type PARAMS = sig
   (** Per-connection cap on buffered out-of-order text (0 = unbounded). *)
   val max_ooo_bytes : int
 
+  (** {2 Hostile-wire policy}
+
+      RFC 5961 blind-attack defenses for synchronized connections: an RST
+      tears the connection down only at exactly [rcv_nxt]; merely-in-window
+      RSTs and SYNs, and ACKs outside [snd_una - max_snd_wnd, snd_nxt],
+      earn a rate-limited challenge ACK and are dropped.  Off restores the
+      RFC 793 rules the paper implemented. *)
+  val rfc5961 : bool
+
+  (** Process-wide challenge-ACK budget per virtual second (RFC 5961 §10);
+      challenges over budget are counted but not sent.  0 = unlimited. *)
+  val challenge_ack_limit : int
+
   (** Per-connection cap on the [to_do] queue: segments arriving when this
       many actions are already queued are shed at the door (0 = off). *)
   val max_to_do : int
@@ -163,6 +176,8 @@ module Default_params : PARAMS = struct
   let max_to_do = 1024
   let max_connections = 0
   let max_time_wait = 0
+  let rfc5961 = true
+  let challenge_ack_limit = 100
 end
 
 (** Instance-wide statistics. *)
@@ -185,6 +200,13 @@ type stats = {
       (** TIME-WAIT TCBs evicted early by the [max_time_wait] bound *)
   to_do_shed : int;
       (** segments shed at the [to_do] door by the [max_to_do] bound *)
+  challenge_acks_sent : int;
+      (** RFC 5961 challenge ACKs put on the wire (live + dead conns) *)
+  challenge_acks_limited : int;
+      (** challenges suppressed by the global per-second budget *)
+  rst_challenges : int;  (** in-window (not exact) RSTs deflected *)
+  syn_challenges : int;  (** in-window SYNs on synchronized conns deflected *)
+  ack_challenges : int;  (** ACKs outside the 5961 acceptance window *)
 }
 
 (** Per-connection statistics, mostly straight out of the TCB. *)
@@ -277,6 +299,8 @@ end = struct
       keepalive_probes = Params.keepalive_probes;
       header_prediction = Params.header_prediction;
       max_ooo_bytes = Params.max_ooo_bytes;
+      rfc5961 = Params.rfc5961;
+      challenge_ack_limit = Params.challenge_ack_limit;
       cc = (module Cc);
     }
 
@@ -369,6 +393,13 @@ end = struct
     mutable backlog_refused : int;
     mutable time_wait_recycled : int;
     mutable to_do_shed : int;
+    (* challenge counters of deleted connections, folded in at teardown so
+       [stats] keeps seeing an attack that killed (or outlived) its TCBs *)
+    mutable chall_sent_dead : int;
+    mutable chall_limited_dead : int;
+    mutable chall_rst_dead : int;
+    mutable chall_syn_dead : int;
+    mutable chall_ack_dead : int;
     (* TIME-WAIT bound: connections in arrival order (entries may be
        stale — already deleted by their own 2·MSL — and are skipped) *)
     time_wait_q : connection Queue.t;
@@ -672,6 +703,13 @@ end = struct
       Hashtbl.remove conn.tcp.conns
         (key conn.host conn.local_port conn.remote_port);
       Bus.unregister_stats ~id:conn.tcb.Tcb.obs_id;
+      let t = conn.tcp and tcb = conn.tcb in
+      t.chall_sent_dead <- t.chall_sent_dead + tcb.Tcb.challenge_acks_sent;
+      t.chall_limited_dead <-
+        t.chall_limited_dead + tcb.Tcb.challenge_acks_limited;
+      t.chall_rst_dead <- t.chall_rst_dead + tcb.Tcb.rst_challenges;
+      t.chall_syn_dead <- t.chall_syn_dead + tcb.Tcb.syn_challenges;
+      t.chall_ack_dead <- t.chall_ack_dead + tcb.Tcb.ack_challenges;
       (* drop the TCB's own buffer references so pooled buffers recycle;
          actions still pending on to_do hold their own references *)
       Deq.iter
@@ -1335,6 +1373,7 @@ end = struct
     }
 
   let stats t =
+    let live f = Hashtbl.fold (fun _ c a -> a + f c.tcb) t.conns 0 in
     {
       segs_in = t.segs_in;
       segs_out = t.segs_out;
@@ -1348,6 +1387,16 @@ end = struct
       backlog_refused = t.backlog_refused;
       time_wait_recycled = t.time_wait_recycled;
       to_do_shed = t.to_do_shed;
+      challenge_acks_sent =
+        t.chall_sent_dead + live (fun tcb -> tcb.Tcb.challenge_acks_sent);
+      challenge_acks_limited =
+        t.chall_limited_dead + live (fun tcb -> tcb.Tcb.challenge_acks_limited);
+      rst_challenges =
+        t.chall_rst_dead + live (fun tcb -> tcb.Tcb.rst_challenges);
+      syn_challenges =
+        t.chall_syn_dead + live (fun tcb -> tcb.Tcb.syn_challenges);
+      ack_challenges =
+        t.chall_ack_dead + live (fun tcb -> tcb.Tcb.ack_challenges);
     }
 
   let pp_address fmt { peer; port; local_port } =
@@ -1381,6 +1430,11 @@ end = struct
         backlog_refused = 0;
         time_wait_recycled = 0;
         to_do_shed = 0;
+        chall_sent_dead = 0;
+        chall_limited_dead = 0;
+        chall_rst_dead = 0;
+        chall_syn_dead = 0;
+        chall_ack_dead = 0;
         time_wait_q = Queue.create ();
         time_wait_count = 0;
       }
@@ -1389,6 +1443,9 @@ end = struct
       (Lower.start_passive lower
          (Aux.default_pattern ~proto:proto_number)
          (fun lconn -> ((fun packet -> receive t lconn packet), ignore)));
+    (* a fresh engine starts a fresh challenge-ACK budget window, so
+       back-to-back scheduler runs in one process stay deterministic *)
+    Receive.challenge_budget_reset ();
     (* engine-level counters on the bus, alongside the per-connection
        snapshots: this is where the overload policy's refusals show up
        even when the refused connection never existed *)
@@ -1399,9 +1456,11 @@ end = struct
         let s = stats t in
         Printf.sprintf
           "engine conns=%d accepts=%d refused=%d syn_dropped=%d \
-           tw_recycled=%d shed=%d rsts=%d segs=%d/%d unknown=%d"
+           tw_recycled=%d shed=%d rsts=%d segs=%d/%d unknown=%d \
+           chall=%d/%d(r%d,s%d,a%d)"
           s.active_conns s.accepts s.backlog_refused s.syn_dropped
           s.time_wait_recycled s.to_do_shed s.rsts_sent s.segs_in s.segs_out
-          s.unknown_dropped);
+          s.unknown_dropped s.challenge_acks_sent s.challenge_acks_limited
+          s.rst_challenges s.syn_challenges s.ack_challenges);
     t
 end

@@ -79,23 +79,29 @@ let encode ?(alg = `Optimized) ?(defer = false) ~pseudo hdr p =
       in
       Packet.set_u16 p 16 (Checksum.checksum_of acc)
 
-type error = Too_short | Bad_offset | Bad_checksum
+type error = Too_short | Bad_offset | Bad_checksum | Bad_options
 
 let decode_options p hlen =
-  (* Scan the option bytes for an MSS; skip everything else. *)
+  (* Scan the option bytes for an MSS; skip everything else.  Malformed
+     lists — a kind byte with its length truncated off, a zero/one length
+     (which would loop forever), or a length running past the header — are
+     a parse error, not a shrug: silently "stopping early" would let a
+     forged option list smuggle arbitrary bytes past any future option
+     the stack learns to read. *)
   let rec scan i mss =
-    if i >= hlen then mss
+    if i >= hlen then Ok mss
     else
       match Packet.get_u8 p i with
-      | 0 -> mss (* end of options *)
+      | 0 -> Ok mss (* end of options; the rest is padding *)
       | 1 -> scan (i + 1) mss (* nop *)
       | kind ->
-        if i + 1 >= hlen then mss
+        if i + 1 >= hlen then Error Bad_options (* length byte truncated *)
         else
           let len = Packet.get_u8 p (i + 1) in
-          if len < 2 || i + len > hlen then mss
-          else if kind = 2 && len = 4 then
-            scan (i + len) (Some (Packet.get_u16 p (i + 2)))
+          if len < 2 || i + len > hlen then Error Bad_options
+          else if kind = 2 then
+            if len = 4 then scan (i + len) (Some (Packet.get_u16 p (i + 2)))
+            else Error Bad_options (* MSS is fixed-length 4 *)
           else scan (i + len) mss
   in
   scan min_length None
@@ -125,26 +131,29 @@ let decode ?(alg = `Optimized) ~pseudo p =
       in
       if not checksum_ok then Error Bad_checksum
       else begin
-        let flags = Packet.get_u8 p 13 in
-        let hdr =
-          {
-            src_port = Packet.get_u16 p 0;
-            dst_port = Packet.get_u16 p 2;
-            seq = Seq.of_int (Packet.get_u32 p 4);
-            ack = Seq.of_int (Packet.get_u32 p 8);
-            urg = flags land 0x20 <> 0;
-            ack_flag = flags land 0x10 <> 0;
-            psh = flags land 0x08 <> 0;
-            rst = flags land 0x04 <> 0;
-            syn = flags land 0x02 <> 0;
-            fin = flags land 0x01 <> 0;
-            window = Packet.get_u16 p 14;
-            urgent = Packet.get_u16 p 18;
-            mss = decode_options p hlen;
-          }
-        in
-        Packet.pull_header p hlen;
-        Ok hdr
+        match decode_options p hlen with
+        | Error e -> Error e
+        | Ok mss ->
+          let flags = Packet.get_u8 p 13 in
+          let hdr =
+            {
+              src_port = Packet.get_u16 p 0;
+              dst_port = Packet.get_u16 p 2;
+              seq = Seq.of_int (Packet.get_u32 p 4);
+              ack = Seq.of_int (Packet.get_u32 p 8);
+              urg = flags land 0x20 <> 0;
+              ack_flag = flags land 0x10 <> 0;
+              psh = flags land 0x08 <> 0;
+              rst = flags land 0x04 <> 0;
+              syn = flags land 0x02 <> 0;
+              fin = flags land 0x01 <> 0;
+              window = Packet.get_u16 p 14;
+              urgent = Packet.get_u16 p 18;
+              mss;
+            }
+          in
+          Packet.pull_header p hlen;
+          Ok hdr
       end
     end
   end
@@ -153,6 +162,7 @@ let error_to_string = function
   | Too_short -> "too short"
   | Bad_offset -> "bad data offset"
   | Bad_checksum -> "bad checksum"
+  | Bad_options -> "malformed options"
 
 let pp fmt hdr =
   let flag c b = if b then c else "" in

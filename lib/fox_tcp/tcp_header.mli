@@ -1,7 +1,10 @@
 (** TCP segment header encoding and decoding (RFC 793 §3.1).
 
     The only option generated is Maximum Segment Size (on SYN segments);
-    unknown options are skipped on decode, as RFC 1122 requires.  The
+    well-formed unknown options are skipped on decode, as RFC 1122
+    requires, but a malformed option list — truncated length byte, a
+    length under 2 (an infinite loop on a naive scanner), or a length
+    running past the header — is rejected as [Bad_options].  The
     checksum covers the pseudo-header, header and text and is computed by
     {!Fox_basis.Checksum} — with the optimised Figure 10 algorithm by
     default. *)
@@ -49,7 +52,7 @@ val encode :
   Fox_basis.Packet.t ->
   unit
 
-type error = Too_short | Bad_offset | Bad_checksum
+type error = Too_short | Bad_offset | Bad_checksum | Bad_options
 
 (** [decode ~pseudo p] reads, verifies and strips a header, leaving the
     segment text in [p]'s window.  When the packet carries an RX sum memo

@@ -164,6 +164,7 @@ let estab_tcb ?(params = params) () =
   tcb.Tcb.irs <- Seq.of_int 5000;
   tcb.Tcb.rcv_nxt <- Seq.of_int 5001;
   tcb.Tcb.snd_wnd <- 8192;
+  tcb.Tcb.max_snd_wnd <- 8192;
   tcb.Tcb.snd_wl1 <- Seq.of_int 5000;
   tcb.Tcb.snd_wl2 <- Seq.of_int 1001;
   tcb
@@ -799,9 +800,21 @@ let test_last_ack_completes () =
   Alcotest.(check bool) "delete" true (List.mem "delete-tcb" names)
 
 let test_syn_in_window_resets () =
+  (* RFC 5961 §4 (the default): a SYN on a synchronized connection draws a
+     challenge ACK and changes nothing — a blind forger must not be able
+     to kill the connection with a guessed in-window SYN. *)
   let tcb = estab_tcb () in
   let seg = mk_segment ~syn:true ~seq:5001 () in
   let state = Receive.process params (Tcb.Estab tcb) seg ~now:0 in
+  Alcotest.(check string) "still estab" "ESTABLISHED" (Tcb.state_name state);
+  Alcotest.(check (list string)) "challenge ack" [ "send-ack" ]
+    (action_names tcb);
+  Alcotest.(check int) "counted" 1 tcb.Tcb.syn_challenges;
+  (* with the defense off, the RFC 793 rule applies: reset and tear down *)
+  let legacy = { params with Tcb.rfc5961 = false } in
+  let tcb = estab_tcb ~params:legacy () in
+  let seg = mk_segment ~syn:true ~seq:5001 () in
+  let state = Receive.process legacy (Tcb.Estab tcb) seg ~now:0 in
   Alcotest.(check string) "closed" "CLOSED" (Tcb.state_name state);
   let names = action_names tcb in
   Alcotest.(check bool) "rst sent" true (List.mem "send-segment" names);
