@@ -936,12 +936,90 @@ let bench_soak () =
   print_endline "\nwrote BENCH_pr5.json"
 
 (* ------------------------------------------------------------------ *)
+(* Application serving: HTTP/1.1 and echo under 1k concurrent conns    *)
+(* ------------------------------------------------------------------ *)
+
+(* The PR 8 standing benchmark: the fox_app servers behind the buffered
+   socket veneer, driven by the fox_check load generator over a clean
+   gigabit hub.  1000 clients connect concurrently (ramp 0 ⇒ peak
+   concurrency = conns) and each runs 5 request/response exchanges whose
+   payloads are verified byte-exact; the latency distribution is
+   per-request virtual time. *)
+let bench_serve () =
+  section "Serving: HTTP/1.1 and echo at 1000 concurrent connections";
+  let module Load = Fox_check.Load in
+  Printf.printf
+    "fox_app servers over the gigabit hub, 1000 clients connecting at\n\
+     once, 5 exchanges each, byte-verified payloads; latencies are\n\
+     per-request virtual time.\n\n";
+  let base =
+    {
+      Load.default_config with
+      Load.conns = 1000;
+      requests = 5;
+      payload = 1024;
+      ramp_us = 0;
+      gigabit = true;
+    }
+  in
+  let run app =
+    let w0 = Sys.time () in
+    let r = Load.run { base with Load.app } in
+    (r, Sys.time () -. w0)
+  in
+  let rows = List.map run [ Load.Http_app; Load.Echo ] in
+  Printf.printf "  %-8s %9s %9s %10s %9s %9s %9s\n" "app" "requests" "req/s"
+    "peak conc" "p50 ms" "p95 ms" "p99 ms";
+  List.iter
+    (fun ((r : Load.result), _) ->
+      Printf.printf "  %-8s %4d/%-4d %9.0f %10d %9.1f %9.1f %9.1f\n"
+        r.Load.app
+        r.Load.requests_ok r.Load.requests_attempted r.Load.reqs_per_sec
+        r.Load.max_concurrent
+        (float_of_int r.Load.p50_us /. 1000.)
+        (float_of_int r.Load.p95_us /. 1000.)
+        (float_of_int r.Load.p99_us /. 1000.))
+    rows;
+  let oc = open_out "BENCH_pr8.json" in
+  let row_json ((r : Load.result), wall) =
+    Printf.sprintf
+      "{\"app\": \"%s\", \"conns\": %d, \"requests_ok\": %d, \
+       \"requests_attempted\": %d, \"conn_errors\": %d, \
+       \"bytes_received\": %d, \"max_concurrent\": %d, \"accepts\": %d, \
+       \"reqs_per_sec\": %.1f, \"p50_us\": %d, \"p95_us\": %d, \
+       \"p99_us\": %d, \"max_us\": %d, \"virtual_s\": %.3f, \"cpu_s\": %.3f}"
+      r.Load.app r.Load.conns r.Load.requests_ok r.Load.requests_attempted
+      r.Load.conn_errors r.Load.bytes_received r.Load.max_concurrent
+      r.Load.accepts r.Load.reqs_per_sec r.Load.p50_us r.Load.p95_us
+      r.Load.p99_us r.Load.max_us
+      (float_of_int r.Load.elapsed_us /. 1e6)
+      wall
+  in
+  (match rows with
+  | [ http; echo ] ->
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"pr8_application_serving\",\n\
+      \  \"conns\": 1000,\n\
+      \  \"requests_per_conn\": 5,\n\
+      \  \"payload_bytes\": 1024,\n\
+      \  \"wire\": \"gigabit hub, clean\",\n\
+      \  \"http\": %s,\n\
+      \  \"echo\": %s\n\
+       }\n"
+      (row_json http) (row_json echo)
+  | _ -> assert false);
+  close_out oc;
+  print_endline "\nwrote BENCH_pr8.json"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   match Sys.argv with
   | [| _; "fastpath" |] -> ablation_fastpath ()
   | [| _; "soak" |] -> bench_soak ()
   | [| _; "table1" |] -> table1_headline ()
+  | [| _; "serve" |] -> bench_serve ()
   | [| _ |] ->
     Printf.printf
       "Fox Net benchmark harness — reproduces the evaluation of\n\
@@ -957,7 +1035,8 @@ let () =
     ablation_priority ();
     ablation_fastpath ();
     bench_soak ();
+    bench_serve ();
     Printf.printf "\n%s\ndone.\n" line
   | _ ->
-    prerr_endline "usage: main [fastpath|soak|table1]";
+    prerr_endline "usage: main [fastpath|soak|table1|serve]";
     exit 2

@@ -431,6 +431,254 @@ let trace bytes loss seed last pcap =
     (float_of_int result.Experiments.elapsed_us /. 1e6)
     result.Experiments.throughput_mbps
 
+(* ---------------- serve (the application layer) ---------------- *)
+
+module Load = Fox_check.Load
+
+(* Hub mode: the deterministic load generator — a fleet of concurrent
+   connections against the in-process server, under virtual time. *)
+let serve_hub app (cfg : Load.config) =
+  Printf.printf
+    "serve: %s, %d conns x %d requests x %dB over the %s hub (loss %.2f, \
+     reorder %.2f, seed %d)\n%!"
+    (Load.app_to_string app) cfg.Load.conns cfg.Load.requests cfg.Load.payload
+    (if cfg.Load.gigabit then "1 Gb/s" else "10 Mb/s")
+    cfg.Load.loss cfg.Load.reorder cfg.Load.seed;
+  let r, problems = Load.check cfg in
+  print_endline (Load.result_to_string r);
+  match problems with
+  | [] -> print_endline "serve: PASS"
+  | ps ->
+    List.iter (fun p -> print_endline ("serve: FAIL: " ^ p)) ps;
+    exit 1
+
+(* TUN mode: the same applications, served over a TAP device to the real
+   kernel — curl is the intended peer.  Exits 0 with a message when no
+   TAP device can be opened (CI without /dev/net/tun). *)
+let serve_tun app port duration check =
+  let module Stack = Fox_stack.Stack in
+  let module Tun = Fox_tun.Tun in
+  let module Device = Fox_dev.Device in
+  let module Ipv4_addr = Fox_ip.Ipv4_addr in
+  let module App_http = Fox_app.Http.Make (Stack.Tcp_socket) in
+  let module App_classic = Fox_app.Classic.Make (Stack.Tcp_socket) in
+  let kernel_ip = "10.99.0.1" in
+  let fox_ip = "10.99.0.2" in
+  let tap =
+    try Tun.open_tap ()
+    with Failure msg ->
+      Printf.printf
+        "serve --tun: cannot open a TAP device (%s); skipping (needs root \
+         and /dev/net/tun).\n"
+        msg;
+      exit 0
+  in
+  Tun.configure tap ~ip:kernel_ip ~prefix:24;
+  let dev = Device.create ~name:(Tun.name tap) ~mtu:1514 (Tun.port tap) in
+  let eth =
+    Stack.Eth.create dev ~mac:(Fox_eth.Mac.of_string "02:f0:0d:00:00:02")
+  in
+  let arp = Stack.Arp.create eth ~local_ip:(Ipv4_addr.of_string fox_ip) () in
+  let marp = Stack.Metered_arp.create arp Fox_proto.Meter.silent in
+  let ip =
+    Stack.Ip.create marp
+      {
+        Stack.Ip.local_ip = Ipv4_addr.of_string fox_ip;
+        route =
+          Fox_ip.Route.local ~network:(Ipv4_addr.of_string "10.99.0.0")
+            ~prefix:24;
+        lower_address = Fun.id;
+        lower_pattern = ();
+      }
+  in
+  let pip = Stack.Probed_ip.create ip ~name:"ip.tap" () in
+  let mip = Stack.Metered_ip.create pip Fox_proto.Meter.silent in
+  let tcp = Stack.Tcp.create mip in
+  let site =
+    Fox_app.Http.Site.of_pages
+      [
+        ( "/index.html", "text/html",
+          "<html><body><h1>foxnet</h1><p>A structured TCP, serving over a \
+           TAP device.</p></body></html>\n" );
+        ("/hello.txt", "text/plain", "hello from the Fox Net stack\n");
+        ("/payload", "application/octet-stream", String.make 16384 'x');
+      ]
+  in
+  let serve sock =
+    match app with
+    | Load.Http_app -> App_http.serve site sock
+    | Load.Echo -> App_classic.echo sock
+    | Load.Chargen -> App_classic.chargen sock
+    | Load.Discard -> App_classic.discard sock
+  in
+  (* --check: an in-process kernel-socket HTTP client (what curl would
+     do), polled non-blockingly so the scheduler keeps pumping the TAP *)
+  let kernel_check () =
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock sock;
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string fox_ip, port) in
+    let rec wait_connect deadline =
+      if Scheduler.now () > deadline then failwith "connect timed out"
+      else
+        match Unix.connect sock addr with
+        | () -> ()
+        | exception Unix.Unix_error (Unix.EISCONN, _, _) -> ()
+        | exception
+            Unix.Unix_error
+              ((Unix.EINPROGRESS | Unix.EALREADY | Unix.EWOULDBLOCK), _, _)
+          ->
+          Scheduler.sleep 5_000;
+          wait_connect deadline
+    in
+    wait_connect (Scheduler.now () + 10_000_000);
+    let request =
+      "GET /index.html HTTP/1.1\r\nHost: fox\r\nConnection: close\r\n\r\n"
+    in
+    let rec write_all off =
+      if off < String.length request then
+        match
+          Unix.write_substring sock request off (String.length request - off)
+        with
+        | n -> write_all (off + n)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          Scheduler.sleep 5_000;
+          write_all off
+    in
+    write_all 0;
+    let buf = Bytes.create 65536 in
+    let out = Buffer.create 1024 in
+    let rec read_all deadline =
+      if Scheduler.now () > deadline then failwith "read timed out"
+      else
+        match Unix.read sock buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes out buf 0 n;
+          read_all deadline
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          Scheduler.sleep 5_000;
+          read_all deadline
+    in
+    read_all (Scheduler.now () + 10_000_000);
+    Unix.close sock;
+    Buffer.contents out
+  in
+  let ok = ref true in
+  let _ =
+    Scheduler.run ~realtime:true ~idle:(Tun.idle_hook tap) (fun () ->
+        Tun.start tap;
+        ignore
+          (Stack.Tcp_socket.listen tcp { Stack.Tcp.local_port = port } serve);
+        Printf.printf
+          "serving %s on %s:%d over TAP %s (kernel side %s)\n\
+           try:  curl http://%s:%d/index.html\n\
+           %!"
+          (Load.app_to_string app) fox_ip port (Tun.name tap) kernel_ip
+          fox_ip port;
+        if check then begin
+          let response = kernel_check () in
+          let first_line =
+            match String.index_opt response '\r' with
+            | Some i -> String.sub response 0 i
+            | None -> response
+          in
+          Printf.printf "kernel client got: %s (%d bytes)\n" first_line
+            (String.length response);
+          ok :=
+            String.length response >= 15
+            && String.sub response 0 15 = "HTTP/1.1 200 OK"
+            && String.length response > 100;
+          ignore (Scheduler.stop ())
+        end
+        else if duration > 0 then begin
+          Scheduler.sleep (duration * 1_000_000);
+          ignore (Scheduler.stop ())
+        end)
+  in
+  let rx, tx = Tun.stats tap in
+  Printf.printf "TAP frames: %d from kernel, %d from the stack\n" rx tx;
+  Tun.close tap;
+  if check then
+    if !ok then print_endline "serve --tun --check: PASS"
+    else begin
+      print_endline "serve --tun --check: FAIL";
+      exit 1
+    end
+
+let serve app_name conns requests payload ramp loss reorder seed ethernet tun
+    port duration check =
+  match Load.app_of_string app_name with
+  | None ->
+    Printf.eprintf "unknown app %s (have: http, echo, chargen, discard)\n"
+      app_name;
+    exit 2
+  | Some app ->
+    if tun then serve_tun app port duration check
+    else
+      serve_hub app
+        {
+          Load.app;
+          conns;
+          requests;
+          payload;
+          ramp_us = ramp;
+          loss;
+          reorder;
+          seed;
+          gigabit = not ethernet;
+        }
+
+(* ---------------- dig (DNS over UDP) ---------------- *)
+
+let dig name =
+  let module Stack = Fox_stack.Stack in
+  let module Dns = Fox_app.Dns.Make (Stack.Udp_socket) in
+  let zone =
+    [
+      ("fox.test", "10.1.0.2");
+      ("www.fox.test", "10.1.0.80");
+      ("paper.fox.test", "10.9.4.94");
+    ]
+  in
+  let _, client, server = Network.pair ~engine:Network.Fox () in
+  let status = ref 0 in
+  let _ =
+    Scheduler.run (fun () ->
+        ignore
+          (Stack.Udp_socket.listen server.Network.udp
+             { Stack.Udp.local_port = 53 }
+             (Dns.serve_zone zone));
+        let sock =
+          Stack.Udp_socket.connect client.Network.udp
+            {
+              Stack.Udp.peer = server.Network.addr;
+              peer_port = 53;
+              local_port = None;
+            }
+        in
+        let t0 = Scheduler.now () in
+        let result = Dns.resolve sock name in
+        let elapsed = Scheduler.now () - t0 in
+        Printf.printf "; <<>> foxnet dig <<>> %s\n" name;
+        Printf.printf ";; QUESTION:\n;  %s.\tIN\tA\n" name;
+        (match result with
+        | Ok addrs ->
+          Printf.printf ";; ANSWER:\n";
+          List.iter
+            (fun a -> Printf.printf "%s.\t300\tIN\tA\t%s\n" name a)
+            addrs
+        | Error e ->
+          Printf.printf ";; status: %s\n" e;
+          status := 1);
+        Printf.printf ";; Query time: %d usec (virtual); server %s#53\n"
+          elapsed
+          (Fox_ip.Ipv4_addr.to_string server.Network.addr);
+        Stack.Udp_socket.close sock)
+  in
+  exit !status
+
 (* ---------------- cmdliner plumbing ---------------- *)
 
 let bytes = Arg.(value & opt int 1_000_000 & info [ "bytes"; "b" ] ~doc:"Bytes.")
@@ -633,6 +881,97 @@ let scenarios_cmd =
     Term.(const scenarios $ scenario_cc $ scenario_name $ quick_flag
           $ markdown_flag)
 
+let app_arg =
+  Arg.(
+    value & opt string "http"
+    & info [ "app" ] ~doc:"Application: http|echo|chargen|discard.")
+
+let serve_conns =
+  Arg.(
+    value & opt int 100 & info [ "conns" ] ~doc:"Concurrent connections.")
+
+let serve_requests =
+  Arg.(
+    value & opt int 4
+    & info [ "requests" ] ~doc:"Request/response exchanges per connection.")
+
+let serve_payload =
+  Arg.(
+    value & opt int 1024
+    & info [ "payload" ] ~doc:"Response bytes per exchange.")
+
+let serve_ramp =
+  Arg.(
+    value & opt int 0
+    & info [ "ramp" ] ~doc:"Connection-open stagger (virtual us).")
+
+let serve_loss =
+  Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"Hub frame-loss rate.")
+
+let serve_reorder =
+  Arg.(
+    value & opt float 0.0
+    & info [ "reorder" ] ~doc:"Hub reordering probability.")
+
+let ethernet_flag =
+  Arg.(
+    value & flag
+    & info [ "ethernet" ]
+        ~doc:"The paper's 10 Mb/s shared wire instead of 1 Gb/s.")
+
+let tun_flag =
+  Arg.(
+    value & flag
+    & info [ "tun" ]
+        ~doc:
+          "Serve over a TAP device to the real kernel (needs root); curl \
+           is the intended client.  Skips with exit 0 when no TAP device \
+           is available.")
+
+let serve_port =
+  Arg.(value & opt int 8080 & info [ "port" ] ~doc:"TCP port (--tun mode).")
+
+let serve_duration =
+  Arg.(
+    value & opt int 0
+    & info [ "duration" ]
+        ~doc:"Stop after this many seconds (--tun mode; 0 = run forever).")
+
+let check_flag =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "With --tun: run an in-process kernel-socket HTTP client against \
+           the served site and exit pass/fail (the CI interop smoke).")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve an application (HTTP/1.1, echo, chargen, discard) over the \
+          in-process hub under a concurrent load generator — or, with \
+          --tun, over a TAP device to the real kernel for curl to hit")
+    Term.(
+      const serve $ app_arg $ serve_conns $ serve_requests $ serve_payload
+      $ serve_ramp $ serve_loss $ serve_reorder $ seed $ ethernet_flag
+      $ tun_flag $ serve_port $ serve_duration $ check_flag)
+
+let dig_name =
+  Arg.(
+    value
+    & pos 0 string "www.fox.test"
+    & info [] ~docv:"NAME" ~doc:"Name to resolve.")
+
+let dig_cmd =
+  Cmd.v
+    (Cmd.info "dig"
+       ~doc:
+         "Resolve a name with the DNS-over-UDP client against an \
+          in-process zone server (zone: fox.test, www.fox.test, \
+          paper.fox.test)")
+    Term.(const dig $ dig_name)
+
 let () =
   exit
     (Cmd.eval
@@ -641,5 +980,5 @@ let () =
              ~doc:"The Fox Net structured TCP/IP stack, simulated")
           [
             transfer_cmd; ping_cmd; rtt_cmd; table1_cmd; table2_cmd; fuzz_cmd;
-            soak_cmd; scenarios_cmd; stat_cmd; trace_cmd;
+            soak_cmd; scenarios_cmd; stat_cmd; trace_cmd; serve_cmd; dig_cmd;
           ]))

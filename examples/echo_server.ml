@@ -1,16 +1,19 @@
-(* A concurrent echo service on a shared Ethernet segment: one server,
-   several client stations, all through the passive-open path.
+(* A concurrent echo service (RFC 862) on a shared Ethernet segment: one
+   server, several client stations, all through the passive-open path.
 
      dune exec examples/echo_server.exe -- --clients 5
 
-   Demonstrates the listener creating one connection per client, each with
-   its own specialised handler closure, and the hub serialising the shared
+   The server side is one line: the listener forks [Classic.echo] per
+   connection, and the buffered socket veneer hides segment boundaries —
+   clients read back exactly the bytes they wrote with [read_exactly],
+   however the wire chose to slice them.  The hub serialises the shared
    medium (collisions-by-queueing, like real 10BASE). *)
 
-open Fox_basis
 module Scheduler = Fox_sched.Scheduler
 module Network = Fox_stack.Network
 module Tcp = Fox_stack.Stack.Tcp
+module Sock = Fox_stack.Stack.Tcp_socket
+module Classic = Fox_app.Classic.Make (Sock)
 
 let run clients =
   let _, hosts = Network.lan ~hosts:(clients + 1) ~engine:Network.Fox () in
@@ -21,42 +24,35 @@ let run clients =
   let stats =
     Scheduler.run (fun () ->
         ignore
-          (Tcp.start_passive (Network.fox_tcp server) { Tcp.local_port = 7 }
-             (fun conn ->
-               let peer, _, rport = Tcp.endpoints conn in
+          (Sock.listen (Network.fox_tcp server) { Tcp.local_port = 7 }
+             (fun sock ->
+               let peer, _, rport = Tcp.endpoints (Sock.connection sock) in
                Printf.printf "[server] accepted %s:%d\n"
                  (Fox_ip.Ipv4_addr.to_string peer)
                  rport;
-               ( (fun packet ->
-                   incr echoed;
-                   let reply = Tcp.allocate_send conn (Packet.length packet) in
-                   Packet.blit packet 0 (Packet.buffer reply)
-                     (Packet.offset reply) (Packet.length packet);
-                   Tcp.send conn reply),
-                 ignore )));
+               Classic.echo sock));
         List.iteri
           (fun i host ->
             Scheduler.fork (fun () ->
-                let replies = ref 0 in
-                let conn =
-                  Tcp.connect (Network.fox_tcp host)
+                let sock =
+                  Sock.connect (Network.fox_tcp host)
                     { Tcp.peer = server.Network.addr; port = 7;
                       local_port = None }
-                    (fun _ ->
-                      ( (fun packet ->
-                          incr replies;
-                          Printf.printf "[client %d] echo %d: %S\n" i !replies
-                            (Packet.to_string packet)),
-                        ignore ))
                 in
                 for round = 1 to 3 do
                   let msg = Printf.sprintf "client %d round %d" i round in
-                  let p = Tcp.allocate_send conn (String.length msg) in
-                  Packet.blit_from_string msg 0 p 0 (String.length msg);
-                  Tcp.send conn p;
+                  Sock.write_all sock msg;
+                  (match Sock.read_exactly sock (String.length msg) with
+                  | Some reply when String.equal reply msg ->
+                    incr echoed;
+                    Printf.printf "[client %d] echo %d: %S\n" i round reply
+                  | Some reply ->
+                    Printf.printf "[client %d] MANGLED: %S\n" i reply
+                  | None -> Printf.printf "[client %d] stream ended early\n" i);
                   (* pace the rounds so the output interleaves nicely *)
                   Scheduler.sleep 20_000
-                done))
+                done;
+                Sock.close sock))
           client_hosts;
         Scheduler.sleep 2_000_000)
   in

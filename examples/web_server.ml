@@ -1,79 +1,39 @@
-(* A miniature HTTP/1.0 server and client over the Fox Net TCP, written
-   pull-style against the blocking socket veneer (Fox_proto.Socket) rather
-   than upcalls.
+(* The Fox_app HTTP/1.1 server and client over the Fox Net TCP, written
+   pull-style against the buffered socket veneer (Fox_proto.Socket).
 
      dune exec examples/web_server.exe
 
-   One scheduler thread per connection on the server; the client fetches
-   three URLs (including a 404) over separate connections, exactly like a
-   1990s browser would have. *)
+   One scheduler thread per connection on the server.  Unlike the
+   HTTP/1.0 ancestor of this example — which read one [recv] chunk and
+   hoped it held the whole request line — all parsing goes through the
+   veneer's buffered [read_line]/[read_exactly], so requests split
+   across TCP segments and pipelined requests sharing a segment both
+   parse correctly.  The client fetches three URLs (including a 404)
+   over a single keep-alive connection, then pipelines two requests
+   back-to-back onto the wire before reading either response. *)
 
 module Scheduler = Fox_sched.Scheduler
 module Network = Fox_stack.Network
 module Tcp = Fox_stack.Stack.Tcp
 module Sock = Fox_stack.Stack.Tcp_socket
+module Http = Fox_app.Http.Make (Sock)
 
-let pages =
-  [
-    ( "/",
-      "<html><body><h1>Fox Net</h1>\n\
-       <p>A structured TCP, serving HTTP from inside a simulation.</p>\n\
-       <a href=\"/paper\">about the paper</a></body></html>" );
-    ( "/paper",
-      "<html><body><p>Biagioni, \"A Structured TCP in Standard ML\",\n\
-       SIGCOMM '94. Reproduced in OCaml.</p></body></html>" );
-  ]
+let site =
+  Fox_app.Http.Site.of_pages
+    [
+      ( "/index.html", "text/html",
+        "<html><body><h1>Fox Net</h1>\n\
+         <p>A structured TCP, serving HTTP from inside a simulation.</p>\n\
+         <a href=\"/paper\">about the paper</a></body></html>" );
+      ( "/paper", "text/html",
+        "<html><body><p>Biagioni, \"A Structured TCP in Standard ML\",\n\
+         SIGCOMM '94. Reproduced in OCaml.</p></body></html>" );
+    ]
 
-let http_response status body =
-  Printf.sprintf
-    "HTTP/1.0 %s\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n%s"
-    status (String.length body) body
-
-let serve_connection sock =
-  (* read one request line; headers are ignored, as HTTP/1.0 allows *)
-  match Sock.recv_string sock with
-  | None -> Sock.close sock
-  | Some request -> (
-    match String.split_on_char ' ' request with
-    | "GET" :: path :: _ ->
-      let response =
-        match List.assoc_opt path pages with
-        | Some body -> http_response "200 OK" body
-        | None -> http_response "404 Not Found" "<html>no such page</html>"
-      in
-      Sock.send_string sock response;
-      Sock.close sock
-    | _ ->
-      Sock.send_string sock (http_response "400 Bad Request" "");
-      Sock.close sock)
-
-let fetch tcp server path =
-  let sock =
-    Sock.connect tcp { Tcp.peer = server; port = 80; local_port = None }
-  in
-  Sock.send_string sock (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path);
-  let buf = Buffer.create 256 in
-  let rec slurp () =
-    match Sock.recv_string sock with
-    | Some s ->
-      Buffer.add_string buf s;
-      slurp ()
-    | None -> ()
-  in
-  slurp ();
-  Sock.close sock;
-  Buffer.contents buf
-
-(* find the blank line separating headers from body *)
-let body_of response =
-  let marker = "\r\n\r\n" in
-  let rec find i =
-    if i + 4 > String.length response then None
-    else if String.sub response i 4 = marker then
-      Some (String.sub response (i + 4) (String.length response - i - 4))
-    else find (i + 1)
-  in
-  find 0
+let show path = function
+  | Some (status, _headers, body) ->
+    Printf.printf "=== GET %s -> %d ===\n%s\n\n" path status body
+  | None -> Printf.printf "=== GET %s -> connection closed ===\n\n" path
 
 let () =
   let _, server_host, client_host = Network.pair ~engine:Network.Fox () in
@@ -81,22 +41,28 @@ let () =
     Scheduler.run (fun () ->
         ignore
           (Sock.listen (Network.fox_tcp server_host) { Tcp.local_port = 80 }
-             serve_connection);
+             (Http.serve site));
+        (* one keep-alive connection for all the sequential fetches *)
+        let sock =
+          Sock.connect (Network.fox_tcp client_host)
+            { Tcp.peer = server_host.Network.addr; port = 80;
+              local_port = None }
+        in
         List.iter
-          (fun path ->
-            Printf.printf "=== GET %s ===\n" path;
-            let response =
-              fetch (Network.fox_tcp client_host) server_host.Network.addr path
-            in
-            (* print the status line and the body *)
-            (match String.index_opt response '\r' with
-            | Some i -> Printf.printf "%s\n" (String.sub response 0 i)
-            | None -> ());
-            (match body_of response with
-            | Some body -> print_endline body
-            | None -> ());
-            print_newline ())
+          (fun path -> show path (Http.get sock path))
           [ "/"; "/paper"; "/missing" ];
+        (* pipelining: both requests leave before either response is
+           read; the server answers them in order off the same buffered
+           stream *)
+        print_endline "=== pipelined: GET / + GET /paper ===";
+        Http.write_request sock "/";
+        Http.write_request sock "/paper";
+        (match (Http.read_response sock, Http.read_response sock) with
+        | Some (s1, _, b1), Some (s2, _, b2) ->
+          Printf.printf "first  -> %d (%d bytes)\nsecond -> %d (%d bytes)\n"
+            s1 (String.length b1) s2 (String.length b2)
+        | _ -> print_endline "pipelined exchange failed");
+        Sock.close sock;
         ignore (Scheduler.stop ()))
   in
   ()

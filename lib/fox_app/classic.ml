@@ -1,0 +1,104 @@
+(** The classic benchmark trio: echo (RFC 862), discard (RFC 863) and
+    character generator (RFC 864).
+
+    These are the traditional first tenants of a new stack — trivial
+    protocols whose entire value is that any byte lost, duplicated or
+    reordered by the transport is immediately visible to a byte-exact
+    client.  They are functorized over {!Fox_proto.Socket.S}, so the same
+    code serves over the simulated hub, any congestion-control variant of
+    the stack, or the TAP device against real kernel clients. *)
+
+(* ------------------------------------------------------------------ *)
+(* The chargen pattern, as pure functions (testable without a stack)  *)
+(* ------------------------------------------------------------------ *)
+
+(* RFC 864: lines of 72 printable ASCII characters, each line starting
+   one character later in the cycle than the previous ("rotating"),
+   terminated by CRLF.  The printable cycle is the 95 characters from
+   0x20 to 0x7e. *)
+
+let chargen_width = 72
+
+let cycle = 95
+
+let first_printable = Char.chr 0x20
+
+(** [chargen_line i] is the [i]th line of the chargen stream, without
+    its CRLF terminator. *)
+let chargen_line i =
+  String.init chargen_width (fun j ->
+      Char.chr (Char.code first_printable + ((i + j) mod cycle)))
+
+(** [chargen_bytes n] is the first [n] bytes of the chargen stream
+    (lines + CRLF terminators) — the reference a byte-exact client
+    checks received data against. *)
+let chargen_bytes n =
+  let out = Buffer.create (n + chargen_width + 2) in
+  let i = ref 0 in
+  while Buffer.length out < n do
+    Buffer.add_string out (chargen_line !i);
+    Buffer.add_string out "\r\n";
+    incr i
+  done;
+  String.sub (Buffer.contents out) 0 n
+
+(* ------------------------------------------------------------------ *)
+(* The services                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Make (Sock : Fox_proto.Socket.S) = struct
+  (* A peer that disappears mid-conversation surfaces as a socket error
+     (reset/timeout) on our next read, or as a refused send.  For these
+     services that is the normal way a session ends: swallow it and make
+     sure the connection is released. *)
+  let finally_abort sock f =
+    try
+      f ();
+      Sock.close sock
+    with
+    | Fox_proto.Socket.Socket_error _ | Fox_proto.Common.Send_failed _ ->
+      Sock.abort sock
+
+  (** RFC 862: send back everything received, until the peer closes. *)
+  let echo sock =
+    finally_abort sock (fun () ->
+        let rec loop () =
+          match Sock.recv_string sock with
+          | None -> ()
+          | Some s ->
+            Sock.write_all sock s;
+            loop ()
+        in
+        loop ())
+
+  (** RFC 863: throw away everything received, until the peer closes. *)
+  let discard sock =
+    finally_abort sock (fun () ->
+        let rec loop () =
+          match Sock.recv_string sock with None -> () | Some _ -> loop ()
+        in
+        loop ())
+
+  (** RFC 864: stream the rotating character pattern at the peer.
+      [limit_bytes = 0] streams until the peer goes away (the RFC's
+      behaviour); a positive limit sends exactly that many bytes and
+      then closes — the shape byte-exactness tests and the load
+      generator want, since the session then ends deterministically
+      with a clean EOF rather than a client abort. *)
+  let chargen ?(limit_bytes = 0) sock =
+    finally_abort sock (fun () ->
+        let sent = ref 0 in
+        let line = ref 0 in
+        let continue () = limit_bytes = 0 || !sent < limit_bytes in
+        while continue () do
+          let chunk = chargen_line !line ^ "\r\n" in
+          let chunk =
+            if limit_bytes > 0 && !sent + String.length chunk > limit_bytes
+            then String.sub chunk 0 (limit_bytes - !sent)
+            else chunk
+          in
+          Sock.write_all sock chunk;
+          sent := !sent + String.length chunk;
+          incr line
+        done)
+end

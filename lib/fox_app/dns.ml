@@ -1,0 +1,407 @@
+(** DNS over UDP: wire codec (RFC 1035 §4), a stub resolver, and a toy
+    authoritative server.
+
+    The codec is pure string-in/string-out — testable without a stack —
+    and handles the one genuinely tricky part of the format: name
+    compression.  A name may end in a pointer to an earlier offset in the
+    message, pointers may chain, and a hostile message may point forward
+    or in a loop; the decoder follows at most a bounded number of jumps
+    and rejects everything else.  The encoder emits pointers for
+    repeated names (answer owner names repeating the question), so an
+    encode→decode round-trip exercises compression in both directions.
+
+    The resolver and server are functorized over {!Fox_proto.Socket.S}
+    instantiated with UDP, where each [recv]/[send] is one datagram. *)
+
+type qtype = A | NS | CNAME | PTR | TXT | AAAA | Other of int
+
+let qtype_to_int = function
+  | A -> 1
+  | NS -> 2
+  | CNAME -> 5
+  | PTR -> 12
+  | TXT -> 16
+  | AAAA -> 28
+  | Other n -> n
+
+let qtype_of_int = function
+  | 1 -> A
+  | 2 -> NS
+  | 5 -> CNAME
+  | 12 -> PTR
+  | 16 -> TXT
+  | 28 -> AAAA
+  | n -> Other n
+
+let qtype_to_string = function
+  | A -> "A"
+  | NS -> "NS"
+  | CNAME -> "CNAME"
+  | PTR -> "PTR"
+  | TXT -> "TXT"
+  | AAAA -> "AAAA"
+  | Other n -> Printf.sprintf "TYPE%d" n
+
+type question = { qname : string; qtype : qtype }
+
+type rdata =
+  | Addr of string  (** dotted quad, A records *)
+  | Host of string  (** a domain name: NS/CNAME/PTR *)
+  | Text of string  (** TXT *)
+  | Raw of string  (** anything else, uninterpreted *)
+
+type rr = { name : string; rtype : qtype; ttl : int; rdata : rdata }
+
+type header = {
+  id : int;
+  response : bool;
+  opcode : int;
+  authoritative : bool;
+  truncated : bool;
+  recursion_desired : bool;
+  recursion_available : bool;
+  rcode : int;
+}
+
+type message = {
+  header : header;
+  questions : question list;
+  answers : rr list;
+  authority : rr list;
+  additional : rr list;
+}
+
+let rcode_to_string = function
+  | 0 -> "NOERROR"
+  | 1 -> "FORMERR"
+  | 2 -> "SERVFAIL"
+  | 3 -> "NXDOMAIN"
+  | 4 -> "NOTIMP"
+  | 5 -> "REFUSED"
+  | n -> Printf.sprintf "RCODE%d" n
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let add16 b v =
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let add32 b v =
+  add16 b ((v lsr 16) land 0xffff);
+  add16 b (v land 0xffff)
+
+(* The first question's name always starts at offset 12 (right after the
+   header); repeated occurrences of that name compress to a pointer. *)
+let question_name_offset = 12
+
+let add_label_sequence b name =
+  if String.length name > 253 then invalid_arg "Dns: name too long";
+  if name <> "" && name <> "." then
+    List.iter
+      (fun label ->
+        let n = String.length label in
+        if n = 0 || n > 63 then invalid_arg "Dns: bad label length";
+        Buffer.add_char b (Char.chr n);
+        Buffer.add_string b label)
+      (String.split_on_char '.'
+         (if name.[String.length name - 1] = '.' then
+            String.sub name 0 (String.length name - 1)
+          else name));
+  Buffer.add_char b '\000'
+
+let add_name b ~qname name =
+  if name = qname && qname <> "" then
+    (* compression pointer: 0b11 in the top bits + 14-bit offset *)
+    add16 b (0xc000 lor question_name_offset)
+  else add_label_sequence b name
+
+let add_rdata b ~qname = function
+  | Addr quad -> (
+    match String.split_on_char '.' quad with
+    | [ a; b'; c; d ] -> (
+      match
+        (int_of_string_opt a, int_of_string_opt b', int_of_string_opt c,
+         int_of_string_opt d)
+      with
+      | Some a, Some b', Some c, Some d
+        when a land 0xff = a && b' land 0xff = b' && c land 0xff = c
+             && d land 0xff = d ->
+        List.iter (fun v -> Buffer.add_char b (Char.chr v)) [ a; b'; c; d ]
+      | _ -> invalid_arg ("Dns: bad dotted quad " ^ quad))
+    | _ -> invalid_arg ("Dns: bad dotted quad " ^ quad))
+  | Host n -> add_name b ~qname n
+  | Text t ->
+    let rec chunks off =
+      if off < String.length t || (off = 0 && t = "") then begin
+        let n = min 255 (String.length t - off) in
+        Buffer.add_char b (Char.chr n);
+        Buffer.add_substring b t off n;
+        if n > 0 then chunks (off + n)
+      end
+    in
+    chunks 0
+  | Raw s -> Buffer.add_string b s
+
+let add_rr b ~qname (rr : rr) =
+  add_name b ~qname rr.name;
+  add16 b (qtype_to_int rr.rtype);
+  add16 b 1 (* class IN *);
+  add32 b rr.ttl;
+  let rd = Buffer.create 16 in
+  add_rdata rd ~qname rr.rdata;
+  add16 b (Buffer.length rd);
+  Buffer.add_buffer b rd
+
+let encode (m : message) =
+  let b = Buffer.create 128 in
+  let h = m.header in
+  add16 b (h.id land 0xffff);
+  let flags =
+    ((if h.response then 1 else 0) lsl 15)
+    lor ((h.opcode land 0xf) lsl 11)
+    lor ((if h.authoritative then 1 else 0) lsl 10)
+    lor ((if h.truncated then 1 else 0) lsl 9)
+    lor ((if h.recursion_desired then 1 else 0) lsl 8)
+    lor ((if h.recursion_available then 1 else 0) lsl 7)
+    lor (h.rcode land 0xf)
+  in
+  add16 b flags;
+  add16 b (List.length m.questions);
+  add16 b (List.length m.answers);
+  add16 b (List.length m.authority);
+  add16 b (List.length m.additional);
+  let qname = match m.questions with q :: _ -> q.qname | [] -> "" in
+  List.iteri
+    (fun i q ->
+      (* only the first question sits at the known offset; later ones
+         (rare) are written in full *)
+      if i = 0 then add_label_sequence b q.qname
+      else add_name b ~qname:"" q.qname;
+      add16 b (qtype_to_int q.qtype);
+      add16 b 1)
+    m.questions;
+  List.iter (add_rr b ~qname) m.answers;
+  List.iter (add_rr b ~qname) m.authority;
+  List.iter (add_rr b ~qname) m.additional;
+  Buffer.contents b
+
+let query ~id ?(recursion_desired = true) name qtype =
+  {
+    header =
+      {
+        id;
+        response = false;
+        opcode = 0;
+        authoritative = false;
+        truncated = false;
+        recursion_desired;
+        recursion_available = false;
+        rcode = 0;
+      };
+    questions = [ { qname = name; qtype } ];
+    answers = [];
+    authority = [];
+    additional = [];
+  }
+
+let encode_query ~id ?recursion_desired name qtype =
+  encode (query ~id ?recursion_desired name qtype)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let get8 s i =
+  if i < 0 || i >= String.length s then raise (Bad "message truncated");
+  Char.code s.[i]
+
+let get16 s i = (get8 s i lsl 8) lor get8 s (i + 1)
+
+let get32 s i = (get16 s i lsl 16) lor get16 s (i + 2)
+
+(* Decode a (possibly compressed) name starting at [start].  Returns the
+   dotted name and the offset just past its occurrence at [start] — i.e.
+   past the first pointer if there was one.  Jump count is bounded, so a
+   pointer loop (or a long chain in a hostile message) is rejected
+   rather than spun on. *)
+let decode_name s start =
+  let labels = Buffer.create 32 in
+  let rec go i jumps resume =
+    if jumps > 32 then raise (Bad "compression pointer loop");
+    let len = get8 s i in
+    if len = 0 then match resume with Some r -> r | None -> i + 1
+    else if len land 0xc0 = 0xc0 then begin
+      let ptr = ((len land 0x3f) lsl 8) lor get8 s (i + 1) in
+      let resume = match resume with Some r -> Some r | None -> Some (i + 2) in
+      go ptr (jumps + 1) resume
+    end
+    else if len land 0xc0 <> 0 then raise (Bad "reserved label type")
+    else begin
+      if i + 1 + len > String.length s then raise (Bad "label overruns");
+      if Buffer.length labels > 0 then Buffer.add_char labels '.';
+      Buffer.add_string labels (String.sub s (i + 1) len);
+      if Buffer.length labels > 255 then raise (Bad "name too long");
+      go (i + 1 + len) jumps resume
+    end
+  in
+  let next = go start 0 None in
+  (Buffer.contents labels, next)
+
+let decode_rr s pos =
+  let name, pos = decode_name s pos in
+  let rtype = qtype_of_int (get16 s pos) in
+  let _class = get16 s (pos + 2) in
+  let ttl = get32 s (pos + 4) in
+  let rdlength = get16 s (pos + 8) in
+  let rd_start = pos + 10 in
+  if rd_start + rdlength > String.length s then raise (Bad "rdata overruns");
+  let rdata =
+    match rtype with
+    | A when rdlength = 4 ->
+      Addr
+        (Printf.sprintf "%d.%d.%d.%d" (get8 s rd_start)
+           (get8 s (rd_start + 1))
+           (get8 s (rd_start + 2))
+           (get8 s (rd_start + 3)))
+    | NS | CNAME | PTR ->
+      let n, _ = decode_name s rd_start in
+      Host n
+    | TXT ->
+      let b = Buffer.create rdlength in
+      let rec chunks i =
+        if i < rd_start + rdlength then begin
+          let n = get8 s i in
+          if i + 1 + n > rd_start + rdlength then
+            raise (Bad "txt chunk overruns");
+          Buffer.add_substring b s (i + 1) n;
+          chunks (i + 1 + n)
+        end
+      in
+      chunks rd_start;
+      Text (Buffer.contents b)
+    | _ -> Raw (String.sub s rd_start rdlength)
+  in
+  ({ name; rtype; ttl; rdata }, rd_start + rdlength)
+
+let decode s =
+  try
+    if String.length s < 12 then raise (Bad "shorter than a header");
+    let flags = get16 s 2 in
+    let header =
+      {
+        id = get16 s 0;
+        response = flags lsr 15 land 1 = 1;
+        opcode = flags lsr 11 land 0xf;
+        authoritative = flags lsr 10 land 1 = 1;
+        truncated = flags lsr 9 land 1 = 1;
+        recursion_desired = flags lsr 8 land 1 = 1;
+        recursion_available = flags lsr 7 land 1 = 1;
+        rcode = flags land 0xf;
+      }
+    in
+    let qd = get16 s 4 and an = get16 s 6 and ns = get16 s 8
+    and ar = get16 s 10 in
+    if qd + an + ns + ar > 256 then raise (Bad "absurd record counts");
+    let pos = ref 12 in
+    let questions =
+      List.init qd (fun _ ->
+          let qname, p = decode_name s !pos in
+          let qtype = qtype_of_int (get16 s p) in
+          let _class = get16 s (p + 2) in
+          pos := p + 4;
+          { qname; qtype })
+    in
+    let section n =
+      List.init n (fun _ ->
+          let rr, p = decode_rr s !pos in
+          pos := p;
+          rr)
+    in
+    let answers = section an in
+    let authority = section ns in
+    let additional = section ar in
+    Ok { header; questions; answers; authority; additional }
+  with Bad e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Resolver and toy server                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** A zone: name → dotted-quad address. *)
+type zone = (string * string) list
+
+module Make (Sock : Fox_proto.Socket.S) = struct
+  (** [resolve sock name] sends one A query and decodes the reply.
+      [sock] must be a UDP socket connected to the server: each
+      send/recv is one datagram. *)
+  let resolve ?(id = 0x1234) sock name =
+    Sock.send_string sock (encode_query ~id name A);
+    match Sock.recv_string sock with
+    | None -> Error "connection closed"
+    | Some reply -> (
+      match decode reply with
+      | Error e -> Error ("malformed reply: " ^ e)
+      | Ok m ->
+        if m.header.id <> id land 0xffff then Error "reply id mismatch"
+        else if not m.header.response then Error "reply is not a response"
+        else if m.header.rcode <> 0 then Error (rcode_to_string m.header.rcode)
+        else (
+          match
+            List.filter_map
+              (fun (rr : rr) ->
+                match rr.rdata with Addr a -> Some a | _ -> None)
+              m.answers
+          with
+          | [] -> Error "no A records in answer"
+          | addrs -> Ok addrs))
+
+  (** A toy authoritative server: answers A queries from [zone],
+      NXDOMAIN for unknown names, NOTIMP for non-A query types.  Serves
+      one peer socket until it goes away. *)
+  let serve_zone (zone : zone) sock =
+    let rec loop () =
+      match Sock.recv_string sock with
+      | None -> ()
+      | Some datagram ->
+        (match decode datagram with
+        | Error _ -> () (* garbage in, nothing out *)
+        | Ok q ->
+          let question = List.nth_opt q.questions 0 in
+          let answers, rcode =
+            match question with
+            | Some { qname; qtype = A } -> (
+              match List.assoc_opt qname zone with
+              | Some quad ->
+                ([ { name = qname; rtype = A; ttl = 300; rdata = Addr quad } ],
+                 0)
+              | None -> ([], 3 (* NXDOMAIN *)))
+            | Some _ -> ([], 4 (* NOTIMP *))
+            | None -> ([], 1 (* FORMERR *))
+          in
+          let reply =
+            {
+              header =
+                {
+                  q.header with
+                  response = true;
+                  authoritative = true;
+                  recursion_available = false;
+                  rcode;
+                };
+              questions = q.questions;
+              answers;
+              authority = [];
+              additional = [];
+            }
+          in
+          Sock.send_string sock (encode reply));
+        loop ()
+    in
+    try loop () with
+    | Fox_proto.Socket.Socket_error _ | Fox_proto.Common.Send_failed _ ->
+      Sock.abort sock
+end

@@ -1,0 +1,328 @@
+(** A minimal HTTP/1.1 static server (and the client used to test it).
+
+    Just enough of RFC 9112 to hold a real conversation with curl and a
+    browser: request-line and header parsing, [Content-Length] body
+    framing, keep-alive with pipelining, [GET]/[HEAD], and the 400/404/405
+    error paths.  No chunked transfer coding, no compression, no TLS.
+
+    All parsing is written against the buffered byte-stream reads of
+    {!Fox_proto.Socket.S} ([read_line] / [read_exactly]), so a request
+    split across two TCP segments and two pipelined requests arriving in
+    one segment parse identically — the application never observes
+    segment boundaries. *)
+
+type request = {
+  meth : string;
+  target : string;
+  version : string;
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+let header req name = List.assoc_opt (String.lowercase_ascii name) req.headers
+
+let reason_of_status = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 413 -> "Content Too Large"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | _ -> "Unknown"
+
+(* ------------------------------------------------------------------ *)
+(* Sites: what the server serves                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Site = struct
+  (** A site maps a request path to [(content_type, body)]. *)
+  type t = string -> (string * string) option
+
+  let content_type_of_path path =
+    match Filename.extension path with
+    | ".html" | ".htm" -> "text/html"
+    | ".txt" | ".md" -> "text/plain"
+    | ".css" -> "text/css"
+    | ".js" -> "text/javascript"
+    | ".json" -> "application/json"
+    | ".png" -> "image/png"
+    | ".jpg" | ".jpeg" -> "image/jpeg"
+    | ".svg" -> "image/svg+xml"
+    | _ -> "application/octet-stream"
+
+  (* Strip a query string and resolve "" / trailing "/" to index.html. *)
+  let canonical path =
+    let path =
+      match String.index_opt path '?' with
+      | Some q -> String.sub path 0 q
+      | None -> path
+    in
+    if path = "" || path.[String.length path - 1] = '/' then
+      path ^ "index.html"
+    else path
+
+  (** [of_pages pages] serves an in-memory list of
+      [(path, content_type, body)] pages. *)
+  let of_pages pages : t =
+   fun path ->
+    let path = canonical path in
+    List.find_map
+      (fun (p, ctype, body) -> if p = path then Some (ctype, body) else None)
+      pages
+
+  (** [of_dir root] serves files under directory [root].  Traversal is
+      confined: any [".."] component (or NUL) in the path is refused
+      before touching the filesystem. *)
+  let of_dir root : t =
+   fun path ->
+    let path = canonical path in
+    let unsafe =
+      String.contains path '\000'
+      || List.exists (fun c -> c = "..") (String.split_on_char '/' path)
+    in
+    if unsafe then None
+    else
+      let file = Filename.concat root (String.concat "" ["."; path]) in
+      match
+        if Sys.file_exists file && not (Sys.is_directory file) then (
+          let ic = open_in_bin file in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> Some (really_input_string ic (in_channel_length ic))))
+        else None
+      with
+      | Some body -> Some (content_type_of_path path, body)
+      | None -> None
+      | exception Sys_error _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Server and client                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** What [read_request] found on the wire. *)
+type parsed =
+  | Request of request
+  | Eof  (** clean end of stream between requests *)
+  | Bad of int * string  (** protocol error: status code + log detail *)
+
+let default_max_line = 8192
+
+let max_headers = 128
+
+let max_body = 1 lsl 20
+
+module Make (Sock : Fox_proto.Socket.S) = struct
+  (* ---------------- request parsing (server side) ----------------- *)
+
+  let parse_request_line line =
+    match String.split_on_char ' ' line with
+    | [ meth; target; version ]
+      when meth <> "" && target <> ""
+           && String.length version >= 5
+           && String.sub version 0 5 = "HTTP/" ->
+      Ok (meth, target, version)
+    | _ -> Error ("malformed request line: " ^ String.escaped line)
+
+  let parse_header line =
+    match String.index_opt line ':' with
+    | None | Some 0 -> Error ("malformed header: " ^ String.escaped line)
+    | Some colon ->
+      let name =
+        String.lowercase_ascii (String.trim (String.sub line 0 colon))
+      in
+      let value =
+        String.trim
+          (String.sub line (colon + 1) (String.length line - colon - 1))
+      in
+      Ok (name, value)
+
+  (** Read one full request (line, headers, Content-Length body) off the
+      socket.  Never raises for protocol-level garbage — that comes back
+      as [Bad] so the server can answer 400 before closing. *)
+  let read_request ?(max_line = default_max_line) sock =
+    match
+      (* skip the optional blank line(s) some clients send between
+         pipelined requests *)
+      let rec first_line n =
+        if n > 4 then None
+        else
+          match Sock.read_line ~max:max_line sock with
+          | Some "" -> first_line (n + 1)
+          | other -> other
+      in
+      first_line 0
+    with
+    | exception Fox_proto.Socket.Socket_error Fox_proto.Socket.Line_too_long
+      ->
+      Bad (400, "request line or header exceeds limit")
+    | None -> Eof
+    | Some line -> (
+      match parse_request_line line with
+      | Error e -> Bad (400, e)
+      | Ok (meth, target, version) -> (
+        let rec read_headers acc n =
+          if n > max_headers then Error (400, "too many headers")
+          else
+            match Sock.read_line ~max:max_line sock with
+            | exception
+                Fox_proto.Socket.Socket_error Fox_proto.Socket.Line_too_long
+              ->
+              Error (400, "header line exceeds limit")
+            | None -> Error (400, "eof inside headers")
+            | Some "" -> Ok (List.rev acc)
+            | Some line -> (
+              match parse_header line with
+              | Ok h -> read_headers (h :: acc) (n + 1)
+              | Error e -> Error (400, e))
+        in
+        match read_headers [] 0 with
+        | Error (status, e) -> Bad (status, e)
+        | Ok headers -> (
+          let req = { meth; target; version; headers; body = "" } in
+          if header req "transfer-encoding" <> None then
+            Bad (501, "transfer codings not implemented")
+          else
+            match header req "content-length" with
+            | None -> Request req
+            | Some v -> (
+              match int_of_string_opt (String.trim v) with
+              | None -> Bad (400, "malformed content-length")
+              | Some n when n < 0 -> Bad (400, "negative content-length")
+              | Some n when n > max_body -> Bad (413, "body too large")
+              | Some n -> (
+                match Sock.read_exactly sock n with
+                | None -> Eof (* peer died mid-body *)
+                | Some body -> Request { req with body })))))
+
+  (* ---------------- response writing ------------------------------ *)
+
+  let write_response sock ?(status = 200) ?(content_type = "text/plain")
+      ?(keep_alive = true) ?(head = false) body =
+    let b = Buffer.create (String.length body + 160) in
+    Printf.bprintf b "HTTP/1.1 %d %s\r\n" status (reason_of_status status);
+    Printf.bprintf b "Server: foxnet\r\n";
+    Printf.bprintf b "Content-Type: %s\r\n" content_type;
+    Printf.bprintf b "Content-Length: %d\r\n" (String.length body);
+    Printf.bprintf b "Connection: %s\r\n"
+      (if keep_alive then "keep-alive" else "close");
+    if status = 405 then Printf.bprintf b "Allow: GET, HEAD\r\n";
+    Buffer.add_string b "\r\n";
+    if not head then Buffer.add_string b body;
+    Sock.write_all sock (Buffer.contents b)
+
+  let error_body status detail =
+    Printf.sprintf "<html><body><h1>%d %s</h1><p>%s</p></body></html>\n"
+      status (reason_of_status status) detail
+
+  (* Does this request allow the connection to persist afterwards? *)
+  let wants_keep_alive req =
+    let default = req.version <> "HTTP/1.0" in
+    match header req "connection" with
+    | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "close" -> false
+      | "keep-alive" -> true
+      | _ -> default)
+    | None -> default
+
+  (* ---------------- the server loop ------------------------------- *)
+
+  (** [serve site sock] speaks HTTP/1.1 on [sock] until the peer closes,
+      errors, or sends [Connection: close].  Pipelining falls out of the
+      loop structure: each iteration parses exactly one request off the
+      buffered stream, so back-to-back requests in one segment are
+      answered back-to-back. *)
+  let serve ?(max_line = default_max_line) ?(log = fun _ -> ()) (site : Site.t)
+      sock =
+    let rec loop () =
+      match read_request ~max_line sock with
+      | Eof -> Sock.close sock
+      | Bad (status, detail) ->
+        log (Printf.sprintf "%d %s" status detail);
+        write_response sock ~status ~content_type:"text/html"
+          ~keep_alive:false
+          (error_body status detail);
+        Sock.close sock
+      | Request req ->
+        let keep_alive = wants_keep_alive req in
+        let head = req.meth = "HEAD" in
+        (match req.meth with
+        | "GET" | "HEAD" -> (
+          match site req.target with
+          | Some (content_type, body) ->
+            log (Printf.sprintf "200 %s %s" req.meth req.target);
+            write_response sock ~status:200 ~content_type ~keep_alive ~head
+              body
+          | None ->
+            log (Printf.sprintf "404 %s %s" req.meth req.target);
+            write_response sock ~status:404 ~content_type:"text/html"
+              ~keep_alive
+              (error_body 404 (String.escaped req.target)))
+        | m ->
+          log (Printf.sprintf "405 %s %s" m req.target);
+          write_response sock ~status:405 ~content_type:"text/html"
+            ~keep_alive
+            (error_body 405 (String.escaped m)));
+        if keep_alive then loop () else Sock.close sock
+    in
+    try loop () with
+    | Fox_proto.Socket.Socket_error _ | Fox_proto.Common.Send_failed _ ->
+      (* peer reset or vanished mid-exchange: release the connection *)
+      Sock.abort sock
+
+  (* ---------------- the client (tests and load generator) --------- *)
+
+  let write_request sock ?(meth = "GET") ?(headers = []) ?(body = "") target
+      =
+    let b = Buffer.create 128 in
+    Printf.bprintf b "%s %s HTTP/1.1\r\n" meth target;
+    List.iter (fun (n, v) -> Printf.bprintf b "%s: %s\r\n" n v) headers;
+    if body <> "" then
+      Printf.bprintf b "Content-Length: %d\r\n" (String.length body);
+    Buffer.add_string b "\r\n";
+    Buffer.add_string b body;
+    Sock.write_all sock (Buffer.contents b)
+
+  (** Read one response off the socket: [(status, headers, body)].
+      [None] on a clean EOF before the status line. *)
+  let read_response ?(head = false) sock =
+    match Sock.read_line ~max:default_max_line sock with
+    | None -> None
+    | Some status_line -> (
+      let status =
+        match String.split_on_char ' ' status_line with
+        | _ :: code :: _ -> (
+          match int_of_string_opt code with
+          | Some c -> c
+          | None -> invalid_arg ("bad status line: " ^ status_line))
+        | _ -> invalid_arg ("bad status line: " ^ status_line)
+      in
+      let rec read_headers acc =
+        match Sock.read_line ~max:default_max_line sock with
+        | None | Some "" -> List.rev acc
+        | Some line -> (
+          match parse_header line with
+          | Ok h -> read_headers (h :: acc)
+          | Error _ -> read_headers acc)
+      in
+      let headers = read_headers [] in
+      let content_length =
+        Option.bind
+          (List.assoc_opt "content-length" headers)
+          (fun v -> int_of_string_opt (String.trim v))
+      in
+      match content_length with
+      | Some n when not head -> (
+        match Sock.read_exactly sock n with
+        | Some body -> Some (status, headers, body)
+        | None -> None)
+      | _ -> Some (status, headers, ""))
+
+  (** [get sock target] = one request/response exchange on an open
+      (keep-alive) connection. *)
+  let get ?meth ?headers sock target =
+    write_request sock ?meth ?headers target;
+    read_response ?head:(Option.map (( = ) "HEAD") meth) sock
+end

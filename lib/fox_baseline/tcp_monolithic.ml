@@ -735,7 +735,7 @@ end = struct
     conn.rcv_nxt <- Seq.add hdr.Tcp_header.seq 1;
     conn.snd_wnd <- hdr.Tcp_header.window;
     conn.max_snd_wnd <- hdr.Tcp_header.window;
-    conn.mss <- max 64 (Aux.mtu lconn - 24);
+    conn.mss <- max 64 (Aux.mtu lconn - Tcp_header.min_length);
     (match hdr.Tcp_header.mss with
     | Some m -> conn.mss <- min conn.mss m
     | None -> ());
@@ -857,7 +857,7 @@ end = struct
       make_conn t ~host:peer ~local_port ~remote_port ~lower:lconn
         ~st:SYN_SENT ~iss:(fresh_iss t)
     in
-    conn.mss <- max 64 (Aux.mtu lconn - 24);
+    conn.mss <- max 64 (Aux.mtu lconn - Tcp_header.min_length);
     Hashtbl.replace t.conns (key peer local_port remote_port) conn;
     let data, status = handler conn in
     conn.data <- data;

@@ -8,18 +8,27 @@
     blocks (cooperatively) until one is available, and connection status
     transitions resolve pending reads to end-of-stream or errors.
 
+    On top of the raw packet mailbox sits a {e byte-stream} layer —
+    {!S.read_line}, {!S.read_exactly}, {!S.write_all} — with an internal
+    receive buffer, so applications written against it never observe
+    segment boundaries: a request line split across two segments, or two
+    pipelined requests arriving in one segment, parse identically.  This
+    framing contract is what the application layer ([Fox_app]) is written
+    against.
+
     This is also the shape of interface the paper's Section 6 gestures at
     when it mentions CML-style abstractions as future work for "use by
     functional programmers". *)
 
 open Fox_basis
 
-type error = Closed | Reset | Timed_out
+type error = Closed | Reset | Timed_out | Line_too_long
 
 let error_to_string = function
   | Closed -> "closed"
   | Reset -> "reset"
   | Timed_out -> "timed out"
+  | Line_too_long -> "line too long"
 
 exception Socket_error of error
 
@@ -57,32 +66,48 @@ module type CONNECTOR = sig
   val abort : connection -> unit
 end
 
-module Make (P : CONNECTOR) : sig
+(** The protocol-independent byte-stream operations — what applications
+    ([Fox_app]) are functorized over.  Any [Make (P)] instance satisfies
+    it, so the same application code serves over the simulated hub, the
+    TAP device, or any congestion-control variant of the stack. *)
+module type S = sig
   type t
 
-  (** [connect instance address] opens actively and returns once
-      established. *)
-  val connect : P.t -> P.address -> t
-
-  (** [listen instance pattern serve] accepts connections and forks one
-      scheduler thread per connection running [serve socket]. *)
-  val listen : P.t -> P.address_pattern -> (t -> unit) -> P.listener
-
   (** [recv sock] blocks until data arrives; [None] means the peer closed
-      its side (end of stream).  Raises [Socket_error] on reset/timeout. *)
+      its side (end of stream).  Raises [Socket_error] on reset/timeout.
+      Returns buffered bytes first, so it composes with the buffered
+      reads below. *)
   val recv : t -> Packet.t option
 
   (** [recv_string sock] is [recv] as a string. *)
   val recv_string : t -> string option
 
-  (** [recv_exactly sock n] accumulates exactly [n] bytes (or [None] if
-      the stream ends first). *)
+  (** [read_exactly sock n] accumulates exactly [n] bytes across as many
+      segments as needed ([None] if the stream ends first; surplus bytes
+      stay buffered for the next read).  [read_exactly sock 0] is
+      [Some ""]. *)
+  val read_exactly : t -> int -> string option
+
+  (** [recv_exactly] is the historical name of {!read_exactly}. *)
   val recv_exactly : t -> int -> string option
+
+  (** [read_line sock] accumulates up to the next ["\n"] and returns the
+      line without its terminator (["\r\n"] and ["\n"] both stripped).
+      [None] at a clean end of stream; a final unterminated line is
+      returned as-is.  If [max > 0] and no terminator appears within
+      [max] bytes, raises [Socket_error Line_too_long] — the guard
+      against a peer streaming an unbounded header line (the surplus
+      stays buffered; the caller decides whether to answer or abort). *)
+  val read_line : ?max:int -> t -> string option
+
+  (** [write_all sock s] queues all of [s], segmenting as needed (may
+      block on flow control). *)
+  val write_all : t -> string -> unit
 
   (** [send sock packet] queues data (may block on flow control). *)
   val send : t -> Packet.t -> unit
 
-  (** [send_string sock s] copies [s] into a fresh packet and sends. *)
+  (** [send_string sock s] is {!write_all}. *)
   val send_string : t -> string -> unit
 
   (** [close sock] closes the send side gracefully. *)
@@ -93,6 +118,18 @@ module Make (P : CONNECTOR) : sig
 
   (** [peer_closed sock] is true once EOF has been observed. *)
   val peer_closed : t -> bool
+end
+
+module Make (P : CONNECTOR) : sig
+  include S
+
+  (** [connect instance address] opens actively and returns once
+      established. *)
+  val connect : P.t -> P.address -> t
+
+  (** [listen instance pattern serve] accepts connections and forks one
+      scheduler thread per connection running [serve socket]. *)
+  val listen : P.t -> P.address_pattern -> (t -> unit) -> P.listener
 
   (** The underlying connection, for statistics. *)
   val connection : t -> P.connection
@@ -102,8 +139,10 @@ end = struct
   type t = {
     conn : P.connection;
     mailbox : item Fox_sched.Cond.t;
-    (* packets whose bytes were partially consumed by recv_exactly *)
-    mutable leftover : string option;
+    (* the receive buffer: bytes delivered but not yet consumed.
+       [rpos] indexes the first unconsumed byte of [rbuf]. *)
+    mutable rbuf : string;
+    mutable rpos : int;
     mutable eof_seen : bool;
     mutable failed : error option;
   }
@@ -111,6 +150,8 @@ end = struct
   let connection t = t.conn
 
   let peer_closed t = t.eof_seen
+
+  let buffered t = String.length t.rbuf - t.rpos
 
   let status_item = function
     | Status.Remote_close -> Some Eof
@@ -122,7 +163,7 @@ end = struct
   let make_handler cell conn =
     let mailbox = Fox_sched.Cond.create () in
     let sock =
-      { conn; mailbox; leftover = None; eof_seen = false; failed = None }
+      { conn; mailbox; rbuf = ""; rpos = 0; eof_seen = false; failed = None }
     in
     cell := Some sock;
     let data packet = Fox_sched.Cond.signal mailbox (Data packet) in
@@ -151,52 +192,127 @@ end = struct
         Fox_sched.Scheduler.fork (fun () -> serve sock);
         (data, status))
 
-  let rec recv t =
-    match t.leftover with
-    | Some s ->
-      t.leftover <- None;
-      Some (Packet.of_string s)
-    | None ->
-      if t.eof_seen then None
-      else (
-        match t.failed with
-        | Some e -> raise (Socket_error e)
-        | None -> (
-          match Fox_sched.Cond.wait t.mailbox with
-          | Data packet -> Some packet
-          | Eof ->
-            t.eof_seen <- true;
-            None
-          | Failed e ->
-            t.failed <- Some e;
-            recv t))
+  (* Pull the next segment into the receive buffer.  True if bytes became
+     available, false at end of stream; raises on a failed connection
+     (unless EOF was already seen — a clean close wins over the teardown
+     statuses that follow it). *)
+  let rec refill t =
+    if t.eof_seen then false
+    else (
+      match t.failed with
+      | Some e -> raise (Socket_error e)
+      | None -> (
+        match Fox_sched.Cond.wait t.mailbox with
+        | Data packet ->
+          let s = Packet.to_string packet in
+          t.rbuf <- s;
+          t.rpos <- 0;
+          (* zero-length segments (pure FINs are not data, but a peer may
+             send empty writes) carry no bytes: keep waiting *)
+          if String.length s = 0 then refill t else true
+        | Eof ->
+          t.eof_seen <- true;
+          false
+        | Failed e ->
+          t.failed <- Some e;
+          refill t))
 
-  let recv_string t = Option.map Packet.to_string (recv t)
+  (* Consume and return the whole receive buffer. *)
+  let take_buffered t =
+    let s = String.sub t.rbuf t.rpos (buffered t) in
+    t.rbuf <- "";
+    t.rpos <- 0;
+    s
 
-  let recv_exactly t n =
-    let buf = Buffer.create n in
+  let recv_string t =
+    if buffered t > 0 then Some (take_buffered t)
+    else if refill t then Some (take_buffered t)
+    else None
+
+  let recv t = Option.map Packet.of_string (recv_string t)
+
+  let read_exactly t n =
+    if n < 0 then invalid_arg "Socket.read_exactly: negative length";
+    let out = Buffer.create n in
     let rec go () =
-      if Buffer.length buf >= n then begin
-        let all = Buffer.contents buf in
-        if String.length all > n then
-          t.leftover <- Some (String.sub all n (String.length all - n));
-        Some (String.sub all 0 n)
-      end
-      else
-        match recv_string t with
-        | None -> None
-        | Some s ->
-          Buffer.add_string buf s;
+      let want = n - Buffer.length out in
+      if want = 0 then Some (Buffer.contents out)
+      else begin
+        let have = buffered t in
+        if have > 0 then begin
+          let take = min have want in
+          Buffer.add_substring out t.rbuf t.rpos take;
+          t.rpos <- t.rpos + take;
+          if buffered t = 0 then begin
+            t.rbuf <- "";
+            t.rpos <- 0
+          end;
           go ()
+        end
+        else if refill t then go ()
+        else None
+      end
+    in
+    go ()
+
+  let recv_exactly = read_exactly
+
+  let read_line ?(max = 0) t =
+    let out = Buffer.create 64 in
+    let rec go () =
+      let have = buffered t in
+      if have > 0 then begin
+        match String.index_from_opt t.rbuf t.rpos '\n' with
+        | Some nl ->
+          let line_len = nl - t.rpos in
+          if max > 0 && Buffer.length out + line_len > max then
+            raise (Socket_error Line_too_long);
+          Buffer.add_substring out t.rbuf t.rpos line_len;
+          t.rpos <- nl + 1;
+          if buffered t = 0 then begin
+            t.rbuf <- "";
+            t.rpos <- 0
+          end;
+          let line = Buffer.contents out in
+          let len = String.length line in
+          Some
+            (if len > 0 && line.[len - 1] = '\r' then String.sub line 0 (len - 1)
+             else line)
+        | None ->
+          if max > 0 && Buffer.length out + have > max then
+            raise (Socket_error Line_too_long);
+          Buffer.add_substring out t.rbuf t.rpos have;
+          t.rbuf <- "";
+          t.rpos <- 0;
+          if refill t then go ()
+          else if Buffer.length out > 0 then Some (Buffer.contents out)
+          else None
+      end
+      else if refill t then go ()
+      else if Buffer.length out > 0 then Some (Buffer.contents out)
+      else None
     in
     go ()
 
   let send t packet = P.send t.conn packet
 
-  let send_string t s =
-    let p = P.allocate_send t.conn (String.length s) in
-    Packet.blit_from_string s 0 p 0 (String.length s);
-    P.send t.conn p
+  (* Bound per-packet allocation: very long writes are split before the
+     send queue, so one [write_all] of a large response body does not
+     pin one giant buffer. *)
+  let write_chunk = 8192
+
+  let write_all t s =
+    let len = String.length s in
+    let off = ref 0 in
+    while !off < len do
+      let n = min write_chunk (len - !off) in
+      let p = P.allocate_send t.conn n in
+      Packet.blit_from_string s !off p 0 n;
+      P.send t.conn p;
+      off := !off + n
+    done
+
+  let send_string = write_all
 
   let close t = P.close t.conn
 

@@ -320,6 +320,13 @@ end = struct
      buffers never reallocate on the fast path. *)
   let tcp_headroom = 24
 
+  (* The fixed TCP header on every data segment.  The MSS we advertise is
+     [mtu - tcp_fixed_header], NOT [mtu - tcp_headroom]: the 4 bytes of
+     option slack in [tcp_headroom] exist only on SYNs, and subtracting
+     them from the MSS made every full-sized data segment under-fill the
+     MTU by 4 bytes. *)
+  let tcp_fixed_header = Tcp_header.min_length
+
   (* A half-open connection held compactly: everything the handshake ACK
      needs to build the real TCB, a few dozen bytes instead of a [Tcb]
      with its queues.  This is what a SYN flood pins. *)
@@ -996,7 +1003,7 @@ end = struct
       Packet.release seg.Tcb.data
     end
     else begin
-      let mss = max 64 (Aux.mtu lconn - tcp_headroom) in
+      let mss = max 64 (Aux.mtu lconn - tcp_fixed_header) in
       let state =
         State.promote_passive runtime_params ~iss ~irs ~mss ~peer_mss
           ~wnd:hdr.Tcp_header.window
@@ -1081,10 +1088,10 @@ end = struct
         e.sc_created <- now;
         send_synack_on t ~lconn ~lower_send ~src_port:local_port
           ~dst_port:remote_port ~iss:e.sc_iss ~irs:e.sc_irs
-          ~adv_mss:(max 64 (Aux.mtu lconn - tcp_headroom));
+          ~adv_mss:(max 64 (Aux.mtu lconn - tcp_fixed_header));
         Packet.release seg.Tcb.data
       | None ->
-        let adv_mss = max 64 (Aux.mtu lconn - tcp_headroom) in
+        let adv_mss = max 64 (Aux.mtu lconn - tcp_fixed_header) in
         if
           (Params.listen_backlog = 0
           || List.length listener.l_syn_cache < Params.listen_backlog)
@@ -1134,7 +1141,7 @@ end = struct
       Packet.release seg.Tcb.data
     end
     else begin
-      let mss = max 64 (Aux.mtu lconn - tcp_headroom) in
+      let mss = max 64 (Aux.mtu lconn - tcp_fixed_header) in
       let state =
         State.passive_open runtime_params ~iss:(fresh_iss t) ~mss ~syn:seg ~now
       in
@@ -1258,7 +1265,7 @@ end = struct
            (Printf.sprintf "tcp: %s:%d from port %d already open"
               (Aux.to_string peer) remote_port local_port));
     let lconn = lower_conn_for t peer in
-    let mss = max 64 (Aux.mtu lconn - tcp_headroom) in
+    let mss = max 64 (Aux.mtu lconn - tcp_fixed_header) in
     let now = Fox_sched.Scheduler.now () in
     let state = State.active_open runtime_params ~iss:(fresh_iss t) ~mss ~now in
     let conn =

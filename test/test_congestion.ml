@@ -19,18 +19,24 @@ module Scenarios = Fox_check.Scenarios
 (* ------------------------------------------------------------------ *)
 
 (* MD5 of [Fuzz.trace_of_seed ~seed] for seeds 0-9, captured on the
-   monolithic (pre-CONGESTION-functor) engine. *)
+   monolithic (pre-CONGESTION-functor) engine.
+
+   Re-baselined once (PR 8): the advertised MSS changed from
+   [mtu - 24] to the correct [mtu - 20] in both engines (the 24
+   included SYN-only option slack, so full data segments under-filled
+   the MTU by 4 bytes).  Seeds 1, 4, 5 and 8 — the schedules with
+   chunks longer than one segment — moved; the others are unchanged. *)
 let pre_refactor_digests =
   [
     (0, "9ae8b65b0e7413bdc422bf967302c6ab");
-    (1, "738f9da4637b9b35b92dc9ff354bbb71");
+    (1, "f33b8230f96682c3d7488c7daa2dc46c");
     (2, "32d4a298c2145b76aac8313bd6a78d7b");
     (3, "dc5eddd9c26cf9a68e81ac0e12bf880e");
-    (4, "7f70a308191ac94a96b898fb9168683d");
-    (5, "c5d4fc886f4d8f3ed99185018dc3b15e");
+    (4, "bb03d9b6dc854967fb02513c5f3321a0");
+    (5, "2fdb5c18768e665f3dcc7cdd263029e5");
     (6, "632ef449cb911f3f98d64c3ba46f64b7");
     (7, "72aeca8b012df44f1456863e7018e3b6");
-    (8, "c86211818e6c5ef39f45b4596e7b8e12");
+    (8, "385a1b1fec6d94e8a77c7432620a925d");
     (9, "e1ed01dbb39899e12295044a22156dd7");
   ]
 
