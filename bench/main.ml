@@ -1013,6 +1013,121 @@ let bench_serve () =
   print_endline "\nwrote BENCH_pr8.json"
 
 (* ------------------------------------------------------------------ *)
+(* Sharded engine scaling: serve and soak across OCaml domains         *)
+(* ------------------------------------------------------------------ *)
+
+(* The PR 9 standing benchmark.  The 1k-connection serve workload runs
+   at 1, 2, 4 and 8 shards — each shard a complete client/server world
+   on its own domain, the fleet partitioned by connection — and the
+   overload soak runs 10k connections across 4 shards.  Requests/second
+   is total completed work over the slowest shard's virtual elapsed
+   (the shards execute concurrently, so the slowest one is the critical
+   path); wall seconds and the host's core count are reported alongside
+   because virtual-time scaling only turns into wall-clock scaling when
+   the machine actually has the cores. *)
+let bench_shards () =
+  section "Sharded engine: serve and soak scaling across domains";
+  let module Load = Fox_check.Load in
+  let module Soak = Fox_check.Soak in
+  Printf.printf
+    "http serving, 1000 clients x 5 exchanges x 1024B over the gigabit\n\
+     hub, fleet partitioned across N engine shards (one domain each);\n\
+     then a 10k-connection overload soak on 4 shards.  Host has %d\n\
+     core(s).\n\n"
+    (Domain.recommended_domain_count ());
+  let base =
+    {
+      Load.default_config with
+      Load.conns = 1000;
+      requests = 5;
+      payload = 1024;
+      ramp_us = 0;
+      gigabit = true;
+    }
+  in
+  let serve_row shards =
+    let r = Load.run { base with Load.shards } in
+    Printf.printf
+      "  shards %d: %4d/%-4d requests, %8.0f req/s, %6.0f conns/s \
+       (%.3fs virtual, %.2fs wall)\n%!"
+      shards r.Load.requests_ok r.Load.requests_attempted r.Load.reqs_per_sec
+      (float_of_int r.Load.conns /. (float_of_int r.Load.elapsed_us /. 1e6))
+      (float_of_int r.Load.elapsed_us /. 1e6)
+      r.Load.wall_s;
+    r
+  in
+  let rows = List.map serve_row [ 1; 2; 4; 8 ] in
+  let soak_cfg =
+    {
+      Soak.default_config with
+      Soak.conns = 10_000;
+      bytes_per_conn = 512;
+      shards = 4;
+      (* scale run: overload comes from the SYN flood and queue
+         contention; random loss recovery is the soak matrix's job *)
+      loss = 0.0;
+    }
+  in
+  let w0 = Unix.gettimeofday () in
+  let soak = Soak.run soak_cfg in
+  let soak_wall = Unix.gettimeofday () -. w0 in
+  Printf.printf
+    "\n  soak: %d/%d conns over %d shards, %d invariant faults, %d leaked \
+     buffers (%.2fs wall)\n"
+    soak.Soak.completed soak.Soak.conns soak_cfg.Soak.shards
+    (List.length soak.Soak.invariant_faults)
+    soak.Soak.leaked_packets soak_wall;
+  let oc = open_out "BENCH_pr9.json" in
+  let row_json (r : Load.result) =
+    Printf.sprintf
+      "{\"shards\": %d, \"requests_ok\": %d, \"requests_attempted\": %d, \
+       \"conn_errors\": %d, \"reqs_per_sec\": %.1f, \"conns_per_sec\": \
+       %.1f, \"p50_us\": %d, \"p99_us\": %d, \"virtual_s\": %.3f, \
+       \"wall_s\": %.3f}"
+      r.Load.shards r.Load.requests_ok r.Load.requests_attempted
+      r.Load.conn_errors r.Load.reqs_per_sec
+      (float_of_int r.Load.conns /. (float_of_int r.Load.elapsed_us /. 1e6))
+      r.Load.p50_us r.Load.p99_us
+      (float_of_int r.Load.elapsed_us /. 1e6)
+      r.Load.wall_s
+  in
+  let speedup_vs_1 r =
+    match rows with
+    | r1 :: _ -> r.Load.reqs_per_sec /. r1.Load.reqs_per_sec
+    | [] -> 1.0
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"pr9_sharded_engine\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"serve\": {\n\
+    \    \"workload\": \"http, 1000 conns x 5 requests x 1024B, gigabit \
+     hub\",\n\
+    \    \"metric\": \"requests_ok / max per-shard virtual elapsed\",\n\
+    \    \"rows\": [\n      %s\n    ],\n\
+    \    \"speedup\": {%s}\n\
+    \  },\n\
+    \  \"soak_10k\": {\"conns\": %d, \"shards\": %d, \"completed\": %d, \
+     \"connect_failures\": %d, \"invariant_faults\": %d, \
+     \"leaked_packets\": %d, \"flood_sent\": %d, \"wall_s\": %.3f, \
+     \"fingerprint\": \"%s\"}\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n      " (List.map row_json rows))
+    (String.concat ", "
+       (List.map
+          (fun r ->
+            Printf.sprintf "\"x%d\": %.2f" r.Load.shards (speedup_vs_1 r))
+          rows))
+    soak.Soak.conns soak_cfg.Soak.shards soak.Soak.completed
+    soak.Soak.connect_failures
+    (List.length soak.Soak.invariant_faults)
+    soak.Soak.leaked_packets soak.Soak.flood_sent soak_wall
+    soak.Soak.fingerprint;
+  close_out oc;
+  print_endline "\nwrote BENCH_pr9.json"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   match Sys.argv with
@@ -1020,6 +1135,7 @@ let () =
   | [| _; "soak" |] -> bench_soak ()
   | [| _; "table1" |] -> table1_headline ()
   | [| _; "serve" |] -> bench_serve ()
+  | [| _; "shards" |] -> bench_shards ()
   | [| _ |] ->
     Printf.printf
       "Fox Net benchmark harness — reproduces the evaluation of\n\
@@ -1038,5 +1154,5 @@ let () =
     bench_serve ();
     Printf.printf "\n%s\ndone.\n" line
   | _ ->
-    prerr_endline "usage: main [fastpath|soak|table1|serve]";
+    prerr_endline "usage: main [fastpath|soak|table1|serve|shards]";
     exit 2

@@ -61,13 +61,70 @@ let transfer_cc cc bytes loss seed =
     (float_of_int r.Scenarios.end_time /. 1e6)
     r.Scenarios.aggregate_goodput_mbps cc r.Scenarios.retransmissions
 
-let transfer bytes loss seed decstation baseline offload pool cc =
+(* Sharded transfer: one independent flow per shard, each a complete
+   two-host world on its own domain (per-shard netem seed), reporting
+   per-shard and aggregate goodput.  The aggregate divides by the
+   slowest shard's virtual elapsed — the shards run concurrently. *)
+let transfer_sharded bytes loss seed decstation offload pool shards =
+  let module Packet = Fox_basis.Packet in
+  let cost = if decstation then Some Cost_model.fox else None in
+  let saved_offload = !Packet.offload_enabled in
+  let saved_pool = !Packet.pool_enabled in
+  Packet.offload_enabled := offload;
+  Packet.pool_enabled := pool;
+  let results =
+    Fun.protect
+      ~finally:(fun () ->
+        Packet.offload_enabled := saved_offload;
+        Packet.pool_enabled := saved_pool)
+      (fun () ->
+        Fox_shard.Shard.run ~shards (fun k ->
+            let _, sender, receiver =
+              Network.pair ~engine:Network.Fox ?cost
+                ~netem:(netem_of loss (seed + (k * 9176)))
+                ()
+            in
+            Experiments.Fox_run.transfer ~sender ~receiver ~bytes ()))
+  in
+  let open Experiments in
+  Array.iteri
+    (fun k r ->
+      Printf.printf
+        "shard %d: %d bytes in %.3f s (virtual) = %.3f Mb/s; %d segments, \
+         %d rtx\n"
+        k r.bytes
+        (float_of_int r.elapsed_us /. 1e6)
+        r.throughput_mbps r.sender_segments r.retransmissions)
+    results;
+  let total = Array.fold_left (fun acc r -> acc + r.bytes) 0 results in
+  let slowest =
+    Array.fold_left (fun acc r -> max acc r.elapsed_us) 1 results
+  in
+  Printf.printf
+    "aggregate: %d bytes over %d shards in %.3f s (virtual, slowest shard) \
+     = %.3f Mb/s\n"
+    total shards
+    (float_of_int slowest /. 1e6)
+    (float_of_int (total * 8) /. float_of_int slowest)
+
+let transfer bytes loss seed decstation baseline offload pool cc shards =
   validate_cc cc;
   if cc <> "reno" && baseline then begin
     Printf.eprintf "--cc applies to the structured engine only\n";
     exit 2
   end;
-  if cc <> "reno" then transfer_cc cc bytes loss seed
+  if shards > 1 then begin
+    if baseline then begin
+      Printf.eprintf "--shards applies to the structured engine only\n";
+      exit 2
+    end;
+    if cc <> "reno" then begin
+      Printf.eprintf "--shards transfer drives the standard Reno stack\n";
+      exit 2
+    end;
+    transfer_sharded bytes loss seed decstation offload pool shards
+  end
+  else if cc <> "reno" then transfer_cc cc bytes loss seed
   else begin
   let engine = if baseline then Network.Baseline else Network.Fox in
   let cost =
@@ -256,7 +313,8 @@ let fuzz seed iters verbose cc matrix mutate =
 
 (* ---------------- soak (deterministic overload survival) ---------------- *)
 
-let soak conns conn_bytes flood bad_acks seed loss heap verbose cc matrix =
+let soak conns conn_bytes flood bad_acks seed loss heap verbose cc matrix
+    shards =
   validate_cc cc;
   let module Soak = Fox_check.Soak in
   let cfg =
@@ -270,14 +328,18 @@ let soak conns conn_bytes flood bad_acks seed loss heap verbose cc matrix =
       loss;
       wheel = not heap;
       cc;
+      shards;
     }
   in
   let log = if verbose then print_endline else fun _ -> () in
   let run_one cfg =
     Printf.printf
-      "soak: %d conns x %dB, flood %d SYNs + %d forged ACKs, loss %.2f, seed \
-       %d, %s timers, cc %s (runs twice for determinism)\n%!"
-      conns conn_bytes flood bad_acks loss seed
+      "soak: %d conns x %dB over %d shard%s, flood %d SYNs + %d forged \
+       ACKs, loss %.2f, seed %d, %s timers, cc %s (runs twice for \
+       determinism)\n%!"
+      conns conn_bytes shards
+      (if shards = 1 then "" else "s")
+      flood bad_acks loss seed
       (if heap then "heap" else "wheel")
       cfg.Soak.cc;
     let report, problems = Soak.check ~log cfg in
@@ -439,10 +501,12 @@ module Load = Fox_check.Load
    connections against the in-process server, under virtual time. *)
 let serve_hub app (cfg : Load.config) =
   Printf.printf
-    "serve: %s, %d conns x %d requests x %dB over the %s hub (loss %.2f, \
-     reorder %.2f, seed %d)\n%!"
+    "serve: %s, %d conns x %d requests x %dB over the %s hub, %d shard%s \
+     (loss %.2f, reorder %.2f, seed %d)\n%!"
     (Load.app_to_string app) cfg.Load.conns cfg.Load.requests cfg.Load.payload
     (if cfg.Load.gigabit then "1 Gb/s" else "10 Mb/s")
+    cfg.Load.shards
+    (if cfg.Load.shards = 1 then "" else "s")
     cfg.Load.loss cfg.Load.reorder cfg.Load.seed;
   let r, problems = Load.check cfg in
   print_endline (Load.result_to_string r);
@@ -455,11 +519,13 @@ let serve_hub app (cfg : Load.config) =
 (* TUN mode: the same applications, served over a TAP device to the real
    kernel — curl is the intended peer.  Exits 0 with a message when no
    TAP device can be opened (CI without /dev/net/tun). *)
-let serve_tun app port duration check =
+let serve_tun app port duration check shards =
   let module Stack = Fox_stack.Stack in
   let module Tun = Fox_tun.Tun in
   let module Device = Fox_dev.Device in
   let module Ipv4_addr = Fox_ip.Ipv4_addr in
+  let module Packet = Fox_basis.Packet in
+  let module Mailbox = Fox_shard.Mailbox in
   let module App_http = Fox_app.Http.Make (Stack.Tcp_socket) in
   let module App_classic = Fox_app.Classic.Make (Stack.Tcp_socket) in
   let kernel_ip = "10.99.0.1" in
@@ -474,26 +540,76 @@ let serve_tun app port duration check =
       exit 0
   in
   Tun.configure tap ~ip:kernel_ip ~prefix:24;
-  let dev = Device.create ~name:(Tun.name tap) ~mtu:1514 (Tun.port tap) in
-  let eth =
-    Stack.Eth.create dev ~mac:(Fox_eth.Mac.of_string "02:f0:0d:00:00:02")
+  let tun_port = Tun.port tap in
+  (* Cross-shard plumbing.  Shard 0 owns the TAP: its idle hook pumps the
+     device, and its receive path classifies every frame by 4-tuple —
+     own frames are delivered in place, another shard's frames cross as
+     byte copies through that shard's bounded mailbox (overflow = a
+     counted drop, i.e. an Ethernet drop the protocols recover from),
+     and non-TCP frames (ARP!) are broadcast so every shard's ARP cache
+     learns the kernel's address.  Every shard transmits through the one
+     fd — a TAP write takes a whole frame, serialized by a mutex. *)
+  let tx_lock = Mutex.create () in
+  let locked_transmit packet =
+    Mutex.lock tx_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock tx_lock)
+      (fun () -> tun_port.Fox_dev.Link.transmit packet)
   in
-  let arp = Stack.Arp.create eth ~local_ip:(Ipv4_addr.of_string fox_ip) () in
-  let marp = Stack.Metered_arp.create arp Fox_proto.Meter.silent in
-  let ip =
-    Stack.Ip.create marp
+  let mailboxes = Array.init shards (fun _ -> Mailbox.create ~capacity:1024) in
+  (* per-shard (handler, scheduler-side inbox): the mailbox is fed from
+     shard 0's domain, the inbox re-enters the frame inside the owning
+     shard's scheduler (same shape as Tun's own delivery thread) *)
+  let inboxes = Array.make shards None in
+  let port_for k =
+    if k = 0 then
       {
-        Stack.Ip.local_ip = Ipv4_addr.of_string fox_ip;
-        route =
-          Fox_ip.Route.local ~network:(Ipv4_addr.of_string "10.99.0.0")
-            ~prefix:24;
-        lower_address = Fun.id;
-        lower_pattern = ();
+        Fox_dev.Link.transmit =
+          (if shards = 1 then tun_port.Fox_dev.Link.transmit
+           else locked_transmit);
+        set_receive =
+          (fun h ->
+            tun_port.Fox_dev.Link.set_receive (fun packet ->
+                if shards = 1 then h packet
+                else
+                  match Fox_shard.Shard.classify ~shards packet with
+                  | Fox_shard.Shard.Shard 0 -> h packet
+                  | Fox_shard.Shard.Shard owner ->
+                    ignore
+                      (Mailbox.push mailboxes.(owner)
+                         (Packet.to_string packet));
+                    Packet.release packet
+                  | Fox_shard.Shard.All ->
+                    let bytes = Packet.to_string packet in
+                    for j = 1 to shards - 1 do
+                      ignore (Mailbox.push mailboxes.(j) bytes)
+                    done;
+                    h packet));
+      }
+    else
+      {
+        Fox_dev.Link.transmit = locked_transmit;
+        set_receive =
+          (fun h -> inboxes.(k) <- Some (h, Fox_sched.Cond.create ()));
       }
   in
-  let pip = Stack.Probed_ip.create ip ~name:"ip.tap" () in
-  let mip = Stack.Metered_ip.create pip Fox_proto.Meter.silent in
-  let tcp = Stack.Tcp.create mip in
+  let idle_for k until =
+    if k = 0 then Tun.idle_hook tap until
+    else
+      let timeout_us =
+        match until with Some us -> min us 20_000 | None -> 20_000
+      in
+      match inboxes.(k) with
+      | None -> Unix.sleepf (float_of_int timeout_us /. 1e6)
+      | Some (_, inbox) -> (
+        match Mailbox.pop_timeout mailboxes.(k) ~timeout_us with
+        | None -> ()
+        | Some first ->
+          Fox_sched.Cond.signal inbox (Packet.of_string first);
+          List.iter
+            (fun s -> Fox_sched.Cond.signal inbox (Packet.of_string s))
+            (Mailbox.drain mailboxes.(k)))
+  in
   let site =
     Fox_app.Http.Site.of_pages
       [
@@ -566,36 +682,100 @@ let serve_tun app port duration check =
     Buffer.contents out
   in
   let ok = ref true in
+  let stop_flag = Atomic.make false in
   let _ =
-    Scheduler.run ~realtime:true ~idle:(Tun.idle_hook tap) (fun () ->
-        Tun.start tap;
-        ignore
-          (Stack.Tcp_socket.listen tcp { Stack.Tcp.local_port = port } serve);
-        Printf.printf
-          "serving %s on %s:%d over TAP %s (kernel side %s)\n\
-           try:  curl http://%s:%d/index.html\n\
-           %!"
-          (Load.app_to_string app) fox_ip port (Tun.name tap) kernel_ip
-          fox_ip port;
-        if check then begin
-          let response = kernel_check () in
-          let first_line =
-            match String.index_opt response '\r' with
-            | Some i -> String.sub response 0 i
-            | None -> response
-          in
-          Printf.printf "kernel client got: %s (%d bytes)\n" first_line
-            (String.length response);
-          ok :=
-            String.length response >= 15
-            && String.sub response 0 15 = "HTTP/1.1 200 OK"
-            && String.length response > 100;
-          ignore (Scheduler.stop ())
-        end
-        else if duration > 0 then begin
-          Scheduler.sleep (duration * 1_000_000);
-          ignore (Scheduler.stop ())
-        end)
+    Fox_shard.Shard.run ~shards (fun k ->
+        (* one full stack per shard, all sharing the interface's MAC and
+           IP — the kernel sees one host; the 4-tuple router decides
+           which shard's engine owns each connection *)
+        let dev = Device.create ~name:(Tun.name tap) ~mtu:1514 (port_for k) in
+        let eth =
+          Stack.Eth.create dev
+            ~mac:(Fox_eth.Mac.of_string "02:f0:0d:00:00:02")
+        in
+        let arp =
+          Stack.Arp.create eth ~local_ip:(Ipv4_addr.of_string fox_ip) ()
+        in
+        let marp = Stack.Metered_arp.create arp Fox_proto.Meter.silent in
+        let ip =
+          Stack.Ip.create marp
+            {
+              Stack.Ip.local_ip = Ipv4_addr.of_string fox_ip;
+              route =
+                Fox_ip.Route.local ~network:(Ipv4_addr.of_string "10.99.0.0")
+                  ~prefix:24;
+              lower_address = Fun.id;
+              lower_pattern = ();
+            }
+        in
+        let pip =
+          Stack.Probed_ip.create ip
+            ~name:
+              (if shards = 1 then "ip.tap"
+               else Printf.sprintf "ip.tap.%d" k)
+            ()
+        in
+        let mip = Stack.Metered_ip.create pip Fox_proto.Meter.silent in
+        let tcp = Stack.Tcp.create mip in
+        Scheduler.run ~realtime:true ~idle:(idle_for k) (fun () ->
+            if k = 0 then Tun.start tap
+            else
+              (* this shard's delivery thread: frames the idle hook moved
+                 into the inbox re-enter here, in thread context *)
+              Scheduler.fork (fun () ->
+                  let rec deliver () =
+                    (match inboxes.(k) with
+                    | Some (h, inbox) -> h (Fox_sched.Cond.wait inbox)
+                    | None -> ());
+                    deliver ()
+                  in
+                  deliver ());
+            ignore
+              (Stack.Tcp_socket.listen tcp { Stack.Tcp.local_port = port }
+                 serve);
+            if k = 0 then begin
+              Printf.printf
+                "serving %s on %s:%d over TAP %s (kernel side %s), %d \
+                 shard%s\n\
+                 try:  curl http://%s:%d/index.html\n\
+                 %!"
+                (Load.app_to_string app) fox_ip port (Tun.name tap) kernel_ip
+                shards
+                (if shards = 1 then "" else "s")
+                fox_ip port;
+              if check then begin
+                let response = kernel_check () in
+                let first_line =
+                  match String.index_opt response '\r' with
+                  | Some i -> String.sub response 0 i
+                  | None -> response
+                in
+                Printf.printf "kernel client got: %s (%d bytes)\n" first_line
+                  (String.length response);
+                ok :=
+                  String.length response >= 15
+                  && String.sub response 0 15 = "HTTP/1.1 200 OK"
+                  && String.length response > 100;
+                Atomic.set stop_flag true;
+                ignore (Scheduler.stop ())
+              end
+              else if duration > 0 then begin
+                Scheduler.sleep (duration * 1_000_000);
+                Atomic.set stop_flag true;
+                ignore (Scheduler.stop ())
+              end
+            end
+            else if check || duration > 0 then begin
+              (* stop when shard 0 declares the run over *)
+              let rec watch () =
+                if Atomic.get stop_flag then ignore (Scheduler.stop ())
+                else begin
+                  Scheduler.sleep 100_000;
+                  watch ()
+                end
+              in
+              watch ()
+            end))
   in
   let rx, tx = Tun.stats tap in
   Printf.printf "TAP frames: %d from kernel, %d from the stack\n" rx tx;
@@ -608,14 +788,14 @@ let serve_tun app port duration check =
     end
 
 let serve app_name conns requests payload ramp loss reorder seed ethernet tun
-    port duration check =
+    port duration check shards =
   match Load.app_of_string app_name with
   | None ->
     Printf.eprintf "unknown app %s (have: http, echo, chargen, discard)\n"
       app_name;
     exit 2
   | Some app ->
-    if tun then serve_tun app port duration check
+    if tun then serve_tun app port duration check shards
     else
       serve_hub app
         {
@@ -628,6 +808,7 @@ let serve app_name conns requests payload ramp loss reorder seed ethernet tun
           reorder;
           seed;
           gigabit = not ethernet;
+          shards;
         }
 
 (* ---------------- dig (DNS over UDP) ---------------- *)
@@ -719,6 +900,15 @@ let cc_arg =
     & opt string "reno"
     & info [ "cc" ] ~doc:"Congestion control: reno|newreno|cubic|bbr.")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ]
+        ~doc:
+          "Engine shards: partition the workload by connection across N \
+           shards, one OCaml domain each (1 = single-threaded, \
+           bit-for-bit the unsharded run).")
+
 let matrix_flag =
   Arg.(
     value & flag
@@ -729,7 +919,7 @@ let transfer_cmd =
     (Cmd.info "transfer" ~doc:"One-way TCP throughput run")
     Term.(
       const transfer $ bytes $ loss $ seed $ decstation $ baseline $ offload
-      $ pool $ cc_arg)
+      $ pool $ cc_arg $ shards_arg)
 
 let ping_cmd =
   Cmd.v
@@ -825,7 +1015,7 @@ let soak_cmd =
           run replays bit-identically from its seed")
     Term.(
       const soak $ conns $ conn_bytes $ flood $ bad_acks $ seed $ soak_loss
-      $ heap $ verbose $ cc_arg $ matrix_flag)
+      $ heap $ verbose $ cc_arg $ matrix_flag $ shards_arg)
 
 let mutate_flag =
   Arg.(
@@ -955,7 +1145,7 @@ let serve_cmd =
     Term.(
       const serve $ app_arg $ serve_conns $ serve_requests $ serve_payload
       $ serve_ramp $ serve_loss $ serve_reorder $ seed $ ethernet_flag
-      $ tun_flag $ serve_port $ serve_duration $ check_flag)
+      $ tun_flag $ serve_port $ serve_duration $ check_flag $ shards_arg)
 
 let dig_name =
   Arg.(

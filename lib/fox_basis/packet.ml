@@ -47,17 +47,33 @@ let max_pooled = class_size (classes - 1)
 
 let class_cap = 256 (* buffers kept per class *)
 
-let free : Bytes.t list array = Array.make classes []
+(* The pool is domain-local: a buffer allocated on one shard is released
+   on the same shard (packets never migrate between shard worlds), so
+   free lists need no locks, and the leak accounting [live_packets]
+   brackets the calling domain's own traffic.  A pooled [Bytes.t] handed
+   between domains would also defeat minor-heap locality, so per-domain
+   pools are what we would want even if the lists were lock-free. *)
+type pool = {
+  free : Bytes.t list array;
+  free_count : int array;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
+  mutable pool_recycled : int;
+  mutable pool_dropped : int;
+  mutable live_count : int;
+}
 
-let free_count = Array.make classes 0
-
-let pool_hits = ref 0
-
-let pool_misses = ref 0
-
-let pool_recycled = ref 0
-
-let pool_dropped = ref 0
+let pool_key : pool Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        free = Array.make classes [];
+        free_count = Array.make classes 0;
+        pool_hits = 0;
+        pool_misses = 0;
+        pool_recycled = 0;
+        pool_dropped = 0;
+        live_count = 0;
+      })
 
 let class_for_total total =
   if total > max_pooled then None
@@ -79,30 +95,30 @@ let class_of_exact size =
 
 let alloc_buf total =
   if not !pool_enabled then Bytes.make total '\000'
-  else
+  else begin
+    let pl = Domain.DLS.get pool_key in
     match class_for_total total with
     | None ->
-      incr pool_misses;
+      pl.pool_misses <- pl.pool_misses + 1;
       Bytes.make total '\000'
     | Some c -> (
-      match free.(c) with
+      match pl.free.(c) with
       | b :: rest ->
-        free.(c) <- rest;
-        free_count.(c) <- free_count.(c) - 1;
-        incr pool_hits;
+        pl.free.(c) <- rest;
+        pl.free_count.(c) <- pl.free_count.(c) - 1;
+        pl.pool_hits <- pl.pool_hits + 1;
         (* preserve the [create]-zero-fills contract for reused buffers *)
         Bytes.fill b 0 (Bytes.length b) '\000';
         b
       | [] ->
-        incr pool_misses;
+        pl.pool_misses <- pl.pool_misses + 1;
         Bytes.make (class_size c) '\000')
+  end
 
-(* Packets alive right now: created (any constructor) and not yet
-   released to a zero count.  The overload soak brackets a run with this
-   to prove that every drop path gives its buffer back. *)
-let live_count = ref 0
-
-let live_packets () = !live_count
+(* Packets alive right now on this domain: created (any constructor) and
+   not yet released to a zero count.  The overload soak brackets a run
+   with this to prove that every drop path gives its buffer back. *)
+let live_packets () = (Domain.DLS.get pool_key).live_count
 
 let retain p = p.refs <- p.refs + 1
 
@@ -111,36 +127,40 @@ let release p =
      packet (e.g. from a differential shadow replay) is a no-op. *)
   if p.refs > 0 then begin
     p.refs <- p.refs - 1;
-    if p.refs = 0 then decr live_count;
+    let pl = Domain.DLS.get pool_key in
+    if p.refs = 0 then pl.live_count <- pl.live_count - 1;
     if p.refs = 0 && !pool_enabled then begin
       match class_of_exact (Bytes.length p.buf) with
-      | Some c when free_count.(c) < class_cap ->
-        free.(c) <- p.buf :: free.(c);
-        free_count.(c) <- free_count.(c) + 1;
-        incr pool_recycled
-      | Some _ -> incr pool_dropped
+      | Some c when pl.free_count.(c) < class_cap ->
+        pl.free.(c) <- p.buf :: pl.free.(c);
+        pl.free_count.(c) <- pl.free_count.(c) + 1;
+        pl.pool_recycled <- pl.pool_recycled + 1
+      | Some _ -> pl.pool_dropped <- pl.pool_dropped + 1
       | None -> ()
     end
   end
 
 let pool_reset () =
-  Array.fill free 0 classes [];
-  Array.fill free_count 0 classes 0;
-  pool_hits := 0;
-  pool_misses := 0;
-  pool_recycled := 0;
-  pool_dropped := 0
+  let pl = Domain.DLS.get pool_key in
+  Array.fill pl.free 0 classes [];
+  Array.fill pl.free_count 0 classes 0;
+  pl.pool_hits <- 0;
+  pl.pool_misses <- 0;
+  pl.pool_recycled <- 0;
+  pl.pool_dropped <- 0
 
 let pool_stats () =
+  let pl = Domain.DLS.get pool_key in
   Printf.sprintf "hits=%d misses=%d recycled=%d dropped=%d free=%d"
-    !pool_hits !pool_misses !pool_recycled !pool_dropped
-    (Array.fold_left ( + ) 0 free_count)
+    pl.pool_hits pl.pool_misses pl.pool_recycled pl.pool_dropped
+    (Array.fold_left ( + ) 0 pl.free_count)
 
 (* ---- Construction ------------------------------------------------- *)
 
 let create ?(headroom = 0) ?(tailroom = 0) len =
   if len < 0 || headroom < 0 || tailroom < 0 then invalid_arg "Packet.create";
-  incr live_count;
+  let pl = Domain.DLS.get pool_key in
+  pl.live_count <- pl.live_count + 1;
   {
     buf = alloc_buf (headroom + len + tailroom);
     off = headroom;

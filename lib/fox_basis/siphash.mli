@@ -1,0 +1,14 @@
+(** SipHash-2-4-style keyed pseudorandom function on native ints.
+
+    Used for RFC 6528 initial-sequence-number selection: an attacker who
+    observes ISNs cannot recover the key or predict the ISN of another
+    4-tuple.  The permutation runs on OCaml's 63-bit int domain (this is
+    not a wire format; nothing needs to interoperate with reference
+    SipHash), keeping the whole computation allocation-light. *)
+
+(** [hash ~k0 ~k1 msg] is the keyed hash of [msg]; non-negative. *)
+val hash : k0:int -> k1:int -> string -> int
+
+(** [hash_ints ~k0 ~k1 xs] hashes the low 32 bits of each int,
+    little-endian — the convenient form for an address/port 4-tuple. *)
+val hash_ints : k0:int -> k1:int -> int list -> int

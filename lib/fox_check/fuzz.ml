@@ -56,6 +56,13 @@ module Tcp_params : Fox_tcp.Tcp.PARAMS = struct
   let syn_cookies = true
   let max_ooo_bytes = 32768
   let max_to_do = 512
+
+  (* the fuzzer's pinned digests (and the differential against the
+     baseline engine, which keeps the clock+salt scheme) predate the
+     RFC 6528 / per-connection-budget fixes: run with the legacy ISNs
+     and the engine-wide budget only *)
+  let secure_isn = false
+  let challenge_ack_conn_limit = 0
 end
 
 module Baseline_params : Fox_baseline.Tcp_monolithic.PARAMS = struct

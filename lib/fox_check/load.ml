@@ -52,6 +52,10 @@ module Serve_params : Fox_tcp.Tcp.PARAMS = struct
   let listen_backlog = 2048
   let syn_cache = true
   let max_connections = 8192
+
+  (* secure ISNs under a pinned secret: the serve benchmark measures the
+     RFC 6528 path and stays reproducible run to run *)
+  let isn_secret = Some (0x10ad_5ec4_e7a1, 0x0bad_cafe_f00d)
 end
 
 module Tcp = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Fox_tcp.Congestion.Reno)
@@ -95,6 +99,10 @@ type config = {
   loss : float;  (** frame loss on the shared hub *)
   reorder : float;  (** reordering probability on the hub *)
   gigabit : bool;  (** 1 Gb/s wire (vs the paper's 10 Mb/s ethernet) *)
+  shards : int;
+      (** engine shards: connection [i] belongs to shard [i mod shards],
+          each shard a full client/server world on its own domain.
+          [1] runs inline (no domains) — the historical behavior. *)
 }
 
 let default_config =
@@ -108,19 +116,27 @@ let default_config =
     loss = 0.0;
     reorder = 0.0;
     gigabit = true;
+    shards = 1;
   }
 
 type result = {
   app : string;
   conns : int;
+  shards : int;
   requests_attempted : int;
   requests_ok : int;  (** exchanges that returned the exact expected bytes *)
   conn_errors : int;  (** connections lost to connect/reset/timeout *)
   bytes_received : int;
-  max_concurrent : int;  (** peak simultaneously-open client connections *)
+  max_concurrent : int;  (** peak simultaneously-open client connections,
+                             summed across shards *)
   accepts : int;  (** server-side completed handshakes *)
-  elapsed_us : int;  (** first open to last completed exchange, virtual *)
+  elapsed_us : int;
+      (** first open to last completed exchange, virtual; with shards,
+          the max over shards (the critical path) *)
+  wall_s : float;  (** real seconds spent executing the run *)
   reqs_per_sec : float;
+      (** total ok / virtual elapsed — per-shard virtual clocks advance
+          concurrently, so this is the aggregate serving rate *)
   p50_us : int;
   p95_us : int;
   p99_us : int;
@@ -129,14 +145,15 @@ type result = {
 
 let pp_result fmt r =
   Format.fprintf fmt
-    "%s: %d/%d requests over %d conns (%d conn errors, peak %d concurrent, \
-     %d accepts)@\n\
-     %.0f req/s over %.3fs virtual; latency p50 %d us, p95 %d us, p99 %d \
-     us, max %d us"
-    r.app r.requests_ok r.requests_attempted r.conns r.conn_errors
-    r.max_concurrent r.accepts r.reqs_per_sec
+    "%s: %d/%d requests over %d conns x %d shard%s (%d conn errors, peak \
+     %d concurrent, %d accepts)@\n\
+     %.0f req/s over %.3fs virtual (%.2fs wall); latency p50 %d us, p95 %d \
+     us, p99 %d us, max %d us"
+    r.app r.requests_ok r.requests_attempted r.conns r.shards
+    (if r.shards = 1 then "" else "s")
+    r.conn_errors r.max_concurrent r.accepts r.reqs_per_sec
     (float_of_int r.elapsed_us /. 1e6)
-    r.p50_us r.p95_us r.p99_us r.max_us
+    r.wall_s r.p50_us r.p95_us r.p99_us r.max_us
 
 let result_to_string r = Format.asprintf "%a" pp_result r
 
@@ -181,13 +198,30 @@ let percentile sorted q =
 (* The run                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(log = fun _ -> ()) cfg =
+(* What one shard's world reports back across the domain join. *)
+type world = {
+  w_ok : int;
+  w_errors : int;
+  w_bytes : int;
+  w_max_concurrent : int;
+  w_accepts : int;
+  w_elapsed : int;
+  w_latencies : int list;
+}
+
+(* [run_world cfg ~shard ~indices] runs one complete client/server world
+   — own hub, hosts, engines, scheduler — serving exactly the
+   connections in [indices] (their original fleet indices, so payloads
+   and open staggers match the unsharded run).  Deterministic per shard:
+   everything it touches is domain-local. *)
+let run_world ?(log = fun _ -> ()) cfg ~shard ~indices =
   let base = if cfg.gigabit then Netem.gigabit else Netem.ethernet_10mbps in
+  let seed = cfg.seed lxor 0x10ad lxor (shard * 0x51ab) in
   let netem =
     if cfg.loss > 0.0 || cfg.reorder > 0.0 then
       Netem.adverse ~loss:cfg.loss ~reorder:cfg.reorder ~queue_frames:4096
-        ~seed:(cfg.seed lxor 0x10ad) base
-    else { base with Netem.queue_frames = 4096; seed = cfg.seed lxor 0x10ad }
+        ~seed base
+    else { base with Netem.queue_frames = 4096; seed }
   in
   let link = Link.hub ~ports:2 netem in
   let client_ip = make_host link 0 ~addr:(Ipv4_addr.of_string "10.2.0.1") in
@@ -256,7 +290,7 @@ let run ?(log = fun _ -> ()) cfg =
   ignore
     (Scheduler.run (fun () ->
          ignore (Sock.listen server_t { Tcp.local_port = http_port } serve);
-         for i = 0 to cfg.conns - 1 do
+         List.iter (fun i ->
            Scheduler.fork (fun () ->
                Scheduler.sleep (i * cfg.ramp_us);
                match
@@ -290,22 +324,57 @@ let run ?(log = fun _ -> ()) cfg =
                    incr conn_errors;
                    decr open_conns;
                    Sock.abort sock))
-         done));
-  let sorted = Array.of_list !latencies in
+         ) indices));
+  {
+    w_ok = !requests_ok;
+    w_errors = !conn_errors;
+    w_bytes = !bytes_received;
+    w_max_concurrent = !max_concurrent;
+    w_accepts = (Tcp.stats server_t).Fox_tcp.Tcp.accepts;
+    w_elapsed = !last_done;
+    w_latencies = !latencies;
+  }
+
+(* [run cfg] partitions the fleet over [cfg.shards] worlds (one domain
+   each; inline when 1) and merges: counters sum, latency percentiles
+   come from the merged distribution, and the virtual elapsed is the max
+   over shards — the shards run concurrently, so the slowest one is the
+   wall the fleet waits on. *)
+let run ?log (cfg : config) =
+  if cfg.shards < 1 then invalid_arg "Load.run: shards must be >= 1";
+  let wall0 = Unix.gettimeofday () in
+  let worlds =
+    Fox_shard.Shard.run ~shards:cfg.shards (fun shard ->
+        run_world ?log cfg ~shard
+          ~indices:
+            (Fox_shard.Shard.split ~total:cfg.conns ~shards:cfg.shards
+               ~shard))
+  in
+  let wall_s = Unix.gettimeofday () -. wall0 in
+  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 worlds in
+  let requests_ok = sum (fun w -> w.w_ok) in
+  let elapsed_us =
+    max 1 (Array.fold_left (fun acc w -> max acc w.w_elapsed) 0 worlds)
+  in
+  let latencies =
+    Array.fold_left (fun acc w -> List.rev_append w.w_latencies acc) [] worlds
+  in
+  let sorted = Array.of_list latencies in
   Array.sort compare sorted;
-  let elapsed_us = max 1 !last_done in
   {
     app = app_to_string cfg.app;
     conns = cfg.conns;
+    shards = cfg.shards;
     requests_attempted = cfg.conns * cfg.requests;
-    requests_ok = !requests_ok;
-    conn_errors = !conn_errors;
-    bytes_received = !bytes_received;
-    max_concurrent = !max_concurrent;
-    accepts = (Tcp.stats server_t).Fox_tcp.Tcp.accepts;
+    requests_ok;
+    conn_errors = sum (fun w -> w.w_errors);
+    bytes_received = sum (fun w -> w.w_bytes);
+    max_concurrent = sum (fun w -> w.w_max_concurrent);
+    accepts = sum (fun w -> w.w_accepts);
     elapsed_us;
+    wall_s;
     reqs_per_sec =
-      float_of_int !requests_ok /. (float_of_int elapsed_us /. 1e6);
+      float_of_int requests_ok /. (float_of_int elapsed_us /. 1e6);
     p50_us = percentile sorted 0.50;
     p95_us = percentile sorted 0.95;
     p99_us = percentile sorted 0.99;

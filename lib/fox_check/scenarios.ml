@@ -41,6 +41,15 @@ module Scn_params : Fox_tcp.Tcp.PARAMS = struct
   let time_wait_us = 500_000
   let rto_min_us = 100_000
   let rto_initial_us = 300_000
+
+  (* the attack matrix models an attacker who predicts the legacy
+     clock+salt ISNs (the [Sweep] base/stride below assume them), so the
+     matrix runs with the pre-6528 scheme; the secure-ISN teeth cell is
+     built separately on [Secure_unguarded_params].  The per-connection
+     budget layer is likewise off so the cells' challenge accounting
+     keeps its pre-fix meaning. *)
+  let secure_isn = false
+  let challenge_ack_conn_limit = 0
 end
 
 (* ------------------------------------------------------------------ *)
@@ -476,6 +485,28 @@ module Unguarded_reno = Make_engine_p (Fox_tcp.Congestion.Reno) (Unguarded_param
 (** [run_cell_unguarded scn] runs one cell under Reno with the RFC 5961
     defenses disabled. *)
 let run_cell_unguarded ?quick scn = Unguarded_reno.run ?quick scn
+
+(* RFC 5961 still off, but RFC 6528 ISNs on: the attacker's [Sweep]
+   models the legacy clock+salt ISN, and against a keyed-PRF ISN its
+   whole span covers a vanishing slice of the 2^32 sequence space.  The
+   teeth-check that unpredictable ISNs alone defang the blind sweep that
+   demonstrably kills the connection under [Unguarded_params].  The
+   secret is pinned so the cell is deterministic (any secret that makes
+   the sweep miss — i.e. virtually any — would do). *)
+module Secure_unguarded_params : Fox_tcp.Tcp.PARAMS = struct
+  include Scn_params
+
+  let rfc5961 = false
+  let secure_isn = true
+  let isn_secret = Some (0x6528_6528_6528, 0x0fed_cba9_8765)
+end
+
+module Secure_unguarded_reno =
+  Make_engine_p (Fox_tcp.Congestion.Reno) (Secure_unguarded_params)
+
+(** [run_cell_unguarded_secure scn] runs one cell under Reno with the
+    RFC 5961 defenses disabled but RFC 6528 secure ISNs enabled. *)
+let run_cell_unguarded_secure ?quick scn = Secure_unguarded_reno.run ?quick scn
 
 module Reno_engine = Make_engine (Fox_tcp.Congestion.Reno)
 module Newreno_engine = Make_engine (Fox_tcp.Congestion.Newreno)

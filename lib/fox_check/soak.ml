@@ -63,6 +63,11 @@ module Soak_params : Fox_tcp.Tcp.PARAMS = struct
   let max_to_do = 256
   let max_time_wait = 16
   let max_connections = 4096
+
+  (* secure ISNs with a pinned boot secret: the soak exercises the
+     RFC 6528 path while its run-twice fingerprint check (and the
+     per-shard fingerprint vector) stays bit-for-bit reproducible *)
+  let isn_secret = Some (0x5eed_0f0c_5ed1, 0x1234_5678_9abc)
 end
 
 module Flood = Synflood.Make (Ip) (Ip_aux)
@@ -82,6 +87,10 @@ type config = {
   loss : float;
   wheel : bool;  (** drive timers through the timing wheel (vs the heap) *)
   cc : string;  (** congestion-control algorithm for both endpoints *)
+  shards : int;
+      (** engine shards: connection [i] soaks in shard [i mod shards],
+          each shard a full three-host world (with its own flood) on its
+          own domain.  [1] runs inline — the historical behavior. *)
 }
 
 let default_config =
@@ -96,10 +105,12 @@ let default_config =
     loss = 0.01;
     wheel = true;
     cc = "reno";
+    shards = 1;
   }
 
 type report = {
   conns : int;  (** connections the client attempted *)
+  shards : int;
   completed : int;  (** client connections that delivered every byte *)
   connect_failures : int;
   delivery_mismatches : int;  (** streams delivered wrong or truncated *)
@@ -114,24 +125,36 @@ type report = {
   to_do_shed : int;
   rsts_sent : int;
   wire_queue_drops : int;  (** finite-egress-queue tail drops, all ports *)
-  fingerprint : string;  (** digest of everything above + stream digests *)
+  shard_fingerprints : string list;
+      (** one fingerprint per shard, in shard order — the determinism
+          identity of a sharded run is this ordered vector *)
+  fingerprint : string;
+      (** digest of everything above + stream digests; with one shard
+          this is that shard's fingerprint (bit-for-bit the historical
+          single-threaded value), otherwise the digest of the vector *)
 }
 
 let pp_report fmt r =
   Format.fprintf fmt
-    "completed %d/%d conns (%d connect failures, %d stream mismatches), \
-     %d invariant faults, %d leaked buffers, quiescent at %.3fs virtual@\n\
+    "completed %d/%d conns over %d shard%s (%d connect failures, %d stream \
+     mismatches), %d invariant faults, %d leaked buffers, quiescent at \
+     %.3fs virtual@\n\
      flood: %d segments sent, server accepted %d, refused %d, dropped %d \
      SYNs, sent %d RSTs@\n\
      pressure: %d TIME-WAIT recycled, %d segments shed, %d wire queue \
      drops@\n\
      fingerprint %s"
-    r.completed r.conns r.connect_failures r.delivery_mismatches
+    r.completed r.conns r.shards
+    (if r.shards = 1 then "" else "s")
+    r.connect_failures r.delivery_mismatches
     (List.length r.invariant_faults)
     r.leaked_packets
     (float_of_int r.end_time /. 1e6)
     r.flood_sent r.server_accepts r.backlog_refused r.syn_dropped r.rsts_sent
-    r.time_wait_recycled r.to_do_shed r.wire_queue_drops r.fingerprint
+    r.time_wait_recycled r.to_do_shed r.wire_queue_drops r.fingerprint;
+  if r.shards > 1 then
+    Format.fprintf fmt "@\nper-shard fingerprints: %s"
+      (String.concat " " r.shard_fingerprints)
 
 let report_to_string r = Format.asprintf "%a" pp_report r
 
@@ -177,46 +200,32 @@ let payload_for cfg i =
 module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
   module Tcp = Fox_tcp.Tcp.Make (Ip) (Ip_aux) (Cc) (Soak_params)
 
-  let run ?(log = fun _ -> ()) cfg =
+  (* [run_world cfg ~shard ~indices] soaks one complete three-host world
+     — own hub, hosts, engines, scheduler, and its own flood — serving
+     exactly the client connections in [indices] (original fleet
+     indices, so payloads and staggers match the unsharded run).
+     Everything it touches is domain-local; the caller owns the
+     invariant hook and the process-wide config switches.  Its report
+     has [shards = 1] and empty [invariant_faults] — the wrapper fills
+     those in. *)
+  let run_world ?(log = fun _ -> ()) cfg ~shard ~indices =
     let netem =
       Netem.adverse ~loss:cfg.loss ~reorder:0.02 ~queue_frames:64
-        ~seed:(cfg.seed lxor 0x50a) Netem.ethernet_10mbps
+        ~seed:(cfg.seed lxor 0x50a lxor (shard * 0x5a17))
+        Netem.ethernet_10mbps
     in
     let link = Link.hub ~ports:3 netem in
     let client_ip = make_host link 0 ~addr:(Ipv4_addr.of_string "10.1.0.1") in
     let server_ip = make_host link 1 ~addr:(Ipv4_addr.of_string "10.1.0.2") in
     let atk_ip = make_host link 2 ~addr:(Ipv4_addr.of_string "10.1.0.3") in
     let server_addr = Ipv4_addr.of_string "10.1.0.2" in
-    let faults = ref [] in
-    Tcb_invariants.install
-      ~on_violation:(fun info msgs ->
-        faults :=
-          !faults
-          @ List.map
-              (Printf.sprintf "t=%d after %s: %s" info.Fox_tcp.Check_hook.now
-                 (Fox_tcp.Tcb.action_name info.Fox_tcp.Check_hook.action))
-              msgs)
-      ();
-    let saved_offload = !Packet.offload_enabled in
-    let saved_pool = !Packet.pool_enabled in
-    let saved_wheel = !Timer.use_wheel in
-    Packet.offload_enabled := true;
-    Packet.pool_enabled := true;
-    Timer.use_wheel := cfg.wheel;
     let live_before = Packet.live_packets () in
     let server_t = Tcp.create server_ip in
     let client_t = Tcp.create client_ip in
     let streams = ref [] in
     let connect_failures = ref 0 in
     let flood_sent = ref 0 in
-    Fun.protect
-      ~finally:(fun () ->
-        Packet.offload_enabled := saved_offload;
-        Packet.pool_enabled := saved_pool;
-        Timer.use_wheel := saved_wheel;
-        Tcb_invariants.uninstall ())
-      (fun () ->
-        let stats =
+    let stats =
           Scheduler.run (fun () ->
               ignore
                 (Tcp.start_passive server_t { Tcp.local_port = port }
@@ -260,8 +269,9 @@ module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
                     log
                       (Printf.sprintf "t=%d flood done: %d segments"
                          (Scheduler.now ()) !flood_sent));
-              (* the client fleet *)
-              for i = 0 to cfg.conns - 1 do
+              (* the client fleet: this shard's slice, keeping each
+                 connection's original stagger slot *)
+              List.iter (fun i ->
                 Scheduler.fork (fun () ->
                     Scheduler.sleep (i * cfg.spacing_us);
                     match
@@ -282,12 +292,13 @@ module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
                       | exception Fox_proto.Common.Send_failed msg ->
                         log (Printf.sprintf "conn %d send failed: %s" i msg));
                       Tcp.close conn)
-              done)
+              ) indices)
         in
         let end_time = stats.Scheduler.end_time in
-        (* score the delivered streams against the expected multiset *)
+        (* score the delivered streams against this shard's expected
+           multiset *)
         let expected =
-          List.init cfg.conns (fun i -> Digest.string (payload_for cfg i))
+          List.map (fun i -> Digest.string (payload_for cfg i)) indices
           |> List.sort compare
         in
         let got =
@@ -312,7 +323,6 @@ module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
             0 [ 0; 1; 2 ]
         in
         let leaked_packets = Packet.live_packets () - live_before in
-        let invariant_faults = !faults in
         let fingerprint =
           Digest.to_hex
             (Digest.string
@@ -334,11 +344,12 @@ module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
                     ])))
         in
         {
-          conns = cfg.conns;
+          conns = List.length indices;
+          shards = 1;
           completed;
           connect_failures = !connect_failures;
           delivery_mismatches;
-          invariant_faults;
+          invariant_faults = [];
           leaked_packets;
           end_time;
           flood_sent = !flood_sent;
@@ -350,8 +361,84 @@ module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
           to_do_shed = s.Fox_tcp.Tcp.to_do_shed + c.Fox_tcp.Tcp.to_do_shed;
           rsts_sent = s.Fox_tcp.Tcp.rsts_sent;
           wire_queue_drops;
+          shard_fingerprints = [ fingerprint ];
           fingerprint;
-        })
+        }
+
+  (* [run cfg] owns the process-wide pieces — the invariant hook and the
+     packet-pool/offload/wheel switches, written before any domain
+     spawns and restored after the join — then fans the fleet out over
+     [cfg.shards] worlds and merges.  One shard returns its world report
+     unchanged (the historical single-threaded run, fingerprint
+     included); more shards sum the counters and fingerprint the ordered
+     per-shard vector. *)
+  let run ?log (cfg : config) =
+    if cfg.shards < 1 then invalid_arg "Soak.run: shards must be >= 1";
+    let faults = ref [] in
+    let faults_lock = Mutex.create () in
+    Tcb_invariants.install
+      ~on_violation:(fun info msgs ->
+        let tagged =
+          List.map
+            (Printf.sprintf "t=%d after %s: %s" info.Fox_tcp.Check_hook.now
+               (Fox_tcp.Tcb.action_name info.Fox_tcp.Check_hook.action))
+            msgs
+        in
+        Mutex.lock faults_lock;
+        faults := !faults @ tagged;
+        Mutex.unlock faults_lock)
+      ();
+    let saved_offload = !Packet.offload_enabled in
+    let saved_pool = !Packet.pool_enabled in
+    let saved_wheel = !Timer.use_wheel in
+    Packet.offload_enabled := true;
+    Packet.pool_enabled := true;
+    Timer.use_wheel := cfg.wheel;
+    Fun.protect
+      ~finally:(fun () ->
+        Packet.offload_enabled := saved_offload;
+        Packet.pool_enabled := saved_pool;
+        Timer.use_wheel := saved_wheel;
+        Tcb_invariants.uninstall ())
+      (fun () ->
+        let worlds =
+          Fox_shard.Shard.run ~shards:cfg.shards (fun shard ->
+              run_world ?log cfg ~shard
+                ~indices:
+                  (Fox_shard.Shard.split ~total:cfg.conns ~shards:cfg.shards
+                     ~shard))
+        in
+        let invariant_faults = !faults in
+        match worlds with
+        | [| w |] -> { w with invariant_faults }
+        | _ ->
+          let sum f = Array.fold_left (fun acc w -> acc + f w) 0 worlds in
+          let shard_fingerprints =
+            Array.to_list (Array.map (fun w -> w.fingerprint) worlds)
+          in
+          {
+            conns = cfg.conns;
+            shards = cfg.shards;
+            completed = sum (fun w -> w.completed);
+            connect_failures = sum (fun w -> w.connect_failures);
+            delivery_mismatches = sum (fun w -> w.delivery_mismatches);
+            invariant_faults;
+            leaked_packets = sum (fun w -> w.leaked_packets);
+            end_time =
+              Array.fold_left (fun acc w -> max acc w.end_time) 0 worlds;
+            flood_sent = sum (fun w -> w.flood_sent);
+            server_accepts = sum (fun w -> w.server_accepts);
+            backlog_refused = sum (fun w -> w.backlog_refused);
+            syn_dropped = sum (fun w -> w.syn_dropped);
+            time_wait_recycled = sum (fun w -> w.time_wait_recycled);
+            to_do_shed = sum (fun w -> w.to_do_shed);
+            rsts_sent = sum (fun w -> w.rsts_sent);
+            wire_queue_drops = sum (fun w -> w.wire_queue_drops);
+            shard_fingerprints;
+            fingerprint =
+              Digest.to_hex
+                (Digest.string (String.concat "|" shard_fingerprints));
+          })
 
   (* ------------------------------------------------------------------ *)
   (* The verdict                                                        *)

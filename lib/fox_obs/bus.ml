@@ -21,6 +21,18 @@ let live = ref false
 
 let enabled () = !live
 
+(* One process-wide bus, touched by every shard: the registries and rings
+   below are guarded by a single mutex.  The switch itself stays a plain
+   ref — the hot path reads [!live] before paying for anything else, and
+   a torn read there costs at worst one event recorded or skipped around
+   the toggle instant.  Subscriber and stats-provider closures are called
+   *outside* the lock (they may re-enter the bus). *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 (* ------------------------------------------------------------------ *)
 (* Rings                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -65,16 +77,18 @@ let next_sub = ref 0
 let subscribers : (int * (event -> unit)) list ref = ref []
 
 let subscribe f =
-  incr next_sub;
-  subscribers := (!next_sub, f) :: !subscribers;
-  !next_sub
+  locked (fun () ->
+      incr next_sub;
+      subscribers := (!next_sub, f) :: !subscribers;
+      !next_sub)
 
 let unsubscribe id =
-  subscribers := List.filter (fun (i, _) -> i <> id) !subscribers
+  locked (fun () ->
+      subscribers := List.filter (fun (i, _) -> i <> id) !subscribers)
 
 let toggle_listeners : (bool -> unit) list ref = ref []
 
-let on_toggle f = toggle_listeners := f :: !toggle_listeners
+let on_toggle f = locked (fun () -> toggle_listeners := f :: !toggle_listeners)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -122,12 +136,16 @@ let emit ?time ?(conn = "-") ~layer kind =
   if !live then begin
     let time = match time with Some t -> t | None -> now_opt () in
     let ev = { time; layer; conn; kind } in
-    incr emitted_count;
-    ring_add global ev;
-    if conn <> "-" then
-      Trace.add (conn_ring conn) ~time
-        (Printf.sprintf "%s %s" layer (render_kind ev.kind));
-    match !subscribers with
+    let subs =
+      locked (fun () ->
+          incr emitted_count;
+          ring_add global ev;
+          if conn <> "-" then
+            Trace.add (conn_ring conn) ~time
+              (Printf.sprintf "%s %s" layer (render_kind ev.kind));
+          !subscribers)
+    in
+    match subs with
     | [] -> ()
     | subs -> List.iter (fun (_, f) -> f ev) subs
   end
@@ -138,12 +156,17 @@ let emit ?time ?(conn = "-") ~layer kind =
 
 let stats_providers : (string, unit -> string) Hashtbl.t = Hashtbl.create 16
 
-let register_stats ~id f = Hashtbl.replace stats_providers id f
+let register_stats ~id f =
+  locked (fun () -> Hashtbl.replace stats_providers id f)
 
-let unregister_stats ~id = Hashtbl.remove stats_providers id
+let unregister_stats ~id = locked (fun () -> Hashtbl.remove stats_providers id)
 
 let stats_snapshots () =
-  Hashtbl.fold (fun id f acc -> (id, f ()) :: acc) stats_providers []
+  let providers =
+    locked (fun () ->
+        Hashtbl.fold (fun id f acc -> (id, f) :: acc) stats_providers [])
+  in
+  List.map (fun (id, f) -> (id, f ())) providers
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ------------------------------------------------------------------ *)
@@ -152,10 +175,10 @@ let stats_snapshots () =
 
 let hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
 
-let register_histogram name h = Hashtbl.replace hists name h
+let register_histogram name h = locked (fun () -> Hashtbl.replace hists name h)
 
 let histograms () =
-  Hashtbl.fold (fun name h acc -> (name, h) :: acc) hists []
+  locked (fun () -> Hashtbl.fold (fun name h acc -> (name, h) :: acc) hists [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ------------------------------------------------------------------ *)
@@ -163,50 +186,62 @@ let histograms () =
 (* ------------------------------------------------------------------ *)
 
 let reset () =
-  global.head <- 0;
-  global.len <- 0;
-  global.dropped <- 0;
-  emitted_count := 0;
-  Hashtbl.reset conn_rings;
-  (* stats providers too: a reset marks a fresh experiment, and stale
-     providers would otherwise pin dead engines (and their closures)
-     for the life of the process *)
-  Hashtbl.reset stats_providers
+  locked (fun () ->
+      global.head <- 0;
+      global.len <- 0;
+      global.dropped <- 0;
+      emitted_count := 0;
+      Hashtbl.reset conn_rings;
+      (* stats providers too: a reset marks a fresh experiment, and stale
+         providers would otherwise pin dead engines (and their closures)
+         for the life of the process *)
+      Hashtbl.reset stats_providers)
 
 let enable ?capacity ?per_conn () =
-  (match capacity with
-  | Some c when c > 0 && c <> Array.length global.items ->
-    global.items <- Array.make c sentinel;
-    global.head <- 0;
-    global.len <- 0
-  | _ -> ());
-  (match per_conn with Some c when c > 0 -> per_conn_capacity := c | _ -> ());
-  let was = !live in
-  live := true;
-  if not was then List.iter (fun f -> f true) !toggle_listeners
+  let listeners =
+    locked (fun () ->
+        (match capacity with
+        | Some c when c > 0 && c <> Array.length global.items ->
+          global.items <- Array.make c sentinel;
+          global.head <- 0;
+          global.len <- 0
+        | _ -> ());
+        (match per_conn with
+        | Some c when c > 0 -> per_conn_capacity := c
+        | _ -> ());
+        let was = !live in
+        live := true;
+        if was then [] else !toggle_listeners)
+  in
+  List.iter (fun f -> f true) listeners
 
 let disable () =
-  let was = !live in
-  live := false;
-  if was then List.iter (fun f -> f false) !toggle_listeners
+  let listeners =
+    locked (fun () ->
+        let was = !live in
+        live := false;
+        if was then !toggle_listeners else [])
+  in
+  List.iter (fun f -> f false) listeners
 
 (* ------------------------------------------------------------------ *)
 (* Inspection                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let events () =
-  List.init global.len (fun i ->
-      global.items.((global.head + i) mod Array.length global.items))
+  locked (fun () ->
+      List.init global.len (fun i ->
+          global.items.((global.head + i) mod Array.length global.items)))
 
-let dropped () = global.dropped
+let dropped () = locked (fun () -> global.dropped)
 
-let emitted () = !emitted_count
+let emitted () = locked (fun () -> !emitted_count)
 
 let conn_ids () =
-  Hashtbl.fold (fun id _ acc -> id :: acc) conn_rings []
+  locked (fun () -> Hashtbl.fold (fun id _ acc -> id :: acc) conn_rings [])
   |> List.sort String.compare
 
-let conn_trace id = Hashtbl.find_opt conn_rings id
+let conn_trace id = locked (fun () -> Hashtbl.find_opt conn_rings id)
 
 let dump () = List.map render (events ())
 

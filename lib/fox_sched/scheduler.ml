@@ -45,15 +45,23 @@ type state = {
   mutable stopping : bool;
 }
 
-(* Monotonic count of scheduler runs in this process.  Global timer state
-   (e.g. the timing wheel) keys off this to detect that a previous run's
-   entries are stale and must be discarded. *)
-let runs = ref 0
+(* Monotonic count of scheduler runs in this process — atomic, because
+   each domain of a sharded engine runs its own scheduler and all of them
+   draw run identities from this counter.  The epoch *visible* to a
+   domain is the identity of the run most recently started on that
+   domain (kept in domain-local storage): per-domain timer state (the
+   timing wheel) keys off it to detect that a previous run's entries are
+   stale and must be discarded, and a run on another domain must not
+   perturb it. *)
+let runs = Atomic.make 0
 
-let epoch () = !runs
+let domain_epoch : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+let epoch () = !(Domain.DLS.get domain_epoch)
 
 let run ?(start_time = 0) ?(realtime = false) ?idle main =
-  incr runs;
+  Domain.DLS.get domain_epoch := 1 + Atomic.fetch_and_add runs 1;
   let st =
     {
       clock = start_time;

@@ -81,9 +81,12 @@ val stop : unit -> 'a
 
 val pp_stats : Format.formatter -> stats -> unit
 
-(** [epoch ()] identifies the current scheduler run: it increments each
-    time {!run} is entered.  Process-global structures that cache timers
-    or threads across runs (notably the {!Wheel} timer backend) compare
-    epochs to discard state belonging to a finished run.  May be called
-    outside a running scheduler. *)
+(** [epoch ()] identifies the scheduler run most recently started {e on
+    the calling domain}: run identities are drawn from one process-wide
+    atomic counter, but each domain only ever observes its own runs, so
+    sharded engines running one scheduler per domain do not perturb each
+    other.  Domain-local structures that cache timers or threads across
+    runs (notably the {!Wheel} timer backend) compare epochs to discard
+    state belonging to a finished run.  May be called outside a running
+    scheduler. *)
 val epoch : unit -> int

@@ -30,9 +30,12 @@
    next tick boundary.  TCP's timers are tens of milliseconds and up, so
    a ~1 ms grain is far below their natural jitter.
 
-   The wheel is process-global, like the scheduler itself.  It tags its
-   state with {!Scheduler.epoch}; entries inserted during a previous run
-   are discarded wholesale when a new run first touches the wheel. *)
+   The wheel is domain-local, like a scheduler run itself: a sharded
+   engine runs one scheduler (and therefore one wheel) per domain, and
+   the wheels never observe each other.  Each wheel tags its state with
+   {!Scheduler.epoch} (also a per-domain notion); entries inserted during
+   a previous run on the same domain are discarded wholesale when a new
+   run first touches the wheel. *)
 
 let levels = 4
 let slot_bits = 8
@@ -68,7 +71,7 @@ type t = {
   stats : stats;
 }
 
-let w =
+let make_wheel () =
   {
     epoch = -1;
     cur_tick = 0;
@@ -80,7 +83,9 @@ let w =
     stats = { scheduled = 0; fires = 0; cancels = 0; cascades = 0; alarms = 0 };
   }
 
-let reset_for ~epoch ~now =
+let wheel_key : t Domain.DLS.key = Domain.DLS.new_key make_wheel
+
+let reset_for w ~epoch ~now =
   w.epoch <- epoch;
   w.cur_tick <- now asr granularity_bits;
   w.live <- 0;
@@ -89,9 +94,9 @@ let reset_for ~epoch ~now =
   w.overdue <- [];
   w.armed_at <- max_int
 
-let ensure_epoch () =
+let ensure_epoch w =
   let epoch = Scheduler.epoch () in
-  if epoch <> w.epoch then reset_for ~epoch ~now:(Scheduler.now ())
+  if epoch <> w.epoch then reset_for w ~epoch ~now:(Scheduler.now ())
 
 let dead (e : entry) = e.cancelled || e.fired
 
@@ -102,7 +107,7 @@ let level_of delta =
   else if delta < slots * slots * slots then 2
   else 3
 
-let place (e : entry) =
+let place w (e : entry) =
   let delta = e.tick - w.cur_tick in
   if delta <= 0 then w.overdue <- e :: w.overdue
   else begin
@@ -115,7 +120,7 @@ let place (e : entry) =
     w.resident.(level) <- w.resident.(level) + 1
   end
 
-let fire (e : entry) =
+let fire w (e : entry) =
   if not (dead e) then begin
     e.fired <- true;
     w.live <- w.live - 1;
@@ -127,7 +132,7 @@ let fire (e : entry) =
    ones relative to the current tick (they land on a lower level or in
    [overdue]).  Dead entries are discarded here; [cancel] already
    balanced the live count. *)
-let cascade level idx =
+let cascade w level idx =
   let cell = w.slot.(level).(idx) in
   let entries = List.rev !cell in
   cell := [];
@@ -136,62 +141,62 @@ let cascade level idx =
     (fun (e : entry) ->
       if not (dead e) then begin
         w.stats.cascades <- w.stats.cascades + 1;
-        place e
+        place w e
       end)
     entries
 
 (* Cascade whatever feeds the round just entered.  Called right after
    [cur_tick] lands on a level-0 wrap; if a higher level wrapped at the
    same moment it must be drained top-down so entries flow through. *)
-let rec cascade_from level =
+let rec cascade_from w level =
   if level < levels then begin
     let idx = (w.cur_tick lsr (slot_bits * level)) land slot_mask in
-    if idx = 0 then cascade_from (level + 1);
-    if level > 0 then cascade level idx
+    if idx = 0 then cascade_from w (level + 1);
+    if level > 0 then cascade w level idx
   end
 
-let process_slot idx =
+let process_slot w idx =
   let cell = w.slot.(0).(idx) in
   let entries = List.rev !cell in
   cell := [];
   w.resident.(0) <- w.resident.(0) - List.length entries;
-  List.iter fire entries
+  List.iter (fire w) entries
 
-let drain_overdue () =
+let drain_overdue w =
   while w.overdue <> [] do
     let entries = List.rev w.overdue in
     w.overdue <- [];
-    List.iter fire entries
+    List.iter (fire w) entries
   done
 
 (* Advance the wheel to [now], firing everything due.  Cost: one step
    per level-0 tick crossed while level 0 is occupied, plus one cascade
    per level-0 round crossed; fully-empty rounds are skipped in a single
    jump. *)
-let advance now =
+let advance w now =
   let target = now asr granularity_bits in
-  drain_overdue ();
+  drain_overdue w;
   while w.cur_tick < target do
     if w.resident.(0) = 0 then begin
       (* Nothing on level 0: jump straight to the next cascade boundary
          (or to the target if it comes first). *)
       let next_wrap = ((w.cur_tick lsr slot_bits) + 1) lsl slot_bits in
       w.cur_tick <- min next_wrap target;
-      if w.cur_tick land slot_mask = 0 then cascade_from 1
+      if w.cur_tick land slot_mask = 0 then cascade_from w 1
     end
     else begin
       w.cur_tick <- w.cur_tick + 1;
-      if w.cur_tick land slot_mask = 0 then cascade_from 1;
-      process_slot (w.cur_tick land slot_mask)
+      if w.cur_tick land slot_mask = 0 then cascade_from w 1;
+      process_slot w (w.cur_tick land slot_mask)
     end;
-    drain_overdue ()
+    drain_overdue w
   done
 
 (* Earliest tick holding a live entry, across all levels.  O(levels ×
    slots + resident entries); runs once per alarm wake-up, not per
    insert.  [advance] is exact regardless of level, so the alarm can aim
    straight at the entry's own tick even when cascades lie between. *)
-let next_alarm () =
+let next_alarm w =
   if w.live = 0 then None
   else begin
     let best = ref max_int in
@@ -210,38 +215,45 @@ let next_alarm () =
     if !best = max_int then None else Some (!best lsl granularity_bits)
   end
 
-let rec arm deadline =
+(* The alarm thread re-fetches the calling domain's wheel when it wakes:
+   it always runs on the domain that armed it (forked threads stay on
+   their scheduler's domain), so this is the same wheel it was armed
+   against. *)
+let rec arm w deadline =
   if deadline < w.armed_at then begin
     w.armed_at <- deadline;
     w.stats.alarms <- w.stats.alarms + 1;
     let epoch = w.epoch in
     Scheduler.fork (fun () ->
         Scheduler.sleep (max 0 (deadline - Scheduler.now ()));
+        let w = Domain.DLS.get wheel_key in
         if w.epoch = epoch then begin
           (* Handlers may start timers while we advance; claim the alarm
              slot so they don't fork alarms we are about to supersede. *)
           w.armed_at <- 0;
-          advance (Scheduler.now ());
+          advance w (Scheduler.now ());
           w.armed_at <- max_int;
-          match next_alarm () with Some t -> arm t | None -> ()
+          match next_alarm w with Some t -> arm w t | None -> ()
         end)
   end
 
 let schedule handler us =
-  ensure_epoch ();
+  let w = Domain.DLS.get wheel_key in
+  ensure_epoch w;
   let now = Scheduler.now () in
   let deadline = now + max 0 us in
   let tick = (deadline + granularity_us - 1) asr granularity_bits in
   let e = { tick; handler; born = w.epoch; cancelled = false; fired = false } in
   w.live <- w.live + 1;
   w.stats.scheduled <- w.stats.scheduled + 1;
-  place e;
+  place w e;
   (* Alarm at the entry's slot boundary: the slot is processed when the
      wheel reaches [tick], i.e. at [tick * granularity_us] ≥ deadline. *)
-  arm (tick lsl granularity_bits);
+  arm w (tick lsl granularity_bits);
   e
 
 let cancel (e : entry) =
+  let w = Domain.DLS.get wheel_key in
   if not (dead e) then begin
     e.cancelled <- true;
     if e.born = w.epoch then begin
@@ -252,9 +264,10 @@ let cancel (e : entry) =
 
 let cancelled (e : entry) = e.cancelled
 
-let pending () = w.live
+let pending () = (Domain.DLS.get wheel_key).live
 
 let stats () =
+  let w = Domain.DLS.get wheel_key in
   [
     ("scheduled", w.stats.scheduled);
     ("fired", w.stats.fires);
@@ -264,6 +277,7 @@ let stats () =
   ]
 
 let reset_stats () =
+  let w = Domain.DLS.get wheel_key in
   w.stats.scheduled <- 0;
   w.stats.fires <- 0;
   w.stats.cancels <- 0;

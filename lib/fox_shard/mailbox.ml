@@ -1,0 +1,91 @@
+(* A bounded multi-producer single-consumer mailbox.
+
+   The cross-shard handoff: the domain that owns the device (the TAP
+   reader, or any demux front end) classifies each frame and pushes it to
+   the owning shard's mailbox; the shard's scheduler drains its mailbox
+   from its idle hook.  Bounded because an overwhelmed shard must shed at
+   the door — exactly the engine's own [max_to_do] philosophy, one layer
+   down: unbounded queues turn overload into latency and then into
+   memory exhaustion, bounded ones turn it into counted drops.
+
+   Implementation: stdlib [Queue] under a [Mutex], a [Condition] for the
+   (optional) blocking consumer.  The consumer is single by contract —
+   one shard drains its own mailbox — but nothing breaks if a test drains
+   from elsewhere; the lock protects everything. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  q : 'a Queue.t;
+  capacity : int;
+  mutable dropped : int;  (** pushes refused because the box was full *)
+  mutable pushed : int;  (** pushes accepted *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Mailbox.create";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    q = Queue.create ();
+    capacity;
+    dropped = 0;
+    pushed = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* [push t x] is [true] if accepted, [false] if the box was full (the
+   caller owns [x] again and should release/count it). *)
+let push t x =
+  with_lock t (fun () ->
+      if Queue.length t.q >= t.capacity then begin
+        t.dropped <- t.dropped + 1;
+        false
+      end
+      else begin
+        Queue.push x t.q;
+        t.pushed <- t.pushed + 1;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let pop_opt t = with_lock t (fun () -> Queue.take_opt t.q)
+
+(* [drain t] empties the box in arrival order without blocking. *)
+let drain t =
+  with_lock t (fun () ->
+      let acc = ref [] in
+      while not (Queue.is_empty t.q) do
+        acc := Queue.pop t.q :: !acc
+      done;
+      List.rev !acc)
+
+(* [pop_timeout t ~timeout_us] blocks up to [timeout_us] real time for an
+   element.  OCaml's [Condition] has no timed wait, so this polls at a
+   millisecond grain — acceptable for an idle-path consumer (the TAP
+   shards sleep-poll at the same grain as the device pump). *)
+let pop_timeout t ~timeout_us =
+  match pop_opt t with
+  | Some x -> Some x
+  | None ->
+    let deadline = Unix.gettimeofday () +. (float_of_int timeout_us /. 1e6) in
+    let rec wait () =
+      match pop_opt t with
+      | Some x -> Some x
+      | None ->
+        if Unix.gettimeofday () >= deadline then None
+        else begin
+          Unix.sleepf 0.001;
+          wait ()
+        end
+    in
+    wait ()
+
+let length t = with_lock t (fun () -> Queue.length t.q)
+
+let dropped t = with_lock t (fun () -> t.dropped)
+
+let pushed t = with_lock t (fun () -> t.pushed)

@@ -1,0 +1,59 @@
+(* Connection 4-tuples and the shard router.
+
+   A sharded engine partitions connection state by 4-tuple: every segment
+   of a connection — in either direction — must land on the same shard,
+   or two domains would race on one TCB.  The router therefore hashes a
+   *normalized* tuple: the two (address, port) endpoints are ordered
+   before hashing, so (A,a,B,b) and (B,b,A,a) collapse to the same key
+   and the SYN, its SYN-ACK, and every later segment agree on an owner.
+
+   FNV-1a is enough here: the router only needs to spread honest
+   connections evenly, not resist an adversary (an attacker who can
+   choose 4-tuples can target a shard no matter the hash — the overload
+   defenses inside each engine are what bound the damage, exactly as they
+   bound a single-engine flood). *)
+
+type t = {
+  a_addr : int;  (** first endpoint address (IPv4, host-order int) *)
+  a_port : int;
+  b_addr : int;  (** second endpoint address *)
+  b_port : int;
+}
+
+(* FNV-1a 64-bit offset basis, truncated to OCaml's 63-bit int (the top
+   bit is unrepresentable; dropping it doesn't matter — all arithmetic
+   below wraps modulo the native word anyway). *)
+let fnv_offset = 0x4bf29ce484222325
+let fnv_prime = 0x100000001b3
+
+let fnv1a h x =
+  (* fold one int in, byte by byte (low 32 bits carry IPv4/port data) *)
+  let h = ref h in
+  for shift = 0 to 3 do
+    h := (!h lxor ((x lsr (shift * 8)) land 0xff)) * fnv_prime
+  done;
+  !h
+
+(* Order the endpoints so both directions hash alike: compare (addr,
+   port) lexicographically. *)
+let normalize ~src_addr ~src_port ~dst_addr ~dst_port =
+  if src_addr < dst_addr || (src_addr = dst_addr && src_port <= dst_port) then
+    { a_addr = src_addr; a_port = src_port; b_addr = dst_addr; b_port = dst_port }
+  else
+    { a_addr = dst_addr; a_port = dst_port; b_addr = src_addr; b_port = src_port }
+
+let hash t =
+  let h = fnv_offset in
+  let h = fnv1a h t.a_addr in
+  let h = fnv1a h t.a_port in
+  let h = fnv1a h t.b_addr in
+  let h = fnv1a h t.b_port in
+  (* final mix: fold the high bits down so small shard counts see them *)
+  (h lxor (h lsr 32)) land max_int
+
+let shard_of ~shards ~src_addr ~src_port ~dst_addr ~dst_port =
+  if shards <= 1 then 0
+  else hash (normalize ~src_addr ~src_port ~dst_addr ~dst_port) mod shards
+
+let pp fmt t =
+  Format.fprintf fmt "%08x:%d<->%08x:%d" t.a_addr t.a_port t.b_addr t.b_port

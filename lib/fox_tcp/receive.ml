@@ -32,35 +32,54 @@ let ack_data (params : params) tcb =
 (* RFC 5961 challenge ACKs                                            *)
 (* ------------------------------------------------------------------ *)
 
-(* One process-wide budget across all engines (the RFC's ACK throttling):
-   a per-connection budget would let an attacker multiply challenges by
-   spraying many connections at once.  The window is one virtual second;
-   the clock restarting below the window start (a fresh [Scheduler.run]
-   in a test or harness) resets it, so sequential deterministic runs do
-   not see each other's spend. *)
-let challenge_window_start = ref 0
-let challenge_sent_in_window = ref 0
+(* The budget is layered (the CVE-2016-5696 lesson): first a
+   per-connection allowance, then the engine's shared cap on top.  A
+   single shared exhaustible counter — what this code used to keep, and
+   what RFC 5961 §10 itself suggests — is an off-path side channel: an
+   attacker sprays one connection it owns until the counter pegs, and
+   the *absence* of challenges on a victim connection then leaks whether
+   its guesses were in-window.  Per-connection budgets remove the shared
+   signal; the engine cap merely bounds aggregate amplification and is
+   sized so honest connections never feel it.  The window is one virtual
+   second; the clock restarting below a window start (a fresh
+   [Scheduler.run] in a test or harness) resets that window, so
+   sequential deterministic runs do not see each other's spend. *)
+let challenge_window_us = 1_000_000
 
-let challenge_budget_reset () =
-  challenge_window_start := 0;
-  challenge_sent_in_window := 0
-
-let challenge_budget_ok (params : params) ~now =
-  params.challenge_ack_limit <= 0
-  || begin
-       if
-         now < !challenge_window_start
-         || now - !challenge_window_start >= 1_000_000
-       then begin
-         challenge_window_start := now;
-         challenge_sent_in_window := 0
-       end;
-       if !challenge_sent_in_window < params.challenge_ack_limit then begin
-         incr challenge_sent_in_window;
-         true
+let challenge_budget_ok (params : params) tcb ~now =
+  let conn_ok =
+    params.challenge_ack_conn_limit <= 0
+    || begin
+         if
+           now < tcb.chall_window_start
+           || now - tcb.chall_window_start >= challenge_window_us
+         then begin
+           tcb.chall_window_start <- now;
+           tcb.chall_sent <- 0
+         end;
+         tcb.chall_sent < params.challenge_ack_conn_limit
        end
-       else false
-     end
+  in
+  let cap_ok =
+    conn_ok
+    && (params.challenge_ack_limit <= 0
+       || begin
+            let cap = tcb.chall_cap in
+            if
+              now < cap.cap_window_start
+              || now - cap.cap_window_start >= challenge_window_us
+            then begin
+              cap.cap_window_start <- now;
+              cap.cap_sent <- 0
+            end;
+            cap.cap_sent < params.challenge_ack_limit
+          end)
+  in
+  if cap_ok then begin
+    tcb.chall_sent <- tcb.chall_sent + 1;
+    tcb.chall_cap.cap_sent <- tcb.chall_cap.cap_sent + 1
+  end;
+  cap_ok
 
 (* A challenge ACK is an ordinary pure ACK at the current snd_nxt/rcv_nxt:
    a legitimate peer that really lost sync answers it with an exact-match
@@ -70,7 +89,7 @@ let challenge_ack (params : params) tcb ~now ~kind =
   | `Rst -> tcb.rst_challenges <- tcb.rst_challenges + 1
   | `Syn -> tcb.syn_challenges <- tcb.syn_challenges + 1
   | `Ack -> tcb.ack_challenges <- tcb.ack_challenges + 1);
-  if challenge_budget_ok params ~now then begin
+  if challenge_budget_ok params tcb ~now then begin
     tcb.challenge_acks_sent <- tcb.challenge_acks_sent + 1;
     ack_now tcb
   end

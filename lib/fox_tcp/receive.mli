@@ -24,17 +24,6 @@ val process : Tcb.params -> Tcb.tcp_state -> Tcb.segment -> now:int -> Tcb.tcp_s
     established connection; [true] means the segment was fully handled. *)
 val fast_path : Tcb.params -> Tcb.tcp_tcb -> Tcb.segment -> now:int -> bool
 
-(** {1 RFC 5961 challenge-ACK budget}
-
-    Challenge ACKs (the rate-limited response to in-window RSTs and SYNs
-    and to out-of-range ACKs) draw from one process-wide budget of
-    [params.challenge_ack_limit] per virtual second, so a blind attacker
-    cannot turn the defense itself into an amplifier.  [reset] restarts
-    the window — the engine calls it from [create] so every scheduler run
-    sees the same deterministic budget. *)
-
-val challenge_budget_reset : unit -> unit
-
 (** {1 Differential checking}
 
     With [differential] set, every fast-path hit also replays the segment

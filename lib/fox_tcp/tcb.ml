@@ -149,8 +149,16 @@ type params = {
           outside [snd_una - max_snd_wnd, snd_nxt].  Off restores the
           RFC 793 rules the paper implemented. *)
   challenge_ack_limit : int;
-      (** global (per-process) challenge-ACK budget per virtual second;
-          challenges beyond it are counted but not sent.  0 = unlimited *)
+      (** engine-wide challenge-ACK cap per virtual second, on top of the
+          per-connection budget; challenges beyond it are counted but not
+          sent.  0 = unlimited *)
+  challenge_ack_conn_limit : int;
+      (** per-connection challenge-ACK budget per virtual second.  The
+          budget is checked per connection {e first} so that one hostile
+          flow cannot drain a shared counter and silence the challenges
+          of every other connection — the CVE-2016-5696 lesson: a shared
+          exhaustible counter is itself an off-path side channel.
+          0 = unlimited *)
   cc : (module Congestion.S);
       (** the congestion-control algorithm; every cwnd/ssthresh decision
           is delegated to it (see {!Congestion} and DESIGN §12) *)
@@ -176,8 +184,19 @@ let default_params =
     max_ooo_bytes = 65536;
     rfc5961 = true;
     challenge_ack_limit = 100;
+    challenge_ack_conn_limit = 10;
     cc = (module Congestion.Reno);
   }
+
+(** The engine-level challenge-ACK cap: one record per engine, shared by
+    every connection the engine owns (stored into each TCB when the
+    connection is installed).  Standalone TCBs built by {!create_tcb} get
+    a private one, so the pure state machine stays usable without an
+    engine.  The record is mutated without synchronisation — an engine,
+    and therefore every TCB it owns, lives on a single domain. *)
+type challenge_cap = { mutable cap_window_start : int; mutable cap_sent : int }
+
+let fresh_challenge_cap () = { cap_window_start = 0; cap_sent = 0 }
 
 (** The TCB proper (Figure 6's [tcp_tcb]). *)
 type tcp_tcb = {
@@ -251,10 +270,14 @@ type tcp_tcb = {
   (* --- RFC 5961 challenge accounting --- *)
   mutable challenge_acks_sent : int;
   mutable challenge_acks_limited : int;
-      (** challenges suppressed by the global budget *)
+      (** challenges suppressed by either budget *)
   mutable rst_challenges : int;  (** in-window (not exact) RSTs deflected *)
   mutable syn_challenges : int;  (** in-window SYNs deflected *)
   mutable ack_challenges : int;  (** ACKs outside the 5961 window *)
+  (* --- challenge-ACK budget state (window = one virtual second) --- *)
+  mutable chall_window_start : int;  (** this connection's window start *)
+  mutable chall_sent : int;  (** sent in this connection's window *)
+  mutable chall_cap : challenge_cap;  (** the owning engine's shared cap *)
   (* --- observability --- *)
   mutable obs_id : string;
       (** flight-recorder connection id (["-"] until installed) *)
@@ -373,6 +396,9 @@ let create_tcb (params : params) ~iss =
     rst_challenges = 0;
     syn_challenges = 0;
     ack_challenges = 0;
+    chall_window_start = 0;
+    chall_sent = 0;
+    chall_cap = fresh_challenge_cap ();
     obs_id = "-";
   }
 

@@ -128,9 +128,27 @@ module type PARAMS = sig
       RFC 793 rules the paper implemented. *)
   val rfc5961 : bool
 
-  (** Process-wide challenge-ACK budget per virtual second (RFC 5961 §10);
-      challenges over budget are counted but not sent.  0 = unlimited. *)
+  (** Engine-wide challenge-ACK cap per virtual second (RFC 5961 §10);
+      challenges over it are counted but not sent.  0 = unlimited. *)
   val challenge_ack_limit : int
+
+  (** Per-connection challenge-ACK budget per virtual second, checked
+      before the engine cap so one hostile flow cannot drain the shared
+      counter and silence a victim's challenges (the CVE-2016-5696
+      side channel).  0 = unlimited. *)
+  val challenge_ack_conn_limit : int
+
+  (** RFC 6528 initial sequence numbers: ISN = M + F(4-tuple, secret)
+      where M is the RFC 793 4 µs clock and F a keyed PRF, so observing
+      one connection's ISN predicts nothing about another's.  Off
+      restores the legacy clock+salt scheme (predictable from a single
+      observed ISN) for harnesses with digests pinned against it. *)
+  val secure_isn : bool
+
+  (** The PRF key for [secure_isn].  [None] (the default) draws a boot
+      secret from the OS entropy pool per engine; deterministic
+      harnesses pin a constant so runs reproduce bit-for-bit. *)
+  val isn_secret : (int * int) option
 
   (** Per-connection cap on the [to_do] queue: segments arriving when this
       many actions are already queued are shed at the door (0 = off). *)
@@ -178,6 +196,9 @@ module Default_params : PARAMS = struct
   let max_time_wait = 0
   let rfc5961 = true
   let challenge_ack_limit = 100
+  let challenge_ack_conn_limit = 10
+  let secure_isn = true
+  let isn_secret = None
 end
 
 (** Instance-wide statistics. *)
@@ -301,6 +322,7 @@ end = struct
       max_ooo_bytes = Params.max_ooo_bytes;
       rfc5961 = Params.rfc5961;
       challenge_ack_limit = Params.challenge_ack_limit;
+      challenge_ack_conn_limit = Params.challenge_ack_conn_limit;
       cc = (module Cc);
     }
 
@@ -387,6 +409,10 @@ end = struct
     lower_conns : (string, Lower.connection) Hashtbl.t;
     tracer : Trace.t;
     mutable iss_salt : int;
+    isn_k0 : int;  (** RFC 6528 boot secret (per engine) *)
+    isn_k1 : int;
+    chall_cap : Tcb.challenge_cap;
+        (** engine-wide challenge-ACK cap, shared into every TCB *)
     mutable next_ephemeral : int;
     mutable init_count : int;
     mutable segs_in : int;
@@ -444,11 +470,30 @@ end = struct
     Hashtbl.fold (fun _ c acc -> snapshot c :: acc) t.conns []
     |> List.sort (fun a b -> String.compare a.Stats.conn_id b.Stats.conn_id)
 
-  (* RFC 793-style clock-driven initial sequence number selection, salted
-     per connection so simultaneous opens differ. *)
-  let fresh_iss t =
+  (* Initial sequence number selection.  With [secure_isn] (the default)
+     this is RFC 6528: ISN = M + F(localhost, localport, remotehost,
+     remoteport, secret) with M the RFC 793 4 µs clock and F a keyed PRF
+     (SipHash) under a per-engine boot secret — an attacker observing the
+     ISNs of its own connections learns nothing about the ISN any other
+     4-tuple will get, which is what defeats the blind-injection Sweep of
+     the attack harness.  A reused 4-tuple still gets monotonically
+     advancing ISNs (F is fixed for it, M ticks), the RFC's guard against
+     a new incarnation overlapping stale duplicates.
+
+     The legacy scheme — clock plus a linear salt, every term recoverable
+     from one observed ISN — is kept behind the switch for harnesses
+     whose pinned digests predate the fix. *)
+  let fresh_iss t ~host ~local_port ~remote_port =
     t.iss_salt <- t.iss_salt + 1;
-    Seq.of_int ((Fox_sched.Scheduler.now () / 4) + (t.iss_salt * 64021))
+    let m = Fox_sched.Scheduler.now () / 4 in
+    if Params.secure_isn then
+      let f =
+        Siphash.hash ~k0:t.isn_k0 ~k1:t.isn_k1
+          (Printf.sprintf "%s|%d|%d" (Aux.to_string host) local_port
+             remote_port)
+      in
+      Seq.of_int ((m + f) land 0xFFFFFFFF)
+    else Seq.of_int (m + (t.iss_salt * 64021))
 
   let pseudo_for conn len =
     if Params.compute_checksums then
@@ -928,6 +973,9 @@ end = struct
     in
     tcb.Tcb.obs_id <-
       Printf.sprintf "%s:%d>%d" (Aux.to_string host) local_port remote_port;
+    (* every connection of this engine draws on the same engine-wide
+       challenge-ACK cap (its private budget is already in the TCB) *)
+    tcb.Tcb.chall_cap <- t.chall_cap;
     Hashtbl.replace t.conns (key host local_port remote_port) conn;
     Bus.register_stats ~id:tcb.Tcb.obs_id (fun () ->
         Stats.to_string (snapshot conn));
@@ -1097,7 +1145,7 @@ end = struct
           || List.length listener.l_syn_cache < Params.listen_backlog)
           && under_conn_cap t
         then begin
-          let iss = fresh_iss t in
+          let iss = fresh_iss t ~host ~local_port ~remote_port in
           listener.l_syn_cache <-
             listener.l_syn_cache
             @ [
@@ -1143,7 +1191,9 @@ end = struct
     else begin
       let mss = max 64 (Aux.mtu lconn - tcp_fixed_header) in
       let state =
-        State.passive_open runtime_params ~iss:(fresh_iss t) ~mss ~syn:seg ~now
+        State.passive_open runtime_params
+          ~iss:(fresh_iss t ~host ~local_port ~remote_port)
+          ~mss ~syn:seg ~now
       in
       t.accepts <- t.accepts + 1;
       let conn =
@@ -1267,7 +1317,11 @@ end = struct
     let lconn = lower_conn_for t peer in
     let mss = max 64 (Aux.mtu lconn - tcp_fixed_header) in
     let now = Fox_sched.Scheduler.now () in
-    let state = State.active_open runtime_params ~iss:(fresh_iss t) ~mss ~now in
+    let state =
+      State.active_open runtime_params
+        ~iss:(fresh_iss t ~host:peer ~local_port ~remote_port)
+        ~mss ~now
+    in
     let conn =
       install_connection t ~host:peer ~local_port ~remote_port ~lower:lconn
         ~state handler
@@ -1412,10 +1466,40 @@ end = struct
       | Some p -> Printf.sprintf " (from :%d)" p
       | None -> "")
 
-  (* Engine instances within one functor application, for the bus id. *)
-  let engine_seq = ref 0
+  (* Engine instances within one functor application, for the bus id —
+     atomic because sharded stacks create one engine per domain. *)
+  let engine_seq = Atomic.make 0
+
+  (* OS entropy for the default ISN boot secret; /dev/urandom with a
+     time/pid fallback for platforms without it.  Read lazily so
+     deterministic builds that pin [isn_secret] never touch the OS. *)
+  let entropy_secret () =
+    match
+      let ic = open_in_bin "/dev/urandom" in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic 16)
+    with
+    | bytes ->
+      let word i =
+        let w = ref 0 in
+        for j = 7 downto 0 do
+          w := (!w lsl 8) lor Char.code bytes.[i + j]
+        done;
+        !w land max_int
+      in
+      (word 0, word 8)
+    | exception _ ->
+      let t = int_of_float (Unix.gettimeofday () *. 1e6) in
+      ( Siphash.hash_ints ~k0:t ~k1:(Unix.getpid ()) [ t; Unix.getpid () ],
+        Siphash.hash_ints ~k0:(Unix.getpid ()) ~k1:t [ t lxor 0x5a5a ] )
 
   let create lower =
+    let isn_k0, isn_k1 =
+      match Params.isn_secret with
+      | Some (k0, k1) -> (k0, k1)
+      | None -> entropy_secret ()
+    in
     let t =
       {
         lower_instance = lower;
@@ -1424,6 +1508,9 @@ end = struct
         lower_conns = Hashtbl.create 8;
         tracer = Trace.create 4096;
         iss_salt = 0;
+        isn_k0;
+        isn_k1;
+        chall_cap = Tcb.fresh_challenge_cap ();
         next_ephemeral = 0;
         init_count = 0;
         segs_in = 0;
@@ -1450,15 +1537,12 @@ end = struct
       (Lower.start_passive lower
          (Aux.default_pattern ~proto:proto_number)
          (fun lconn -> ((fun packet -> receive t lconn packet), ignore)));
-    (* a fresh engine starts a fresh challenge-ACK budget window, so
-       back-to-back scheduler runs in one process stay deterministic *)
-    Receive.challenge_budget_reset ();
     (* engine-level counters on the bus, alongside the per-connection
        snapshots: this is where the overload policy's refusals show up
        even when the refused connection never existed *)
-    incr engine_seq;
     Bus.register_stats
-      ~id:(Printf.sprintf "tcp-engine-%d" !engine_seq)
+      ~id:
+        (Printf.sprintf "tcp-engine-%d" (1 + Atomic.fetch_and_add engine_seq 1))
       (fun () ->
         let s = stats t in
         Printf.sprintf

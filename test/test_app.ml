@@ -207,6 +207,7 @@ let adverse_cfg app =
     reorder = 0.05;
     gigabit = false;
     seed = 99;
+    shards = 1;
   }
 
 let test_echo_exact_over_adverse_hub () =

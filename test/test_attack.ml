@@ -69,7 +69,6 @@ let test_rst_exact_match_tears_down () =
   Alcotest.(check int) "not a challenge case" 0 tcb.Tcb.rst_challenges
 
 let test_rst_in_window_challenged () =
-  Receive.challenge_budget_reset ();
   let tcb = estab_tcb () in
   (* in the receive window but not exactly rcv_nxt: the RFC 793 rule would
      tear down; 5961 answers with a challenge ACK and stays put *)
@@ -105,7 +104,6 @@ let test_rst_in_window_legacy_kills () =
 (* ------------------------------------------------------------------ *)
 
 let test_stale_ack_challenged_and_text_dropped () =
-  Receive.challenge_budget_reset ();
   let tcb = estab_tcb () in
   (* snd_una = 1001, max_snd_wnd = 8192: an ACK older than snd_una - 8192
      cannot be a delayed legitimate ACK, so the whole segment — payload
@@ -120,7 +118,6 @@ let test_stale_ack_challenged_and_text_dropped () =
   Alcotest.(check int) "text not delivered" 5001 (Seq.to_int tcb.Tcb.rcv_nxt)
 
 let test_future_ack_challenged () =
-  Receive.challenge_budget_reset ();
   let tcb = estab_tcb () in
   let seg = mk_segment ~seq:5001 ~ack:(Some 999_999) ~data:"inject" () in
   let state = Receive.process params (Tcb.Estab tcb) seg ~now:0 in
@@ -133,8 +130,8 @@ let test_future_ack_challenged () =
 (* ------------------------------------------------------------------ *)
 
 let test_challenge_budget_exhaustion () =
-  (* the budget is process-wide, so start from a clean window *)
-  Receive.challenge_budget_reset ();
+  (* the engine cap binds here: the per-connection budget (default 10)
+     would allow all five, the cap of 3 stops the last two *)
   let tight = { params with Tcb.challenge_ack_limit = 3 } in
   let tcb = estab_tcb ~params:tight () in
   for _ = 1 to 5 do
@@ -149,8 +146,67 @@ let test_challenge_budget_exhaustion () =
   let seg = mk_segment ~rst:true ~seq:6000 () in
   ignore (Receive.process tight (Tcb.Estab tcb) seg ~now:1_100_000);
   ignore (drain_actions tcb);
-  Alcotest.(check int) "window refilled" 4 tcb.Tcb.challenge_acks_sent;
-  Receive.challenge_budget_reset ()
+  Alcotest.(check int) "window refilled" 4 tcb.Tcb.challenge_acks_sent
+
+let test_conn_budget_binds_first () =
+  (* the per-connection budget suppresses a single noisy flow even when
+     the engine cap still has room *)
+  let tight = { params with Tcb.challenge_ack_conn_limit = 2 } in
+  let tcb = estab_tcb ~params:tight () in
+  for _ = 1 to 5 do
+    let seg = mk_segment ~rst:true ~seq:6000 () in
+    ignore (Receive.process tight (Tcb.Estab tcb) seg ~now:0);
+    ignore (drain_actions tcb)
+  done;
+  Alcotest.(check int) "two sent" 2 tcb.Tcb.challenge_acks_sent;
+  Alcotest.(check int) "three suppressed" 3 tcb.Tcb.challenge_acks_limited
+
+let test_hostile_flow_cannot_starve_victim () =
+  (* The CVE-2016-5696 regression.  Two connections share one engine cap
+     (as they do in a live engine).  A hostile peer sprays the first with
+     in-window RSTs far past every limit; a later in-window RST on the
+     second connection must still earn its challenge ACK — under the old
+     process-wide counter it was starved, and that silence was the
+     attacker's oracle. *)
+  let p =
+    { params with Tcb.challenge_ack_conn_limit = 5; challenge_ack_limit = 100 }
+  in
+  let victim = estab_tcb ~params:p () in
+  let hostile = estab_tcb ~params:p () in
+  victim.Tcb.chall_cap <- hostile.Tcb.chall_cap;
+  for _ = 1 to 50 do
+    let seg = mk_segment ~rst:true ~seq:6000 () in
+    ignore (Receive.process p (Tcb.Estab hostile) seg ~now:0);
+    ignore (drain_actions hostile)
+  done;
+  Alcotest.(check int) "hostile held to its own budget" 5
+    hostile.Tcb.challenge_acks_sent;
+  let seg = mk_segment ~rst:true ~seq:6000 () in
+  ignore (Receive.process p (Tcb.Estab victim) seg ~now:0);
+  Alcotest.(check (list string)) "victim still challenged" [ "send-ack" ]
+    (action_names victim);
+  Alcotest.(check int) "victim challenge sent" 1
+    victim.Tcb.challenge_acks_sent;
+  Alcotest.(check int) "victim nothing suppressed" 0
+    victim.Tcb.challenge_acks_limited;
+  (* contrast: with no per-connection layer (the pre-fix shape, global
+     budget only) the same spray starves the victim completely *)
+  let vuln =
+    { params with Tcb.challenge_ack_conn_limit = 0; challenge_ack_limit = 10 }
+  in
+  let victim' = estab_tcb ~params:vuln () in
+  let hostile' = estab_tcb ~params:vuln () in
+  victim'.Tcb.chall_cap <- hostile'.Tcb.chall_cap;
+  for _ = 1 to 50 do
+    let seg = mk_segment ~rst:true ~seq:6000 () in
+    ignore (Receive.process vuln (Tcb.Estab hostile') seg ~now:0);
+    ignore (drain_actions hostile')
+  done;
+  let seg = mk_segment ~rst:true ~seq:6000 () in
+  ignore (Receive.process vuln (Tcb.Estab victim') seg ~now:0);
+  ignore (drain_actions victim');
+  Alcotest.(check int) "old shape: victim starved (the side channel)" 0
+    victim'.Tcb.challenge_acks_sent
 
 (* ------------------------------------------------------------------ *)
 (* Segment-mutation fuzz smoke                                        *)
@@ -194,6 +250,19 @@ let test_blind_rst_unguarded_dies () =
   let r = Scenarios.run_cell_unguarded ~quick:true (find_scn "blind_rst") in
   Alcotest.(check bool) "connection killed" false r.Scenarios.complete
 
+let test_blind_rst_secure_isn_survives () =
+  (* the RFC 6528 teeth: same sweep, defenses still off — only the ISNs
+     are now keyed-PRF outputs, so the attacker's clock+salt prediction
+     model covers a vanishing slice of the sequence space and the sweep
+     that kills the legacy-ISN connection above must miss entirely *)
+  let r =
+    Scenarios.run_cell_unguarded_secure ~quick:true (find_scn "blind_rst")
+  in
+  Alcotest.(check bool) "transfer completed" true r.Scenarios.complete;
+  Alcotest.(check int) "no bytes injected" 0 r.Scenarios.injected_bytes;
+  Alcotest.(check bool) "adversary actually fired" true
+    (r.Scenarios.attack_probes > 0)
+
 let test_blind_syn_guarded_survives () =
   let r = Scenarios.run_cell ~quick:true ~cc:"reno" (find_scn "blind_syn") in
   Alcotest.(check bool) "transfer completed" true r.Scenarios.complete;
@@ -231,6 +300,10 @@ let () =
         [
           Alcotest.test_case "exhaustion and refill" `Quick
             test_challenge_budget_exhaustion;
+          Alcotest.test_case "per-conn budget binds first" `Quick
+            test_conn_budget_binds_first;
+          Alcotest.test_case "hostile flow cannot starve victim" `Quick
+            test_hostile_flow_cannot_starve_victim;
         ] );
       ( "mutation",
         [ Alcotest.test_case "smoke, both engines" `Quick test_mutation_smoke ]
@@ -241,6 +314,8 @@ let () =
             test_blind_rst_guarded_survives;
           Alcotest.test_case "blind-rst unguarded dies" `Quick
             test_blind_rst_unguarded_dies;
+          Alcotest.test_case "blind-rst secure-isn survives" `Quick
+            test_blind_rst_secure_isn_survives;
           Alcotest.test_case "blind-syn guarded survives" `Quick
             test_blind_syn_guarded_survives;
           Alcotest.test_case "blind-data injects nothing" `Quick
