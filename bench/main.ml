@@ -1127,6 +1127,77 @@ let bench_shards () =
   close_out oc;
   print_endline "\nwrote BENCH_pr9.json"
 
+let bench_chaos () =
+  section "Chaos survival: path-failure matrix with unguarded teeth";
+  let module Chaos = Fox_check.Chaos in
+  Printf.printf
+    "Deterministic fault plans against every congestion control: link\n\
+     flaps, a path-MTU blackhole, a duplicate/corruption storm, and a\n\
+     slow-loris siege.  The guarded matrix must survive; the same cells\n\
+     with the defenses off must fail.\n\n";
+  let w0 = Unix.gettimeofday () in
+  let cells, teeth, problems = Chaos.check () in
+  let wall = Unix.gettimeofday () -. w0 in
+  List.iter (fun r -> Printf.printf "  %s\n" (Chaos.result_to_string r)) cells;
+  List.iter
+    (fun r -> Printf.printf "  teeth: %s\n" (Chaos.result_to_string r))
+    teeth;
+  Printf.printf "\n  %d problems, %.2fs wall\n"
+    (List.length problems) wall;
+  List.iter (fun p -> Printf.printf "  PROBLEM: %s\n" p) problems;
+  let cell_json (r : Chaos.result) =
+    Printf.sprintf
+      "{\"scenario\": \"%s\", \"cc\": \"%s\", \"guarded\": %b, \
+       \"complete\": %b, \"delivered\": %d, \"expected\": %d, \
+       \"virtual_s\": %.3f, \"retransmissions\": %d, \
+       \"blackhole_shrinks\": %d, \"blackhole_restores\": %d, \
+       \"rtx_limit_aborts\": %d, \"user_timeout_aborts\": %d, \
+       \"persist_aborts\": %d, \"responses_408\": %d, \
+       \"chaos_dropped\": %d, \"chaos_replayed\": %d, \
+       \"chaos_duplicated\": %d, \"chaos_corrupted\": %d, \
+       \"invariant_faults\": %d, \"leaked_packets\": %d, \
+       \"fingerprint\": \"%s\"}"
+      r.Chaos.scenario r.Chaos.cc r.Chaos.guarded r.Chaos.complete
+      r.Chaos.delivered r.Chaos.expected
+      (float_of_int r.Chaos.end_time /. 1e6)
+      r.Chaos.retransmissions r.Chaos.blackhole_shrinks
+      r.Chaos.blackhole_restores r.Chaos.rtx_limit_aborts
+      r.Chaos.user_timeout_aborts r.Chaos.persist_aborts
+      r.Chaos.responses_408 r.Chaos.chaos.Fox_dev.Link.chaos_dropped
+      r.Chaos.chaos.Fox_dev.Link.chaos_replayed
+      r.Chaos.chaos.Fox_dev.Link.chaos_duplicated
+      r.Chaos.chaos.Fox_dev.Link.chaos_corrupted
+      (List.length r.Chaos.invariant_faults)
+      r.Chaos.leaked_packets (Chaos.fingerprint r)
+  in
+  let oc = open_out "BENCH_pr10.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"pr10_chaos_survival\",\n\
+    \  \"matrix\": {\n\
+    \    \"workload\": \"link_flap|mtu_blackhole|dup_storm 256KB \
+     transfers, slowloris siege vs 16 legit clients; x \
+     reno/newreno/cubic/bbr\",\n\
+    \    \"contract\": \"complete, deterministic across two runs, 0 \
+     invariant faults, 0 leaked buffers; blackhole cells shrink MSS; \
+     slowloris cells count 408s\",\n\
+    \    \"rows\": [\n      %s\n    ]\n\
+    \  },\n\
+    \  \"teeth\": {\n\
+    \    \"contract\": \"same cells with the defenses off must NOT \
+     complete\",\n\
+    \    \"rows\": [\n      %s\n    ]\n\
+    \  },\n\
+    \  \"problems\": %d,\n\
+    \  \"wall_s\": %.3f\n\
+     }\n"
+    (String.concat ",\n      " (List.map cell_json cells))
+    (String.concat ",\n      " (List.map cell_json teeth))
+    (List.length problems) wall;
+  close_out oc;
+  print_endline "\nwrote BENCH_pr10.json";
+  if problems <> [] then exit 1
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -1136,6 +1207,7 @@ let () =
   | [| _; "table1" |] -> table1_headline ()
   | [| _; "serve" |] -> bench_serve ()
   | [| _; "shards" |] -> bench_shards ()
+  | [| _; "chaos" |] -> bench_chaos ()
   | [| _ |] ->
     Printf.printf
       "Fox Net benchmark harness — reproduces the evaluation of\n\
@@ -1154,5 +1226,5 @@ let () =
     bench_serve ();
     Printf.printf "\n%s\ndone.\n" line
   | _ ->
-    prerr_endline "usage: main [fastpath|soak|table1|serve|shards]";
+    prerr_endline "usage: main [fastpath|soak|table1|serve|shards|chaos]";
     exit 2

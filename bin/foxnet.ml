@@ -314,7 +314,7 @@ let fuzz seed iters verbose cc matrix mutate =
 (* ---------------- soak (deterministic overload survival) ---------------- *)
 
 let soak conns conn_bytes flood bad_acks seed loss heap verbose cc matrix
-    shards =
+    shards chaos =
   validate_cc cc;
   let module Soak = Fox_check.Soak in
   let cfg =
@@ -329,19 +329,25 @@ let soak conns conn_bytes flood bad_acks seed loss heap verbose cc matrix
       wheel = not heap;
       cc;
       shards;
+      chaos =
+        (if chaos then
+           Fox_check.Chaos.ambient_plan
+             ~span_us:((conns * Soak.default_config.Soak.spacing_us) + 200_000)
+         else []);
     }
   in
   let log = if verbose then print_endline else fun _ -> () in
   let run_one cfg =
     Printf.printf
       "soak: %d conns x %dB over %d shard%s, flood %d SYNs + %d forged \
-       ACKs, loss %.2f, seed %d, %s timers, cc %s (runs twice for \
+       ACKs, loss %.2f, seed %d, %s timers, cc %s%s (runs twice for \
        determinism)\n%!"
       conns conn_bytes shards
       (if shards = 1 then "" else "s")
       flood bad_acks loss seed
       (if heap then "heap" else "wheel")
-      cfg.Soak.cc;
+      cfg.Soak.cc
+      (if cfg.Soak.chaos = [] then "" else ", chaos plan installed");
     let report, problems = Soak.check ~log cfg in
     print_endline (Soak.report_to_string report);
     match problems with
@@ -493,6 +499,88 @@ let trace bytes loss seed last pcap =
     (float_of_int result.Experiments.elapsed_us /. 1e6)
     result.Experiments.throughput_mbps
 
+(* ---------------- chaos (path-failure survival matrix) ---------------- *)
+
+let chaos cc family quick markdown verbose =
+  let module Chaos = Fox_check.Chaos in
+  let ccs =
+    match cc with
+    | None -> Chaos.cc_names
+    | Some c when List.mem c Chaos.cc_names -> [ c ]
+    | Some c ->
+      Printf.eprintf "unknown congestion control %s\n" c;
+      exit 2
+  in
+  let families =
+    match family with
+    | None -> Chaos.family_names
+    | Some f when List.mem f Chaos.family_names -> [ f ]
+    | Some f ->
+      Printf.eprintf "unknown chaos family %s (have: %s)\n" f
+        (String.concat ", " Chaos.family_names);
+      exit 2
+  in
+  let log = if verbose then print_endline else fun _ -> () in
+  let quick = quick in
+  let results, teeth, problems =
+    if cc = None && family = None then Chaos.check ~quick ~log ()
+    else
+      (* a sliced run: no determinism double-run, no teeth — the quick
+         inner-loop view of one cell or row *)
+      let rs =
+        List.concat_map
+          (fun family ->
+            List.map (fun cc -> Chaos.run_cell ~quick ~log ~cc family) ccs)
+          families
+      in
+      let problems =
+        List.concat_map
+          (fun (r : Chaos.result) ->
+            (if r.Chaos.complete then []
+             else
+               [
+                 Printf.sprintf "%s/%s incomplete (%d of %d)" r.Chaos.scenario
+                   r.Chaos.cc r.Chaos.delivered r.Chaos.expected;
+               ])
+            @ List.map
+                (Printf.sprintf "%s/%s invariant: %s" r.Chaos.scenario
+                   r.Chaos.cc)
+                r.Chaos.invariant_faults
+            @
+            if r.Chaos.leaked_packets = 0 then []
+            else
+              [
+                Printf.sprintf "%s/%s leaked %d buffers" r.Chaos.scenario
+                  r.Chaos.cc r.Chaos.leaked_packets;
+              ])
+          rs
+      in
+      (rs, [], problems)
+  in
+  if markdown then print_string (Chaos.to_markdown (results @ teeth))
+  else begin
+    List.iter (fun r -> print_endline (Chaos.result_to_string r)) results;
+    List.iter
+      (fun r -> print_endline ("teeth: " ^ Chaos.result_to_string r))
+      teeth
+  end;
+  match problems with
+  | [] -> print_endline "chaos: PASS"
+  | ps ->
+    List.iter (fun p -> print_endline ("chaos: FAIL: " ^ p)) ps;
+    (* failing cells carry their flight-recorder ring for post-mortem
+       from the CI log without reproducing locally *)
+    List.iter
+      (fun (r : Chaos.result) ->
+        if r.Chaos.flight <> [] then begin
+          Printf.eprintf "[flight] %s/%s: %d events\n" r.Chaos.scenario
+            r.Chaos.cc
+            (List.length r.Chaos.flight);
+          List.iter (fun l -> Printf.eprintf "[flight] %s\n" l) r.Chaos.flight
+        end)
+      (results @ teeth);
+    exit 1
+
 (* ---------------- serve (the application layer) ---------------- *)
 
 module Load = Fox_check.Load
@@ -502,12 +590,13 @@ module Load = Fox_check.Load
 let serve_hub app (cfg : Load.config) =
   Printf.printf
     "serve: %s, %d conns x %d requests x %dB over the %s hub, %d shard%s \
-     (loss %.2f, reorder %.2f, seed %d)\n%!"
+     (loss %.2f, reorder %.2f, seed %d)%s\n%!"
     (Load.app_to_string app) cfg.Load.conns cfg.Load.requests cfg.Load.payload
     (if cfg.Load.gigabit then "1 Gb/s" else "10 Mb/s")
     cfg.Load.shards
     (if cfg.Load.shards = 1 then "" else "s")
-    cfg.Load.loss cfg.Load.reorder cfg.Load.seed;
+    cfg.Load.loss cfg.Load.reorder cfg.Load.seed
+    (if cfg.Load.chaos = [] then "" else ", chaos plan installed");
   let r, problems = Load.check cfg in
   print_endline (Load.result_to_string r);
   match problems with
@@ -788,7 +877,7 @@ let serve_tun app port duration check shards =
     end
 
 let serve app_name conns requests payload ramp loss reorder seed ethernet tun
-    port duration check shards =
+    port duration check shards chaos =
   match Load.app_of_string app_name with
   | None ->
     Printf.eprintf "unknown app %s (have: http, echo, chargen, discard)\n"
@@ -809,6 +898,13 @@ let serve app_name conns requests payload ramp loss reorder seed ethernet tun
           seed;
           gigabit = not ethernet;
           shards;
+          chaos =
+            (if chaos then
+               (* scale the faults to the rough span of the fleet: the
+                  open ramp plus a generous transfer allowance *)
+               Fox_check.Chaos.ambient_plan
+                 ~span_us:((conns * ramp) + 100_000)
+             else []);
         }
 
 (* ---------------- dig (DNS over UDP) ---------------- *)
@@ -1004,6 +1100,15 @@ let heap =
     & info [ "heap" ]
         ~doc:"Drive timers through the binary heap instead of the wheel.")
 
+let chaos_flag =
+  Arg.(
+    value & flag
+    & info [ "chaos" ]
+        ~doc:
+          "Install the ambient chaos plan on the wire: a hold-flap, a \
+           duplicate/corruption storm, and a drop-flap scaled to the span \
+           of the run.")
+
 let soak_cmd =
   Cmd.v
     (Cmd.info "soak"
@@ -1015,7 +1120,7 @@ let soak_cmd =
           run replays bit-identically from its seed")
     Term.(
       const soak $ conns $ conn_bytes $ flood $ bad_acks $ seed $ soak_loss
-      $ heap $ verbose $ cc_arg $ matrix_flag $ shards_arg)
+      $ heap $ verbose $ cc_arg $ matrix_flag $ shards_arg $ chaos_flag)
 
 let mutate_flag =
   Arg.(
@@ -1070,6 +1175,29 @@ let scenarios_cmd =
           fairness per cell")
     Term.(const scenarios $ scenario_cc $ scenario_name $ quick_flag
           $ markdown_flag)
+
+let chaos_family =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "family" ]
+        ~doc:
+          "Run only this chaos family: \
+           link_flap|mtu_blackhole|dup_storm|slowloris (default: all, with \
+           the determinism double-run and the unguarded teeth cells).")
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos-survival matrix: deterministic link flaps, a path-MTU \
+          blackhole, duplicate/corruption storms, clock jumps, and a \
+          slow-loris siege under every congestion-control algorithm with \
+          the graceful-degradation defenses on — plus unguarded teeth \
+          cells that must demonstrably fail without them")
+    Term.(
+      const chaos $ scenario_cc $ chaos_family $ quick_flag $ markdown_flag
+      $ verbose)
 
 let app_arg =
   Arg.(
@@ -1145,7 +1273,8 @@ let serve_cmd =
     Term.(
       const serve $ app_arg $ serve_conns $ serve_requests $ serve_payload
       $ serve_ramp $ serve_loss $ serve_reorder $ seed $ ethernet_flag
-      $ tun_flag $ serve_port $ serve_duration $ check_flag $ shards_arg)
+      $ tun_flag $ serve_port $ serve_duration $ check_flag $ shards_arg
+      $ chaos_flag)
 
 let dig_name =
   Arg.(
@@ -1170,5 +1299,6 @@ let () =
              ~doc:"The Fox Net structured TCP/IP stack, simulated")
           [
             transfer_cmd; ping_cmd; rtt_cmd; table1_cmd; table2_cmd; fuzz_cmd;
-            soak_cmd; scenarios_cmd; stat_cmd; trace_cmd; serve_cmd; dig_cmd;
+            soak_cmd; scenarios_cmd; chaos_cmd; stat_cmd; trace_cmd; serve_cmd;
+            dig_cmd;
           ]))

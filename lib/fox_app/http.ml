@@ -26,10 +26,29 @@ let reason_of_status = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
   | 413 -> "Content Too Large"
+  | 431 -> "Request Header Fields Too Large"
   | 500 -> "Internal Server Error"
   | 501 -> "Not Implemented"
   | _ -> "Unknown"
+
+(** RFC 9110 §9.2.2: methods safe to retry without knowing whether the
+    first attempt reached the server. *)
+let idempotent meth =
+  List.mem meth [ "GET"; "HEAD"; "PUT"; "DELETE"; "OPTIONS"; "TRACE" ]
+
+(** Per-server counters for the degradation paths, so a slow-loris
+    defense firing is visible rather than a silent close. *)
+type server_stats = {
+  mutable requests : int;  (** requests answered with a site response *)
+  mutable responses_408 : int;  (** read deadlines expired (slow loris) *)
+  mutable responses_431 : int;  (** header lines over the limit *)
+  mutable bad_requests : int;  (** other protocol-error responses *)
+}
+
+let server_stats () =
+  { requests = 0; responses_408 = 0; responses_431 = 0; bad_requests = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Sites: what the server serves                                      *)
@@ -139,9 +158,14 @@ module Make (Sock : Fox_proto.Socket.S) = struct
       Ok (name, value)
 
   (** Read one full request (line, headers, Content-Length body) off the
-      socket.  Never raises for protocol-level garbage — that comes back
-      as [Bad] so the server can answer 400 before closing. *)
-  let read_request ?(max_line = default_max_line) sock =
+      socket.  Never raises for protocol-level garbage or an expired read
+      deadline — those come back as [Bad] (431 for an over-long header
+      line, 408 for a deadline, the framing codes otherwise) so the
+      server can answer before closing.  [before_body] is called with the
+      announced content length before the body read — the server uses it
+      to re-arm the read deadline from its minimum byte-rate floor. *)
+  let read_request ?(max_line = default_max_line) ?(before_body = fun _ -> ())
+      sock =
     match
       (* skip the optional blank line(s) some clients send between
          pipelined requests *)
@@ -156,7 +180,10 @@ module Make (Sock : Fox_proto.Socket.S) = struct
     with
     | exception Fox_proto.Socket.Socket_error Fox_proto.Socket.Line_too_long
       ->
-      Bad (400, "request line or header exceeds limit")
+      Bad (431, "request line or header exceeds limit")
+    | exception Fox_proto.Socket.Socket_error Fox_proto.Socket.Deadline_expired
+      ->
+      Bad (408, "deadline expired before a full request line")
     | None -> Eof
     | Some line -> (
       match parse_request_line line with
@@ -169,7 +196,11 @@ module Make (Sock : Fox_proto.Socket.S) = struct
             | exception
                 Fox_proto.Socket.Socket_error Fox_proto.Socket.Line_too_long
               ->
-              Error (400, "header line exceeds limit")
+              Error (431, "header line exceeds limit")
+            | exception
+                Fox_proto.Socket.Socket_error
+                  Fox_proto.Socket.Deadline_expired ->
+              Error (408, "deadline expired inside headers")
             | None -> Error (400, "eof inside headers")
             | Some "" -> Ok (List.rev acc)
             | Some line -> (
@@ -192,7 +223,12 @@ module Make (Sock : Fox_proto.Socket.S) = struct
               | Some n when n < 0 -> Bad (400, "negative content-length")
               | Some n when n > max_body -> Bad (413, "body too large")
               | Some n -> (
+                before_body n;
                 match Sock.read_exactly sock n with
+                | exception
+                    Fox_proto.Socket.Socket_error
+                      Fox_proto.Socket.Deadline_expired ->
+                  Bad (408, "deadline expired inside body")
                 | None -> Eof (* peer died mid-body *)
                 | Some body -> Request { req with body })))))
 
@@ -233,19 +269,68 @@ module Make (Sock : Fox_proto.Socket.S) = struct
       errors, or sends [Connection: close].  Pipelining falls out of the
       loop structure: each iteration parses exactly one request off the
       buffered stream, so back-to-back requests in one segment are
-      answered back-to-back. *)
-  let serve ?(max_line = default_max_line) ?(log = fun _ -> ()) (site : Site.t)
-      sock =
+      answered back-to-back.
+
+      [header_timeout_us] arms a read deadline covering the request line,
+      the headers, and keep-alive idle time: a client trickling bytes
+      slower than that gets a 408 and a counted close — the slow-loris
+      defense.  [min_byte_rate] (bytes/second) additionally budgets the
+      body read from its announced content length.  Both default off
+      (the historical behaviour).  [stats] counts the degradation
+      responses per server. *)
+  let serve ?(max_line = default_max_line) ?(header_timeout_us = 0)
+      ?(min_byte_rate = 0) ?stats ?(log = fun _ -> ()) (site : Site.t) sock =
+    let count f = match stats with Some s -> f s | None -> () in
+    let arm_header () =
+      if header_timeout_us > 0 then
+        Sock.set_read_deadline sock (Some header_timeout_us)
+    in
+    let before_body n =
+      if min_byte_rate > 0 then
+        (* the body must arrive at the floor rate, plus a grace period so
+           a single in-flight segment never trips it *)
+        Sock.set_read_deadline sock
+          (Some ((n * 1_000_000 / min_byte_rate) + 50_000))
+      else arm_header ()
+    in
+    (* The lingering close of the error path: half-close so the response
+       (and FIN) drain reliably, discard whatever the peer keeps sending
+       for a bounded time, then reset.  A plain [close] would park the
+       connection in FIN-WAIT-2 for as long as a hostile peer cares to
+       trickle — holding the very connection slot the 408 was supposed to
+       reclaim. *)
+    let lingering_close () =
+      Sock.close sock;
+      if header_timeout_us > 0 then begin
+        Sock.set_read_deadline sock (Some header_timeout_us);
+        (try
+           while Sock.recv_string sock <> None do
+             ()
+           done
+         with
+        | Fox_proto.Socket.Socket_error _ | Fox_proto.Common.Send_failed _
+        ->
+          ());
+        Sock.abort sock
+      end
+    in
     let rec loop () =
-      match read_request ~max_line sock with
+      arm_header ();
+      match read_request ~max_line ~before_body sock with
       | Eof -> Sock.close sock
       | Bad (status, detail) ->
+        (match status with
+        | 408 -> count (fun s -> s.responses_408 <- s.responses_408 + 1)
+        | 431 -> count (fun s -> s.responses_431 <- s.responses_431 + 1)
+        | _ -> count (fun s -> s.bad_requests <- s.bad_requests + 1));
         log (Printf.sprintf "%d %s" status detail);
         write_response sock ~status ~content_type:"text/html"
           ~keep_alive:false
           (error_body status detail);
-        Sock.close sock
+        lingering_close ()
       | Request req ->
+        Sock.set_read_deadline sock None;
+        count (fun s -> s.requests <- s.requests + 1);
         let keep_alive = wants_keep_alive req in
         let head = req.meth = "HEAD" in
         (match req.meth with
@@ -325,4 +410,51 @@ module Make (Sock : Fox_proto.Socket.S) = struct
   let get ?meth ?headers sock target =
     write_request sock ?meth ?headers target;
     read_response ?head:(Option.map (( = ) "HEAD") meth) sock
+
+  (** [get_retry ~connect target] is a full exchange with client-side
+      resilience: a fresh connection per attempt (via [connect]), retrying
+      connection errors, EOF-before-response, and 5xx responses with
+      jittered, capped exponential backoff.  Restricted to idempotent
+      methods (RFC 9110 §9.2.2) — a retried POST could double-apply; the
+      function refuses it up front rather than guessing.
+
+      Backoff before attempt [k+1] is drawn uniformly from
+      [[cap/2, cap]] with [cap = min max_backoff_us (base · 2^(k-1))] —
+      "equal jitter", so a thundering herd of retrying clients decorrelates
+      instead of re-colliding.  Returns [(response, attempts_used)];
+      [response = None] when every attempt failed. *)
+  let get_retry ~connect ?(attempts = 3) ?(base_backoff_us = 50_000)
+      ?(max_backoff_us = 2_000_000) ?(rng = Fox_basis.Rng.create 0x7e757271)
+      ?(meth = "GET") ?headers target =
+    if not (idempotent meth) then
+      invalid_arg ("Http.get_retry: non-idempotent method " ^ meth);
+    let attempt_once () =
+      match
+        let sock = connect () in
+        Fun.protect
+          ~finally:(fun () -> try Sock.close sock with _ -> ())
+          (fun () -> get ~meth ?headers sock target)
+      with
+      | Some (status, _, _) as r when status < 500 -> Ok r
+      | Some _ as r -> Error (`Got r) (* 5xx: retryable, keep as fallback *)
+      | None -> Error (`Got None)
+      | exception Fox_proto.Socket.Socket_error _ -> Error `Conn
+      | exception Fox_proto.Common.Send_failed _ -> Error `Conn
+      | exception Fox_proto.Common.Connection_failed _ -> Error `Conn
+    in
+    let rec go k =
+      match attempt_once () with
+      | Ok r -> (r, k)
+      | Error e ->
+        if k >= attempts then ((match e with `Got r -> r | `Conn -> None), k)
+        else begin
+          let cap =
+            min max_backoff_us (base_backoff_us * (1 lsl min (k - 1) 16))
+          in
+          let jitter = Fox_basis.Rng.int rng (max 1 (cap / 2)) in
+          Fox_sched.Scheduler.sleep ((cap / 2) + jitter);
+          go (k + 1)
+        end
+    in
+    go 1
 end

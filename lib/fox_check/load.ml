@@ -103,6 +103,9 @@ type config = {
       (** engine shards: connection [i] belongs to shard [i mod shards],
           each shard a full client/server world on its own domain.
           [1] runs inline (no domains) — the historical behavior. *)
+  chaos : Chaos.plan;
+      (** timed path faults injected into every shard's wire (empty =
+          none) *)
 }
 
 let default_config =
@@ -117,6 +120,7 @@ let default_config =
     reorder = 0.0;
     gigabit = true;
     shards = 1;
+    chaos = [];
   }
 
 type result = {
@@ -289,6 +293,7 @@ let run_world ?(log = fun _ -> ()) cfg ~shard ~indices =
   in
   ignore
     (Scheduler.run (fun () ->
+         if cfg.chaos <> [] then Chaos.install ~log cfg.chaos link;
          ignore (Sock.listen server_t { Tcp.local_port = http_port } serve);
          List.iter (fun i ->
            Scheduler.fork (fun () ->

@@ -91,6 +91,11 @@ type config = {
       (** engine shards: connection [i] soaks in shard [i mod shards],
           each shard a full three-host world (with its own flood) on its
           own domain.  [1] runs inline — the historical behavior. *)
+  chaos : Chaos.plan;
+      (** timed path faults injected into every shard's wire (empty =
+          none); the graceful-degradation contract must hold through
+          them, and the run stays deterministic — chaos never consults
+          the wire's rng *)
 }
 
 let default_config =
@@ -106,6 +111,7 @@ let default_config =
     wheel = true;
     cc = "reno";
     shards = 1;
+    chaos = [];
   }
 
 type report = {
@@ -227,6 +233,7 @@ module Make_engine (Cc : Fox_tcp.Congestion.S) = struct
     let flood_sent = ref 0 in
     let stats =
           Scheduler.run (fun () ->
+              if cfg.chaos <> [] then Chaos.install ~log cfg.chaos link;
               ignore
                 (Tcp.start_passive server_t { Tcp.local_port = port }
                    (fun conn ->

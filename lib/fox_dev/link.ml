@@ -30,6 +30,14 @@ type port_state = {
   mutable queue_drops : int;
 }
 
+type chaos_stats = {
+  chaos_dropped : int;
+  chaos_held : int;
+  chaos_replayed : int;
+  chaos_duplicated : int;
+  chaos_corrupted : int;
+}
+
 type t = {
   netem : Netem.t;
   rng : Rng.t;
@@ -46,6 +54,27 @@ type t = {
   (* virtual time the live burst expires: a burst is an episode (a fade,
      an overrun), so frames sent after this are not part of it *)
   mutable burst_until : int;
+  (* --- chaos controls, mutated mid-run by the chaos orchestrator.
+     Chaos decisions never consult [rng]: the base netem stream must be
+     identical whether or not a chaos plan is installed, so every chaos
+     effect is either a pure state check (down, blackhole) or a
+     deterministic every-Nth-frame counter (storms). *)
+  mutable up : bool;
+  mutable down_policy : [ `Drop | `Hold ];
+  (* frames queued behind a downed interface (Hold policy), newest
+     first; replayed through [transmit] in arrival order on bring-up *)
+  mutable held : (int * Packet.t) list;
+  mutable held_len : int;
+  (* 0 = off; frames strictly longer than this vanish without trace —
+     the classic PMTUD blackhole *)
+  mutable blackhole_over : int;
+  mutable dup_every : int;
+  mutable corrupt_every : int;
+  mutable chaos_frames : int;
+  mutable chaos_dropped : int;
+  mutable chaos_replayed : int;
+  mutable chaos_duplicated : int;
+  mutable chaos_corrupted : int;
 }
 
 let new_port_state () =
@@ -91,11 +120,46 @@ let corrupt_copy t frame =
   end;
   copy
 
-let transmit t src frame =
+(* Storm corruption must not consume [t.rng] draws (see the chaos field
+   comment), so the flipped bit position comes from the frame counter. *)
+let chaos_corrupt_copy t frame =
+  let copy = Packet.copy_fused frame in
+  let len = Packet.length copy in
+  if len > 0 then begin
+    let byte = t.chaos_frames mod len in
+    Packet.set_u8 copy byte (Packet.get_u8 copy byte lxor 1)
+  end;
+  copy
+
+(* A downed interface with [`Hold] queues at most this many frames, like
+   a real NIC ring; overflow vanishes into [chaos_dropped]. *)
+let held_cap = 64
+
+let rec transmit t src frame =
   let ps = t.ports.(src) in
   let len = Packet.length frame in
   ps.tx_frames <- ps.tx_frames + 1;
   ps.tx_bytes <- ps.tx_bytes + len;
+  if not t.up then begin
+    match t.down_policy with
+    | `Drop -> t.chaos_dropped <- t.chaos_dropped + 1
+    | `Hold ->
+      if t.held_len >= held_cap then t.chaos_dropped <- t.chaos_dropped + 1
+      else begin
+        t.held <- (src, Packet.copy_fused frame) :: t.held;
+        t.held_len <- t.held_len + 1
+      end
+  end
+  else if t.blackhole_over > 0 && len > t.blackhole_over then
+    t.chaos_dropped <- t.chaos_dropped + 1
+  else transmit_up t src frame ps len
+
+and transmit_up t src frame ps len =
+  t.chaos_frames <- t.chaos_frames + 1;
+  let force_corrupt =
+    t.corrupt_every > 0 && t.chaos_frames mod t.corrupt_every = 0
+  in
+  let force_dup = t.dup_every > 0 && t.chaos_frames mod t.dup_every = 0 in
   (* Serialise onto the medium: a hub is half-duplex (one medium), a
      point-to-point link is full-duplex (one medium per direction). *)
   let medium = if t.shared_medium then 0 else src in
@@ -155,10 +219,16 @@ let transmit t src frame =
       in
       if lost then ps.dropped <- ps.dropped + 1
       else begin
+        let rng_corrupt = Rng.bool t.rng t.netem.Netem.corrupt in
         let frame, arrival =
-          if Rng.bool t.rng t.netem.Netem.corrupt then begin
+          if rng_corrupt then begin
             ps.corrupted <- ps.corrupted + 1;
             (corrupt_copy t frame, base_arrival)
+          end
+          else if force_corrupt then begin
+            ps.corrupted <- ps.corrupted + 1;
+            t.chaos_corrupted <- t.chaos_corrupted + 1;
+            (chaos_corrupt_copy t frame, base_arrival)
           end
           else (Packet.copy_fused frame, base_arrival)
         in
@@ -170,6 +240,11 @@ let transmit t src frame =
         schedule_delivery t dst frame arrival;
         if Rng.bool t.rng t.netem.Netem.duplicate then begin
           ps.duplicated <- ps.duplicated + 1;
+          schedule_delivery t dst (Packet.copy_fused frame) arrival
+        end;
+        if force_dup then begin
+          ps.duplicated <- ps.duplicated + 1;
+          t.chaos_duplicated <- t.chaos_duplicated + 1;
           schedule_delivery t dst (Packet.copy_fused frame) arrival
         end
       end)
@@ -187,6 +262,18 @@ let make ~ports ~shared netem =
     queued = Array.make mediums 0;
     burst_left = 0;
     burst_until = 0;
+    up = true;
+    down_policy = `Drop;
+    held = [];
+    held_len = 0;
+    blackhole_over = 0;
+    dup_every = 0;
+    corrupt_every = 0;
+    chaos_frames = 0;
+    chaos_dropped = 0;
+    chaos_replayed = 0;
+    chaos_duplicated = 0;
+    chaos_corrupted = 0;
   }
 
 let point_to_point netem = make ~ports:2 ~shared:false netem
@@ -217,3 +304,39 @@ let stats t i =
   }
 
 let config t = t.netem
+
+let take_down t ~policy =
+  t.up <- false;
+  t.down_policy <- policy
+
+let bring_up t =
+  if not t.up then begin
+    t.up <- true;
+    let replay = List.rev t.held in
+    t.held <- [];
+    t.held_len <- 0;
+    List.iter
+      (fun (src, frame) ->
+        t.chaos_replayed <- t.chaos_replayed + 1;
+        (* replay owns its copy; [transmit] copies again for delivery *)
+        transmit t src frame;
+        Packet.release frame)
+      replay
+  end
+
+let is_up t = t.up
+
+let set_blackhole t over = t.blackhole_over <- max 0 over
+
+let set_storm t ?(dup_every = 0) ?(corrupt_every = 0) () =
+  t.dup_every <- max 0 dup_every;
+  t.corrupt_every <- max 0 corrupt_every
+
+let chaos_stats t =
+  {
+    chaos_dropped = t.chaos_dropped;
+    chaos_held = t.held_len;
+    chaos_replayed = t.chaos_replayed;
+    chaos_duplicated = t.chaos_duplicated;
+    chaos_corrupted = t.chaos_corrupted;
+  }

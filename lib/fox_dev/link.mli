@@ -51,3 +51,42 @@ val stats : t -> int -> stats
 
 (** [config t] is the wire's emulation parameters. *)
 val config : t -> Netem.t
+
+(** {1 Chaos controls}
+
+    Mid-run fault injection, driven by {!Fox_check.Chaos}.  None of
+    these consult the wire's rng, so the base netem decision stream is
+    identical with or without a chaos plan installed: faults compose
+    with — rather than reshuffle — the configured impairments. *)
+
+(** Cumulative chaos-effect counters for the whole wire. *)
+type chaos_stats = {
+  chaos_dropped : int;
+      (** frames eaten while the link was down ([`Drop] policy or hold
+          overflow) or by the size blackhole *)
+  chaos_held : int;  (** frames currently queued behind a downed link *)
+  chaos_replayed : int;  (** held frames re-sent on {!bring_up} *)
+  chaos_duplicated : int;  (** storm duplicates beyond the rng's *)
+  chaos_corrupted : int;  (** storm corruptions beyond the rng's *)
+}
+
+(** [take_down t ~policy] downs the whole wire.  [`Drop] loses frames
+    silently; [`Hold] queues up to a small NIC-ring's worth and replays
+    them on {!bring_up}. *)
+val take_down : t -> policy:[ `Drop | `Hold ] -> unit
+
+(** [bring_up t] restores the wire and replays held frames in their
+    original send order. *)
+val bring_up : t -> unit
+
+val is_up : t -> bool
+
+(** [set_blackhole t n] silently drops frames longer than [n] bytes —
+    the classic path-MTU blackhole.  [0] disables. *)
+val set_blackhole : t -> int -> unit
+
+(** [set_storm t ~dup_every ~corrupt_every ()] duplicates / corrupts
+    every Nth frame deterministically (0 disables each). *)
+val set_storm : t -> ?dup_every:int -> ?corrupt_every:int -> unit -> unit
+
+val chaos_stats : t -> chaos_stats

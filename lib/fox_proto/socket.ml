@@ -22,13 +22,14 @@
 
 open Fox_basis
 
-type error = Closed | Reset | Timed_out | Line_too_long
+type error = Closed | Reset | Timed_out | Line_too_long | Deadline_expired
 
 let error_to_string = function
   | Closed -> "closed"
   | Reset -> "reset"
   | Timed_out -> "timed out"
   | Line_too_long -> "line too long"
+  | Deadline_expired -> "read deadline expired"
 
 exception Socket_error of error
 
@@ -118,6 +119,15 @@ module type S = sig
 
   (** [peer_closed sock] is true once EOF has been observed. *)
   val peer_closed : t -> bool
+
+  (** [set_read_deadline sock (Some us)] arms a read deadline [us] µs
+      from now: a read still blocked when it passes raises
+      [Socket_error Deadline_expired] (buffered bytes are always
+      consumable — the deadline only interrupts waiting on the wire).
+      The deadline is one-shot: it is disarmed when it fires.  [None]
+      disarms; re-arming replaces the previous deadline.  This is the
+      primitive slow-loris defenses are built on. *)
+  val set_read_deadline : t -> int option -> unit
 end
 
 module Make (P : CONNECTOR) : sig
@@ -134,7 +144,7 @@ module Make (P : CONNECTOR) : sig
   (** The underlying connection, for statistics. *)
   val connection : t -> P.connection
 end = struct
-  type item = Data of Packet.t | Eof | Failed of error
+  type item = Data of Packet.t | Eof | Failed of error | Expired of int
 
   type t = {
     conn : P.connection;
@@ -145,6 +155,11 @@ end = struct
     mutable rpos : int;
     mutable eof_seen : bool;
     mutable failed : error option;
+    (* read-deadline state: [deadline_gen] stamps each arming so an
+       [Expired] from a replaced or disarmed deadline is recognisably
+       stale and dropped *)
+    mutable read_deadline : int option;
+    mutable deadline_gen : int;
   }
 
   let connection t = t.conn
@@ -163,7 +178,16 @@ end = struct
   let make_handler cell conn =
     let mailbox = Fox_sched.Cond.create () in
     let sock =
-      { conn; mailbox; rbuf = ""; rpos = 0; eof_seen = false; failed = None }
+      {
+        conn;
+        mailbox;
+        rbuf = "";
+        rpos = 0;
+        eof_seen = false;
+        failed = None;
+        read_deadline = None;
+        deadline_gen = 0;
+      }
     in
     cell := Some sock;
     let data packet = Fox_sched.Cond.signal mailbox (Data packet) in
@@ -205,6 +229,9 @@ end = struct
         match Fox_sched.Cond.wait t.mailbox with
         | Data packet ->
           let s = Packet.to_string packet in
+          (* the upcall transferred ownership; the bytes now live in the
+             receive buffer, so the packet goes back to the pool *)
+          Packet.release packet;
           t.rbuf <- s;
           t.rpos <- 0;
           (* zero-length segments (pure FINs are not data, but a peer may
@@ -215,7 +242,15 @@ end = struct
           false
         | Failed e ->
           t.failed <- Some e;
-          refill t))
+          refill t
+        | Expired gen ->
+          if gen = t.deadline_gen && t.read_deadline <> None then begin
+            (* one-shot: the caller answers (e.g. HTTP 408) and decides
+               whether to keep the connection *)
+            t.read_deadline <- None;
+            raise (Socket_error Deadline_expired)
+          end
+          else (* stale: a replaced or disarmed deadline *) refill t))
 
   (* Consume and return the whole receive buffer. *)
   let take_buffered t =
@@ -308,7 +343,14 @@ end = struct
       let n = min write_chunk (len - !off) in
       let p = P.allocate_send t.conn n in
       Packet.blit_from_string s !off p 0 n;
-      P.send t.conn p;
+      (* the protocol consumes the packet on success; on failure (closed
+         or reset connection) ownership never transferred, so it must go
+         back to the pool here *)
+      (match P.send t.conn p with
+      | () -> ()
+      | exception e ->
+        Packet.release p;
+        raise e);
       off := !off + n
     done
 
@@ -316,5 +358,34 @@ end = struct
 
   let close t = P.close t.conn
 
-  let abort t = P.abort t.conn
+  let abort t =
+    (* an abort abandons the mailbox: return any undelivered segments to
+       the pool so a reset connection leaves no live buffers behind *)
+    let rec drain () =
+      match Fox_sched.Cond.try_wait t.mailbox with
+      | Some (Data packet) ->
+        Packet.release packet;
+        drain ()
+      | Some (Eof | Failed _ | Expired _) -> drain ()
+      | None -> ()
+    in
+    drain ();
+    P.abort t.conn
+
+  let set_read_deadline t d =
+    t.deadline_gen <- t.deadline_gen + 1;
+    match d with
+    | None -> t.read_deadline <- None
+    | Some us ->
+      let gen = t.deadline_gen in
+      let due = Fox_sched.Scheduler.now () + max 0 us in
+      t.read_deadline <- Some due;
+      (* the watcher sleeps on the virtual clock and posts into the
+         mailbox like any other event, so expiry is serialised with data
+         arrival — no racing wakeups *)
+      Fox_sched.Scheduler.fork (fun () ->
+          let wait = due - Fox_sched.Scheduler.now () in
+          if wait > 0 then Fox_sched.Scheduler.sleep wait;
+          if t.deadline_gen = gen then
+            Fox_sched.Cond.signal t.mailbox (Expired gen))
 end

@@ -14,6 +14,7 @@ type _ Effect.t +=
   | Yield : unit Effect.t
   | Sleep : int -> unit Effect.t
   | Now : int Effect.t
+  | Advance : int -> unit Effect.t
   | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
   | Stop : 'a Effect.t
 
@@ -26,6 +27,13 @@ let yield () = Effect.perform Yield
 let sleep us = Effect.perform (Sleep us)
 
 let now () = Effect.perform Now
+
+(* [advance us] jumps the virtual clock forward by [us] without yielding:
+   every sleeper whose due time falls inside the jump becomes due at once
+   (released in due order when the run queue next empties).  This is the
+   chaos harness's clock-jump fault — the suspend/resume a real host
+   experiences — not a scheduling primitive for ordinary code. *)
+let advance us = Effect.perform (Advance us)
 
 let suspend f = Effect.perform (Suspend f)
 
@@ -111,6 +119,11 @@ let run ?(start_time = 0) ?(realtime = false) ?idle main =
                   Heap.add st.sleepq
                     (st.clock + max 0 us, fun () -> continue k ()))
             | Now -> Some (fun (k : (a, unit) continuation) -> continue k st.clock)
+            | Advance us ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  st.clock <- st.clock + max 0 us;
+                  continue k ())
             | Suspend f ->
               Some
                 (fun (k : (a, unit) continuation) ->

@@ -66,6 +66,14 @@ val sleep : int -> unit
 (** [now ()] is the current virtual time in microseconds. *)
 val now : unit -> int
 
+(** [advance us] jumps the virtual clock forward by [us] microseconds
+    without yielding: every sleeper whose due time falls inside the jump
+    becomes due at once (released in due order when the run queue next
+    empties).  This is the chaos harness's clock-jump fault — the
+    suspend/resume a real host experiences — not a scheduling primitive
+    for ordinary code. *)
+val advance : int -> unit
+
 (** [suspend f] blocks the current thread; [f] receives a resumer that,
     when called with a value, reschedules the thread with that value as the
     result of [suspend].  The resumer must be called at most once. *)

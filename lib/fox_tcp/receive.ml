@@ -277,7 +277,10 @@ let process_ack_common (params : params) tcb seg ~now =
         (* A window update is not a duplicate ACK (RFC 5681): end the
            current dup-ACK episode so the next loss can reach three again. *)
         if changed then tcb.dup_acks <- 0;
-        if opening then add_to_do tcb (Clear_timer Window_probe)
+        if opening then begin
+          tcb.persist_probes <- 0;
+          add_to_do tcb (Clear_timer Window_probe)
+        end
       end;
       Send.segmentize params tcb ~now;
       `Continue
@@ -682,7 +685,10 @@ let fast_path (params : params) tcb seg ~now =
         tcb.snd_wl1 <- h.Tcp_header.seq;
         tcb.snd_wl2 <- ack;
         if changed then tcb.dup_acks <- 0;
-        if opening then add_to_do tcb (Clear_timer Window_probe)
+        if opening then begin
+          tcb.persist_probes <- 0;
+          add_to_do tcb (Clear_timer Window_probe)
+        end
       end
     in
     if data_len = 0 then begin

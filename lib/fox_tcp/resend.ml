@@ -47,10 +47,17 @@ let clear_rtx_timer tcb =
 
 let track (params : params) tcb entry ~now =
   entry.first_sent_at <- now;
+  (* the stall clock starts when the queue goes from empty to non-empty:
+     from here, only ACK progress (process_ack) refreshes it *)
+  if Deq.is_empty tcb.rtx_q then tcb.stalled_since <- now;
   tcb.rtx_q <- Deq.push_back entry tcb.rtx_q;
-  (* Karn: time one segment at a time, never a retransmission. *)
+  (* Karn: time one segment at a time, never a retransmission, and never
+     while a recovery episode is still in progress ([karn_until]): a
+     fresh segment sent behind an unrepaired hole is only covered by the
+     cumulative ACK that repairs the hole, so its "sample" would include
+     the whole recovery episode and poison srtt (DESIGN §12). *)
   (match tcb.timing with
-  | None when entry.sent_count = 1 ->
+  | None when entry.sent_count = 1 && Seq.ge tcb.snd_una tcb.karn_until ->
     tcb.timing <- Some (Seq.add entry.rtx_seq entry.rtx_len, now)
   | _ -> ());
   set_rtx_timer params tcb
@@ -78,8 +85,13 @@ let resend_entry tcb entry =
      flight.  Clearing only when the timed octet itself was resent (the
      earlier rule) let an RTO chain retransmit older holes while the timed
      segment waited in the queue; the eventual cumulative ACK covering it
-     then yielded a multi-second "sample" that poisoned srtt. *)
+     then yielded a multi-second "sample" that poisoned srtt.  The same
+     poisoning applies to segments sent *after* this retransmission while
+     the hole is still open, so the whole flight up to [snd_nxt] is
+     barred from starting a new timing ([karn_until], checked in
+     [track]). *)
   tcb.timing <- None;
+  if Seq.gt tcb.snd_nxt tcb.karn_until then tcb.karn_until <- tcb.snd_nxt;
   add_to_do tcb
     (Send_segment
        {
@@ -136,6 +148,25 @@ let process_ack (params : params) tcb ~ack ~now =
       sample params tcb ~sample_us:(now - sent_at)
     | _ -> ());
     tcb.backoff <- 0;
+    tcb.full_rto_streak <- 0;
+    (* forward progress: either the stall is over (queue drained) or the
+       stall clock restarts from this ACK *)
+    tcb.stalled_since <- (if Deq.is_empty tcb.rtx_q then -1 else now);
+    (* blackhole probe-up: after enough confirmed progress at the clamped
+       MSS, try the pre-clamp size again; if the blackhole is still there
+       detection simply re-clamps after the next RTO streak. *)
+    if
+      params.blackhole_detect
+      && tcb.mss_before_clamp > 0
+      && params.blackhole_probe_after_us > 0
+      && now - tcb.mss_clamped_at >= params.blackhole_probe_after_us
+    then begin
+      notef tcb "blackhole probe up: mss %d -> %d" tcb.snd_mss
+        tcb.mss_before_clamp;
+      tcb.snd_mss <- tcb.mss_before_clamp;
+      tcb.mss_before_clamp <- 0;
+      tcb.blackhole_restores <- tcb.blackhole_restores + 1
+    end;
     if params.congestion_control then begin
       let r = Congestion.on_ack tcb.cc (cc_ctx params tcb ~now) ~acked in
       apply_reaction tcb r
@@ -167,6 +198,75 @@ let duplicate_ack (params : params) tcb ~now =
     end
   end
 
+(* Split every queue entry carrying more data than the (just-halved) MSS
+   into MSS-sized chunks.  Send history ([first_sent_at]/[sent_count]) is
+   preserved on every chunk so the retransmission budget still counts
+   from the original loss, and the FIN moves to the last chunk.  SYN
+   entries are never split (they carry no bulk data in this stack). *)
+let resegment_rtx_q tcb =
+  let mss = tcb.snd_mss in
+  let split e =
+    match e.rtx_data with
+    | Some d when (not e.rtx_syn) && Packet.length d > mss ->
+      let len = Packet.length d in
+      let rec chunks off acc =
+        if off >= len then List.rev acc
+        else begin
+          let n = min mss (len - off) in
+          let last = off + n >= len in
+          let chunk =
+            {
+              rtx_seq = Seq.add e.rtx_seq off;
+              rtx_len = n + (if last && e.rtx_fin then 1 else 0);
+              rtx_syn = false;
+              rtx_fin = last && e.rtx_fin;
+              rtx_ack = e.rtx_ack;
+              rtx_data = Some (Packet.sub ~headroom:64 d off n);
+              rtx_mss = None;
+              first_sent_at = e.first_sent_at;
+              sent_count = e.sent_count;
+            }
+          in
+          chunks (off + n) (chunk :: acc)
+        end
+      in
+      let cs = chunks 0 [] in
+      Packet.release d;
+      cs
+    | _ -> [ e ]
+  in
+  tcb.rtx_q <- Deq.of_list (List.concat_map split (Deq.to_list tcb.rtx_q))
+
+(* RFC 4821-style blackhole detection: a path that silently eats large
+   frames shows up as repeated RTOs of full-MSS segments with no ICMP and
+   no duplicate ACKs.  After [blackhole_rtos] such RTOs in a row, assume
+   the path MTU shrank under us: halve the effective send MSS and
+   re-segment the queue so the retransmissions actually fit through. *)
+let check_blackhole (params : params) tcb ~now entry =
+  let full_mss =
+    match entry.rtx_data with
+    | Some d -> Packet.length d >= tcb.snd_mss
+    | None -> false
+  in
+  if not full_mss then tcb.full_rto_streak <- 0
+  else begin
+    tcb.full_rto_streak <- tcb.full_rto_streak + 1;
+    if
+      tcb.full_rto_streak >= params.blackhole_rtos
+      && tcb.snd_mss > params.blackhole_min_mss
+    then begin
+      let prev = tcb.snd_mss in
+      tcb.snd_mss <- max params.blackhole_min_mss (tcb.snd_mss / 2);
+      tcb.mss_before_clamp <- prev;
+      tcb.mss_clamped_at <- now;
+      tcb.full_rto_streak <- 0;
+      tcb.blackhole_shrinks <- tcb.blackhole_shrinks + 1;
+      notef tcb "blackhole suspected: mss %d -> %d, re-segmenting %d entries"
+        prev tcb.snd_mss (Deq.size tcb.rtx_q);
+      resegment_rtx_q tcb
+    end
+  end
+
 let retransmit (params : params) tcb ~now =
   tcb.rtx_timer_on <- false;
   match Deq.peek_front tcb.rtx_q with
@@ -174,6 +274,11 @@ let retransmit (params : params) tcb ~now =
   | Some entry ->
     if entry.sent_count > params.max_retransmits then false
     else begin
+      if params.blackhole_detect then check_blackhole params tcb ~now entry;
+      (* re-segmentation may have replaced the front entry *)
+      let entry =
+        match Deq.peek_front tcb.rtx_q with Some e -> e | None -> entry
+      in
       if params.congestion_control then
         apply_reaction tcb
           (Congestion.on_rto tcb.cc (cc_ctx params tcb ~now));

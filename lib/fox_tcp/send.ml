@@ -156,3 +156,14 @@ let probe params tcb ~now =
     | None -> ());
     add_to_do tcb (Set_timer (Window_probe, Resend.rto params tcb))
   end
+  else if
+    params.persist_max_probes > 0
+    && tcb.snd_wnd = 0
+    && not (Deq.is_empty tcb.rtx_q)
+  then
+    (* the probe byte itself is sitting on the retransmission queue (the
+       peer ACKs it without accepting it): keep the persist clock ticking
+       so the bounded lifetime in [State.timer_expired] can fire.  Without
+       the bound (the historical default) the timer chain dies here and
+       the probe's own retransmission budget is the only limit. *)
+    add_to_do tcb (Set_timer (Window_probe, Resend.rto params tcb))

@@ -172,8 +172,25 @@ let timer_expired (params : params) state kind ~now =
         Closed
       | _ -> state)
     | Window_probe ->
-      Send.probe params tcb ~now;
-      state
+      if tcb.snd_wnd = 0 then begin
+        tcb.persist_probes <- tcb.persist_probes + 1;
+        if
+          params.persist_max_probes > 0
+          && tcb.persist_probes > params.persist_max_probes
+        then
+          (* bounded persist lifetime: the peer has advertised a zero
+             window and ignored this many probes — stop holding memory
+             for it *)
+          give_up tcb ~reason:"persist timeout"
+        else begin
+          Send.probe params tcb ~now;
+          state
+        end
+      end
+      else begin
+        Send.probe params tcb ~now;
+        state
+      end
     | Pacing ->
       (* the requested inter-segment gap elapsed: resume segmentation *)
       tcb.pacing_timer_on <- false;
@@ -219,11 +236,23 @@ let timer_expired (params : params) state kind ~now =
     | User_timeout ->
       (* "the length of time before hung operations fail": if anything has
          been waiting for the peer for the whole period, give up;
-         otherwise re-arm. *)
-      if
-        (not (synchronized state))
-        || (not (Fox_basis.Deq.is_empty tcb.rtx_q))
-        || tcb.queued_bytes > 0
+         otherwise re-arm.  With [user_timeout_stalled] the test is the
+         RFC 5482 shape instead: merely having data outstanding at the
+         expiry instant is not failure — abort only when retransmission
+         has made no forward progress ([tcb.stalled_since]) for a full
+         period. *)
+      if not (synchronized state) then give_up tcb ~reason:"user timeout"
+      else if params.user_timeout_stalled then
+        if
+          tcb.stalled_since >= 0
+          && now - tcb.stalled_since >= params.user_timeout_us
+        then give_up tcb ~reason:"user timeout"
+        else begin
+          arm_user_timer params tcb;
+          state
+        end
+      else if
+        (not (Fox_basis.Deq.is_empty tcb.rtx_q)) || tcb.queued_bytes > 0
       then give_up tcb ~reason:"user timeout"
       else begin
         arm_user_timer params tcb;

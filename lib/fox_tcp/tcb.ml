@@ -159,6 +159,30 @@ type params = {
           of every other connection — the CVE-2016-5696 lesson: a shared
           exhaustible counter is itself an off-path side channel.
           0 = unlimited *)
+  blackhole_detect : bool;
+      (** RFC 4821-style packetization-layer blackhole detection: after
+          [blackhole_rtos] consecutive RTOs of a full-MSS segment, halve
+          the effective send MSS (never below [blackhole_min_mss]) and
+          re-segment the retransmission queue — recovering from paths
+          that silently eat large frames (PMTUD failure).  Off by
+          default: the historical engine behaviour. *)
+  blackhole_rtos : int;
+      (** consecutive full-MSS RTOs before the MSS is halved *)
+  blackhole_min_mss : int;  (** floor for the clamped MSS *)
+  blackhole_probe_after_us : int;
+      (** once clamped, probe back up to the pre-clamp MSS after this
+          much ACK-confirmed progress time; 0 = never probe up *)
+  persist_max_probes : int;
+      (** bound on the zero-window persist lifetime: abort the
+          connection after this many unanswered window probes.
+          0 = unbounded (the historical behaviour, where only the
+          probe's own retransmission limit applies) *)
+  user_timeout_stalled : bool;
+      (** RFC 5482-shaped user timeout: instead of aborting whenever
+          data is merely outstanding at expiry, abort only when
+          retransmission has made no forward progress for a full
+          [user_timeout_us] window.  Off restores the stricter
+          historical semantics. *)
   cc : (module Congestion.S);
       (** the congestion-control algorithm; every cwnd/ssthresh decision
           is delegated to it (see {!Congestion} and DESIGN §12) *)
@@ -185,6 +209,12 @@ let default_params =
     rfc5961 = true;
     challenge_ack_limit = 100;
     challenge_ack_conn_limit = 10;
+    blackhole_detect = false;
+    blackhole_rtos = 3;
+    blackhole_min_mss = 536;
+    blackhole_probe_after_us = 0;
+    persist_max_probes = 0;
+    user_timeout_stalled = false;
     cc = (module Congestion.Reno);
   }
 
@@ -241,6 +271,28 @@ type tcp_tcb = {
   mutable rto_us : int;
   mutable backoff : int;
   mutable timing : (Seq.t * int) option;  (** segment under RTT timing *)
+  mutable karn_until : Seq.t;
+      (** no new RTT timing may start while [snd_una] is below this: any
+          retransmission taints the whole flight up to the then-current
+          [snd_nxt], because a cumulative ACK delayed by the recovery
+          episode would be timed against a segment that sat queued
+          behind the hole (the DESIGN §12 srtt-poisoning case) *)
+  (* --- graceful degradation (chaos survival) --- *)
+  mutable stalled_since : int;
+      (** virtual time the current retransmission stall began (last
+          forward progress while data was outstanding); -1 = no data
+          outstanding.  Drives the RFC 5482-shaped user timeout. *)
+  mutable persist_probes : int;
+      (** unanswered zero-window probes since the window last opened *)
+  mutable full_rto_streak : int;
+      (** consecutive RTOs whose front segment was full-MSS — the
+          blackhole-detection trigger *)
+  mutable mss_before_clamp : int;
+      (** [snd_mss] before the most recent blackhole halving; 0 = not
+          clamped *)
+  mutable mss_clamped_at : int;  (** virtual time of the halving *)
+  mutable blackhole_shrinks : int;
+  mutable blackhole_restores : int;
   (* --- congestion control --- *)
   mutable cwnd : int;
   mutable ssthresh : int;
@@ -372,6 +424,14 @@ let create_tcb (params : params) ~iss =
     rto_us = params.rto_initial_us;
     backoff = 0;
     timing = None;
+    karn_until = iss;
+    stalled_since = -1;
+    persist_probes = 0;
+    full_rto_streak = 0;
+    mss_before_clamp = 0;
+    mss_clamped_at = 0;
+    blackhole_shrinks = 0;
+    blackhole_restores = 0;
     cwnd = Congestion.initial_cwnd params.cc ~mss:536;
     ssthresh = 65535;
     dup_acks = 0;

@@ -163,6 +163,35 @@ module type PARAMS = sig
       early (its 2·MSL cut short), RFC 793 purity traded for survival.
       0 = unbounded. *)
   val max_time_wait : int
+
+  (** {2 Hostile-path policy}
+
+      Graceful degradation when the path itself misbehaves: links that
+      silently eat large frames (PMTUD blackholes), peers that never
+      reopen a zero window, and transfers that stop making progress.
+      All off by default — the historical engine behaviour. *)
+
+  (** RFC 4821-style packetization-layer blackhole detection: after
+      [blackhole_rtos] consecutive RTOs of a full-MSS segment, halve the
+      effective send MSS (never below [blackhole_min_mss]) and
+      re-segment the retransmission queue. *)
+  val blackhole_detect : bool
+
+  val blackhole_rtos : int
+  val blackhole_min_mss : int
+
+  (** Once clamped, probe back up to the pre-clamp MSS after this much
+      ACK-confirmed progress (0 = never probe up). *)
+  val blackhole_probe_after_us : int
+
+  (** Abort a zero-window connection after this many unanswered persist
+      probes (0 = unbounded persist, the historical behaviour). *)
+  val persist_max_probes : int
+
+  (** RFC 5482-shaped user timeout: abort only when retransmission has
+      made no forward progress for a full [user_timeout_us], instead of
+      whenever data is merely outstanding at expiry. *)
+  val user_timeout_stalled : bool
 end
 
 module Default_params : PARAMS = struct
@@ -199,6 +228,12 @@ module Default_params : PARAMS = struct
   let challenge_ack_conn_limit = 10
   let secure_isn = true
   let isn_secret = None
+  let blackhole_detect = false
+  let blackhole_rtos = 3
+  let blackhole_min_mss = 536
+  let blackhole_probe_after_us = 0
+  let persist_max_probes = 0
+  let user_timeout_stalled = false
 end
 
 (** Instance-wide statistics. *)
@@ -228,6 +263,14 @@ type stats = {
   rst_challenges : int;  (** in-window (not exact) RSTs deflected *)
   syn_challenges : int;  (** in-window SYNs on synchronized conns deflected *)
   ack_challenges : int;  (** ACKs outside the 5961 acceptance window *)
+  blackhole_shrinks : int;
+      (** MSS halvings by blackhole detection (live + dead conns) *)
+  blackhole_restores : int;  (** successful probe-ups back to full MSS *)
+  persist_aborts : int;
+      (** connections aborted by the bounded zero-window persist *)
+  user_timeout_aborts : int;  (** connections aborted by the user timeout *)
+  rtx_limit_aborts : int;
+      (** connections aborted by the retransmission limit *)
 }
 
 (** Per-connection statistics, mostly straight out of the TCB. *)
@@ -323,6 +366,12 @@ end = struct
       rfc5961 = Params.rfc5961;
       challenge_ack_limit = Params.challenge_ack_limit;
       challenge_ack_conn_limit = Params.challenge_ack_conn_limit;
+      blackhole_detect = Params.blackhole_detect;
+      blackhole_rtos = Params.blackhole_rtos;
+      blackhole_min_mss = Params.blackhole_min_mss;
+      blackhole_probe_after_us = Params.blackhole_probe_after_us;
+      persist_max_probes = Params.persist_max_probes;
+      user_timeout_stalled = Params.user_timeout_stalled;
       cc = (module Cc);
     }
 
@@ -433,6 +482,13 @@ end = struct
     mutable chall_rst_dead : int;
     mutable chall_syn_dead : int;
     mutable chall_ack_dead : int;
+    (* blackhole counters of deleted connections, same fold *)
+    mutable blackhole_shrinks_dead : int;
+    mutable blackhole_restores_dead : int;
+    (* abort counters by kind (the connection is gone by definition) *)
+    mutable persist_aborts : int;
+    mutable user_timeout_aborts : int;
+    mutable rtx_limit_aborts : int;
     (* TIME-WAIT bound: connections in arrival order (entries may be
        stale — already deleted by their own 2·MSL — and are skipped) *)
     time_wait_q : connection Queue.t;
@@ -762,6 +818,10 @@ end = struct
       t.chall_rst_dead <- t.chall_rst_dead + tcb.Tcb.rst_challenges;
       t.chall_syn_dead <- t.chall_syn_dead + tcb.Tcb.syn_challenges;
       t.chall_ack_dead <- t.chall_ack_dead + tcb.Tcb.ack_challenges;
+      t.blackhole_shrinks_dead <-
+        t.blackhole_shrinks_dead + tcb.Tcb.blackhole_shrinks;
+      t.blackhole_restores_dead <-
+        t.blackhole_restores_dead + tcb.Tcb.blackhole_restores;
       (* drop the TCB's own buffer references so pooled buffers recycle;
          actions still pending on to_do hold their own references *)
       Deq.iter
@@ -884,6 +944,14 @@ end = struct
     | Tcb.Peer_reset -> conn.close_reason <- Some Status.Reset
     | Tcb.User_error msg ->
       if conn.close_reason = None then conn.close_reason <- Some Status.Timed_out;
+      (* per-kind abort accounting, keyed on the [State.give_up] reason *)
+      (match msg with
+      | "persist timeout" -> conn.tcp.persist_aborts <- conn.tcp.persist_aborts + 1
+      | "user timeout" ->
+        conn.tcp.user_timeout_aborts <- conn.tcp.user_timeout_aborts + 1
+      | "retransmission limit exceeded" ->
+        conn.tcp.rtx_limit_aborts <- conn.tcp.rtx_limit_aborts + 1
+      | _ -> ());
       tracef conn "error: %s" msg
     | Tcb.Delete_tcb -> delete_tcb conn
     | Tcb.Log msg -> tracef conn "%s" msg
@@ -1458,6 +1526,13 @@ end = struct
         t.chall_syn_dead + live (fun tcb -> tcb.Tcb.syn_challenges);
       ack_challenges =
         t.chall_ack_dead + live (fun tcb -> tcb.Tcb.ack_challenges);
+      blackhole_shrinks =
+        t.blackhole_shrinks_dead + live (fun tcb -> tcb.Tcb.blackhole_shrinks);
+      blackhole_restores =
+        t.blackhole_restores_dead + live (fun tcb -> tcb.Tcb.blackhole_restores);
+      persist_aborts = t.persist_aborts;
+      user_timeout_aborts = t.user_timeout_aborts;
+      rtx_limit_aborts = t.rtx_limit_aborts;
     }
 
   let pp_address fmt { peer; port; local_port } =
@@ -1529,6 +1604,11 @@ end = struct
         chall_rst_dead = 0;
         chall_syn_dead = 0;
         chall_ack_dead = 0;
+        blackhole_shrinks_dead = 0;
+        blackhole_restores_dead = 0;
+        persist_aborts = 0;
+        user_timeout_aborts = 0;
+        rtx_limit_aborts = 0;
         time_wait_q = Queue.create ();
         time_wait_count = 0;
       }

@@ -8,7 +8,7 @@
    - byte-exactness end-to-end through an adverse wire (echo and
      chargen over a lossy, reordering hub);
    - HTTP protocol edges: keep-alive, pipelining, zero-length bodies,
-     oversized request lines (400), unsupported methods (405);
+     oversized request lines (431), unsupported methods (405);
    - the DNS codec round-trips, including name-compression pointers in
      both directions, and rejects hostile compression (loops, forward
      chains, truncation);
@@ -167,15 +167,15 @@ let test_http_head_has_no_body () =
           (List.assoc_opt "content-length" headers)
       | None -> Alcotest.fail "no response to HEAD")
 
-let test_http_oversized_request_line_400 () =
+let test_http_oversized_request_line_431 () =
   with_http_conn (fun sock ->
       (* a request line longer than the parser's cap: the server must
-         answer 400 and close, not buffer unboundedly *)
+         answer 431 and close, not buffer unboundedly *)
       Sock.write_all sock ("GET /" ^ String.make 10_000 'a');
       Sock.write_all sock " HTTP/1.1\r\n\r\n";
       (match Http.read_response sock with
-      | Some (status, _, _) -> Alcotest.(check int) "status" 400 status
-      | None -> Alcotest.fail "no 400 for oversized request line");
+      | Some (status, _, _) -> Alcotest.(check int) "status" 431 status
+      | None -> Alcotest.fail "no 431 for oversized request line");
       Alcotest.(check (option Alcotest.reject))
         "server closed the connection" None
         (match Http.read_response sock with
@@ -208,6 +208,7 @@ let adverse_cfg app =
     gigabit = false;
     seed = 99;
     shards = 1;
+    chaos = [];
   }
 
 let test_echo_exact_over_adverse_hub () =
@@ -496,8 +497,8 @@ let () =
             test_http_post_gets_405;
           Alcotest.test_case "HEAD has headers, no body" `Quick
             test_http_head_has_no_body;
-          Alcotest.test_case "oversized request line gets 400" `Quick
-            test_http_oversized_request_line_400;
+          Alcotest.test_case "oversized request line gets 431" `Quick
+            test_http_oversized_request_line_431;
           Alcotest.test_case "malformed request line gets 400" `Quick
             test_http_malformed_request_line_400;
         ] );
